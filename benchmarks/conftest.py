@@ -1,0 +1,29 @@
+"""Shared fixtures: compile every implementation once per session."""
+
+import pytest
+
+from repro.bench import compile_all, fig8_grid
+
+
+@pytest.fixture(scope="session")
+def programs():
+    return compile_all()
+
+
+@pytest.fixture(scope="session")
+def fig8_cells(programs):
+    return fig8_grid()
+
+
+@pytest.fixture
+def say(capsys):
+    """Print reproduction tables to the real terminal (uncaptured), so the
+    regenerated figures appear in `pytest benchmarks/ --benchmark-only`
+    output (and in bench_output.txt)."""
+
+    def _say(*parts):
+        text = " ".join(str(p) for p in parts)
+        with capsys.disabled():
+            print(text)
+
+    return _say

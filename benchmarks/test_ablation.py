@@ -1,0 +1,28 @@
+"""E6 — ablation: contribution of each optimization strategy (Cortex A53).
+
+Removing any of the studied optimizations should cost performance; the
+full schedule is the fastest configuration.
+"""
+
+from repro.bench import run_ablation
+
+
+def test_ablation(benchmark, say):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    say("\nAblation on Cortex A53 (small image, slowdown vs full schedule):")
+    for row in rows:
+        bar = "#" * min(60, int(round(row.slowdown_vs_full * 10)))
+        say(f"  {row.variant:<24} {row.runtime_ms:8.1f} ms  {row.slowdown_vs_full:5.2f}x  {bar}")
+    by_name = {r.variant: r for r in rows}
+    full = by_name["full (cbuf+rot)"]
+    assert full.slowdown_vs_full == 1.0
+    # no ablated variant is faster ("no unrolling" ties: the backend
+    # unrolls constant-size reductions regardless, as OpenCL compilers do)
+    for name, row in by_name.items():
+        assert row.slowdown_vs_full >= 1.0, name
+    assert by_name["no multi-threading"].slowdown_vs_full > 1.4
+    assert by_name["no vectorization"].slowdown_vs_full > 1.2
+    assert by_name["no rotation (cbuf)"].slowdown_vs_full > 1.2
+    # circular buffering is the make-or-break optimization: without it the
+    # fused stages recompute their producers per consumed line
+    assert by_name["no circular buffering"].slowdown_vs_full > 3.0

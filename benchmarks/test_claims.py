@@ -1,0 +1,28 @@
+"""E4/E5 — the in-text quantitative claims of section V-B.
+
+* 'code ... outperforms OpenCV by up to 16x' — we expect the max speedup
+  of the best RISE version over OpenCV in [6, 20];
+* 'with convolution separation and register rotation, RISE always
+  performs much better than without (almost 30% faster on average)' —
+  mean cbuf/rot ratio in [1.2, 1.75];
+* 'faster than the Halide reference in almost all cases by more than
+  30%' / 'up to 1.4x better' — mean rot-vs-Halide >= 1.2, max in
+  [1.25, 1.55].
+"""
+
+from repro.bench import claims
+
+
+def test_section_vb_claims(benchmark, fig8_cells, say):
+    values = benchmark.pedantic(lambda: claims(fig8_cells), rounds=3, iterations=1)
+    say("\nSection V-B claims (paper -> measured):")
+    say(f"  up to 16x vs OpenCV      -> {values['max_speedup_vs_opencv']:.1f}x max, "
+          f"{values['mean_speedup_vs_opencv']:.1f}x mean")
+    say(f"  ~30% rot over cbuf       -> {values['mean_rot_over_cbuf']:.2f}x mean")
+    say(f"  >30%, up to 1.4x vs Halide -> {values['mean_rot_over_halide']:.2f}x mean, "
+          f"{values['max_rot_over_halide']:.2f}x max")
+    say(f"  Halide wins {values['halide_wins_cells']}/{values['total_cells']} cells")
+    assert 6.0 <= values["max_speedup_vs_opencv"] <= 20.0
+    assert 1.2 <= values["mean_rot_over_cbuf"] <= 1.75
+    assert values["mean_rot_over_halide"] >= 1.2
+    assert 1.25 <= values["max_rot_over_halide"] <= 1.55

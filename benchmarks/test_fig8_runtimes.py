@@ -1,0 +1,40 @@
+"""E2 — Fig. 8: runtimes of all five implementations on every CPU/image.
+
+Expected shape (paper section V-B):
+* all three compilers outperform the OpenCV baseline on all processors;
+* RISE clearly outperforms Lift;
+* RISE (cbuf) is competitive with Halide;
+* RISE (cbuf+rot) is the fastest in every cell.
+"""
+
+from repro.bench import format_fig8
+from repro.bench.harness import IMPLEMENTATIONS
+
+
+def _table(cells):
+    table = {}
+    for cell in cells:
+        table.setdefault((cell.machine, cell.image), {})[cell.implementation] = (
+            cell.runtime_ms
+        )
+    return table
+
+
+def test_fig8_grid(benchmark, fig8_cells, say):
+    benchmark.pedantic(lambda: _table(fig8_cells), rounds=5, iterations=1)
+    say("\nFig. 8 — Harris runtimes (modeled, ms):")
+    say(format_fig8(fig8_cells))
+    table = _table(fig8_cells)
+    assert len(table) == 8  # 4 CPUs x 2 images
+    for key, values in table.items():
+        # OpenCV slowest everywhere
+        compilers = [v for n, v in values.items() if n != "OpenCV"]
+        assert values["OpenCV"] > max(compilers), key
+        # RISE clearly outperforms Lift
+        assert values["Lift"] > 1.5 * values["RISE (cbuf)"], key
+        # cbuf competitive with Halide (within 1.5x either way)
+        ratio = values["RISE (cbuf)"] / values["Halide"]
+        assert 0.6 < ratio < 1.5, (key, ratio)
+        # cbuf+rot fastest overall
+        others = [v for n, v in values.items() if n != "RISE (cbuf+rot)"]
+        assert values["RISE (cbuf+rot)"] <= min(others) * 1.02, key

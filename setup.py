@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so
+``pip install -e .`` also works on offline environments whose pip cannot
+build PEP 660 editable wheels (no `wheel` package available).
+"""
+
+from setuptools import setup
+
+setup()

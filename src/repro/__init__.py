@@ -1,0 +1,12 @@
+"""repro: a Python reproduction of the CGO 2021 paper
+"Towards a Domain-Extensible Compiler: Optimizing an Image Processing
+Pipeline on Mobile CPUs" (Koehler & Steuwer).
+
+The package implements the RISE functional IR, the ELEVATE strategy
+language, the rewrite rules and strategies of the paper, a code generator
+to imperative C-like code, baseline compilers (mini-Halide, OpenCV-like
+library, LIFT preset), analytic ARM CPU performance models, and the
+benchmark harness regenerating the paper's figures.
+"""
+
+__version__ = "1.0.0"

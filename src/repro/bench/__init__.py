@@ -1,0 +1,8 @@
+"""Experiment harness regenerating the paper's figures and claims."""
+
+from repro.bench.harness import (
+    IMPLEMENTATIONS, Fig8Cell, claims, compile_all, fig1_normalized,
+    fig8_grid, format_fig8, padded_sizes,
+)
+from repro.bench.validation import ValidationRow, validate_outputs
+from repro.bench.ablation import AblationRow, ablation_variants, run_ablation

@@ -1,0 +1,185 @@
+"""The evaluation harness: compiles every implementation once and
+regenerates the paper's figures and in-text claims (DESIGN.md E1-E7).
+
+All implementations are compiled with symbolic sizes, validated for
+correctness elsewhere (tests + PSNR bench), and costed on the modeled ARM
+CPUs.  Because the paper's split factor (32) requires divisible sizes,
+image sizes are rounded up to the split/vector granularity — the rounding
+option the paper itself uses — and reported under the nominal resolution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Mapping
+
+import numpy as np
+
+from repro.codegen import compile_program
+from repro.codegen.ir import ImpProgram
+from repro.halide import compile_harris_halide
+from repro.image import ImageSpec, PAPER_IMAGE_LARGE, PAPER_IMAGE_SMALL
+from repro.lift import compile_harris_lift
+from repro.opencv import compile_harris_opencv
+from repro.perf.cost import CostReport, estimate_runtime_ms
+from repro.perf.machines import ALL_MACHINES, Machine
+from repro.pipelines import harris, harris_input_type
+from repro.rise.expr import Identifier
+from repro.strategies import cbuf_rrot_version, cbuf_version
+
+__all__ = [
+    "IMPLEMENTATIONS",
+    "compile_all",
+    "padded_sizes",
+    "fig8_grid",
+    "fig1_normalized",
+    "claims",
+    "Fig8Cell",
+]
+
+#: Implementation name -> runtime kind charged for kernel launches.
+IMPLEMENTATIONS = {
+    "OpenCV": "library",
+    "Lift": "opencl",
+    "Halide": "native",
+    "RISE (cbuf)": "opencl",
+    "RISE (cbuf+rot)": "opencl",
+}
+
+DEFAULT_CHUNK = 32
+DEFAULT_VEC = 4
+
+
+@lru_cache(maxsize=4)
+def compile_all(chunk: int = DEFAULT_CHUNK, vec: int = DEFAULT_VEC):
+    """Compile every implementation of the Harris operator (cached)."""
+    rgb = Identifier("rgb")
+    senv = {"rgb": harris_input_type()}
+    programs: dict[str, ImpProgram] = {}
+    programs["OpenCV"] = compile_harris_opencv(vec=vec)
+    programs["Lift"] = compile_harris_lift(vec=vec)
+    programs["Halide"] = compile_harris_halide(vec=vec, split=chunk)
+    programs["RISE (cbuf)"] = compile_program(
+        cbuf_version(senv, chunk=chunk, vec=vec).apply(harris(rgb)), senv, "rise_cbuf"
+    )
+    programs["RISE (cbuf+rot)"] = compile_program(
+        cbuf_rrot_version(senv, chunk=chunk, vec=vec).apply(harris(rgb)),
+        senv,
+        "rise_cbuf_rrot",
+    )
+    return programs
+
+
+def padded_sizes(spec: ImageSpec, chunk: int = DEFAULT_CHUNK, vec: int = DEFAULT_VEC) -> dict[str, int]:
+    """Output sizes (n, m) for an input image, rounded up to the split and
+    vector granularity (the paper's rounding option)."""
+    n = spec.height - 4
+    m = spec.width - 4
+    n = math.ceil(n / chunk) * chunk
+    m = math.ceil(m / vec) * vec
+    return {"n": n, "m": m}
+
+
+@dataclass
+class Fig8Cell:
+    machine: str
+    image: str
+    implementation: str
+    runtime_ms: float
+    report: CostReport
+
+
+def fig8_grid(
+    machines: list[Machine] | None = None,
+    images: list[ImageSpec] | None = None,
+    chunk: int = DEFAULT_CHUNK,
+    vec: int = DEFAULT_VEC,
+) -> list[Fig8Cell]:
+    """Reproduce fig. 8: runtime of all five implementations on every
+    (CPU, image) combination."""
+    machines = machines or ALL_MACHINES
+    images = images or [PAPER_IMAGE_SMALL, PAPER_IMAGE_LARGE]
+    programs = compile_all(chunk, vec)
+    cells: list[Fig8Cell] = []
+    for machine in machines:
+        for image in images:
+            sizes = padded_sizes(image, chunk, vec)
+            for name, prog in programs.items():
+                report = estimate_runtime_ms(
+                    prog, sizes, machine, IMPLEMENTATIONS[name]
+                )
+                cells.append(
+                    Fig8Cell(machine.name, image.name, name, report.runtime_ms, report)
+                )
+    return cells
+
+
+def fig1_normalized(chunk: int = DEFAULT_CHUNK, vec: int = DEFAULT_VEC) -> dict[str, float]:
+    """Reproduce fig. 1: Lift / Halide / RISE(cbuf+rot) on the Cortex A53,
+    normalized to Halide (lower is better)."""
+    from repro.perf.machines import CORTEX_A53
+
+    programs = compile_all(chunk, vec)
+    sizes = padded_sizes(PAPER_IMAGE_SMALL, chunk, vec)
+    times = {
+        name: estimate_runtime_ms(
+            programs[name], sizes, CORTEX_A53, IMPLEMENTATIONS[name]
+        ).runtime_ms
+        for name in ("Lift", "Halide", "RISE (cbuf+rot)")
+    }
+    halide = times["Halide"]
+    return {name: t / halide for name, t in times.items()}
+
+
+def claims(cells: list[Fig8Cell] | None = None) -> dict[str, float]:
+    """The in-text quantitative claims of section V-B (DESIGN.md E4/E5):
+
+    * max speedup of the best RISE version over OpenCV ("up to 16x");
+    * mean speedup of cbuf+rot over cbuf ("almost 30% faster on average");
+    * max/mean speedup of cbuf+rot over Halide ("more than 30% ... 1.4x").
+    """
+    cells = cells or fig8_grid()
+    table: dict[tuple[str, str], dict[str, float]] = {}
+    for cell in cells:
+        table.setdefault((cell.machine, cell.image), {})[cell.implementation] = (
+            cell.runtime_ms
+        )
+    ratios_opencv = []
+    ratios_rot_cbuf = []
+    ratios_rot_halide = []
+    for values in table.values():
+        best_rise = min(values["RISE (cbuf)"], values["RISE (cbuf+rot)"])
+        ratios_opencv.append(values["OpenCV"] / best_rise)
+        ratios_rot_cbuf.append(values["RISE (cbuf)"] / values["RISE (cbuf+rot)"])
+        ratios_rot_halide.append(values["Halide"] / values["RISE (cbuf+rot)"])
+    return {
+        "max_speedup_vs_opencv": max(ratios_opencv),
+        "mean_speedup_vs_opencv": float(np.mean(ratios_opencv)),
+        "mean_rot_over_cbuf": float(np.mean(ratios_rot_cbuf)),
+        "max_rot_over_halide": max(ratios_rot_halide),
+        "mean_rot_over_halide": float(np.mean(ratios_rot_halide)),
+        "halide_wins_cells": sum(1 for r in ratios_rot_halide if r < 1.0),
+        "total_cells": len(ratios_rot_halide),
+    }
+
+
+def format_fig8(cells: list[Fig8Cell]) -> str:
+    """Render the fig. 8 grid as the paper-style table (ms, lower=better)."""
+    names = list(IMPLEMENTATIONS)
+    lines = []
+    header = f"{'CPU':<11} {'image':<6}" + "".join(f"{n:>17}" for n in names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    table: dict[tuple[str, str], dict[str, float]] = {}
+    for cell in cells:
+        table.setdefault((cell.machine, cell.image), {})[cell.implementation] = (
+            cell.runtime_ms
+        )
+    for (machine, image), values in table.items():
+        row = f"{machine:<11} {image:<6}" + "".join(
+            f"{values[n]:>15.1f}ms" for n in names
+        )
+        lines.append(row)
+    return "\n".join(lines)

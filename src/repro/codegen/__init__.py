@@ -1,0 +1,4 @@
+"""Code generation: low-level RISE -> imperative IR -> C / Python / cost."""
+
+from repro.codegen.ir import ImpFunction, ImpProgram
+from repro.codegen.lower import CodegenError, compile_program

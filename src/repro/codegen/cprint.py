@@ -1,0 +1,283 @@
+"""C99 pretty-printer for imperative programs.
+
+Emits portable C using GCC vector extensions for the SIMD operations
+(the paper's backend emits OpenCL C with vector types; the structure —
+strip loops, unaligned vector loads, shuffles, rotating registers — is
+identical).  Parallel loops carry an OpenMP pragma.  Symbolic sizes
+become ``int`` parameters, so one emitted kernel serves all image sizes.
+"""
+
+from __future__ import annotations
+
+from repro.nat import Nat, NatCeilDiv, NatFloorDiv, NatMod, NatVar
+from repro.codegen.ir import (
+    AllocStmt,
+    Assign,
+    BinOp,
+    Block,
+    Broadcast,
+    Comment,
+    DeclScalar,
+    DeclVec,
+    FConst,
+    For,
+    IConst,
+    IExpr,
+    ImpFunction,
+    ImpProgram,
+    Load,
+    LoopKind,
+    NatE,
+    ScalarKind,
+    Stmt,
+    Store,
+    UnOp,
+    VLane,
+    VLoad,
+    VPack,
+    VShuffle,
+    VStore,
+    Var,
+    walk_exprs,
+    walk_stmts,
+)
+
+__all__ = ["program_to_c", "function_to_c", "nat_to_c"]
+
+_PRELUDE = """#include <stdint.h>
+#include <string.h>
+#include <math.h>
+
+typedef float v4f __attribute__((vector_size(16)));
+typedef float v4f_u __attribute__((vector_size(16), aligned(4)));
+typedef int v4i __attribute__((vector_size(16)));
+
+static inline v4f v4f_splat(float x) {{ return (v4f){{x, x, x, x}}; }}
+static inline v4f v4f_load(const float *p) {{ return *(const v4f_u *)p; }}
+static inline void v4f_store(float *p, v4f v) {{ *(v4f_u *)p = v; }}
+static inline v4f v4f_min(v4f a, v4f b) {{
+    v4f r;
+    for (int _l = 0; _l < 4; _l++) r[_l] = a[_l] < b[_l] ? a[_l] : b[_l];
+    return r;
+}}
+static inline v4f v4f_max(v4f a, v4f b) {{
+    v4f r;
+    for (int _l = 0; _l < 4; _l++) r[_l] = a[_l] > b[_l] ? a[_l] : b[_l];
+    return r;
+}}
+"""
+
+
+def nat_to_c(n: Nat) -> str:
+    """Render a symbolic size as a C integer expression."""
+    if n.is_constant():
+        return str(n.constant_value())
+    parts: list[str] = []
+    for monomial, coeff in n.terms:
+        factors: list[str] = []
+        if coeff != 1 or not monomial:
+            factors.append(str(coeff))
+        for atom, power in monomial:
+            text = _atom_to_c(atom)
+            factors.extend([text] * power)
+        parts.append(" * ".join(factors))
+    return "(" + " + ".join(parts) + ")"
+
+
+def _atom_to_c(atom) -> str:
+    if isinstance(atom, NatVar):
+        return _c_ident(atom.name)
+    if isinstance(atom, NatFloorDiv):
+        return f"({nat_to_c(atom.num)} / {nat_to_c(atom.den)})"
+    if isinstance(atom, NatCeilDiv):
+        num, den = nat_to_c(atom.num), nat_to_c(atom.den)
+        return f"(({num} + {den} - 1) / {den})"
+    if isinstance(atom, NatMod):
+        return f"({nat_to_c(atom.num)} % {nat_to_c(atom.den)})"
+    raise TypeError(f"cannot render {atom!r} in C")
+
+
+def _c_ident(name: str) -> str:
+    return name.replace("_t", "szv_") if name.startswith("_t") else name
+
+
+class _CPrinter:
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.indent = 1
+        self.vector_vars: set[str] = set()
+
+    def line(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    # -- expressions ---------------------------------------------------
+
+    def is_vector(self, e: IExpr) -> bool:
+        if isinstance(e, (VLoad, Broadcast, VShuffle, VPack)):
+            return True
+        if isinstance(e, Var):
+            return e.name in self.vector_vars
+        if isinstance(e, BinOp):
+            return self.is_vector(e.a) or self.is_vector(e.b)
+        if isinstance(e, UnOp):
+            return self.is_vector(e.a)
+        return False
+
+    def expr(self, e: IExpr) -> str:
+        if isinstance(e, IConst):
+            return str(e.value)
+        if isinstance(e, FConst):
+            return f"{e.value!r}f"
+        if isinstance(e, NatE):
+            return nat_to_c(e.value)
+        if isinstance(e, Var):
+            return _c_ident(e.name)
+        if isinstance(e, Load):
+            return f"{e.buffer}[{self.expr(e.index)}]"
+        if isinstance(e, VLoad):
+            return f"v4f_load(&{e.buffer}[{self.expr(e.index)}])"
+        if isinstance(e, Broadcast):
+            return f"v4f_splat({self.expr(e.value)})"
+        if isinstance(e, VShuffle):
+            lanes = ", ".join(str(e.offset + k) for k in range(e.width))
+            return (
+                f"__builtin_shuffle({self.expr(e.a)}, {self.expr(e.b)},"
+                f" (v4i){{{lanes}}})"
+            )
+        if isinstance(e, VPack):
+            lanes = ", ".join(self.expr(l) for l in e.lanes)
+            return f"((v4f){{{lanes}}})"
+        if isinstance(e, VLane):
+            return f"({self.expr(e.vec)})[{self.expr(e.lane)}]"
+        if isinstance(e, BinOp):
+            vec = self.is_vector(e)
+            a, b = self.expr(e.a), self.expr(e.b)
+            if vec:
+                if not self.is_vector(e.a):
+                    a = f"v4f_splat({a})"
+                if not self.is_vector(e.b):
+                    b = f"v4f_splat({b})"
+            symbol = {
+                "add": "+",
+                "sub": "-",
+                "mul": "*",
+                "div": "/",
+                "mod": "%",
+                "idiv": "/",
+            }.get(e.op)
+            if symbol is not None:
+                return f"({a} {symbol} {b})"
+            if e.op in ("min", "max"):
+                fn = f"v4f_{e.op}" if vec else f"f{e.op}f"
+                return f"{fn}({a}, {b})"
+            raise TypeError(f"unknown op {e.op}")
+        if isinstance(e, UnOp):
+            a = self.expr(e.a)
+            if e.op == "neg":
+                return f"(-{a})"
+            if e.op == "abs":
+                return f"fabsf({a})"
+            if e.op == "sqrt":
+                return f"sqrtf({a})"
+        raise TypeError(f"cannot print {type(e).__name__}")
+
+    # -- statements ------------------------------------------------------
+
+    def stmt(self, s: Stmt) -> None:
+        if isinstance(s, Block):
+            for sub in s.stmts:
+                self.stmt(sub)
+            return
+        if isinstance(s, Comment):
+            self.line(f"/* {s.text} */")
+            return
+        if isinstance(s, AllocStmt):
+            size = nat_to_c(s.buffer.alloc_size())
+            self.line(f"float {s.buffer.name}[{size}];")
+            self.line(f"memset({s.buffer.name}, 0, sizeof(float) * {size});")
+            return
+        if isinstance(s, For):
+            if s.kind is LoopKind.PARALLEL:
+                self.line("#pragma omp parallel for")
+            extent = self.expr(s.extent)
+            self.line(f"for (int {s.var} = 0; {s.var} < {extent}; {s.var}++) {{")
+            self.indent += 1
+            self.stmt(s.body)
+            self.indent -= 1
+            self.line("}")
+            return
+        if isinstance(s, DeclScalar):
+            ctype = "float" if s.kind is ScalarKind.F32 else "int"
+            init = f" = {self.expr(s.init)}" if s.init is not None else " = 0"
+            self.line(f"{ctype} {_c_ident(s.var)}{init};")
+            return
+        if isinstance(s, DeclVec):
+            self.vector_vars.add(s.var)
+            init = (
+                f" = {self._as_vector(s.init)}"
+                if s.init is not None
+                else " = v4f_splat(0.0f)"
+            )
+            self.line(f"v4f {_c_ident(s.var)}{init};")
+            return
+        if isinstance(s, Assign):
+            value = (
+                self._as_vector(s.value)
+                if s.var in self.vector_vars
+                else self.expr(s.value)
+            )
+            self.line(f"{_c_ident(s.var)} = {value};")
+            return
+        if isinstance(s, Store):
+            self.line(
+                f"{s.buffer}[{self.expr(s.index)}] = {self.expr(s.value)};"
+            )
+            return
+        if isinstance(s, VStore):
+            self.line(
+                f"v4f_store(&{s.buffer}[{self.expr(s.index)}],"
+                f" {self._as_vector(s.value)});"
+            )
+            return
+        raise TypeError(f"cannot print statement {type(s).__name__}")
+
+    def _as_vector(self, e: IExpr) -> str:
+        text = self.expr(e)
+        if not self.is_vector(e):
+            return f"v4f_splat({text})"
+        return text
+
+
+def _collect_size_vars(fn: ImpFunction) -> list[str]:
+    names: set[str] = set(fn.size_vars)
+    for e in walk_exprs(fn.body):
+        if isinstance(e, NatE):
+            names |= e.value.free_vars()
+    for s in walk_stmts(fn.body):
+        if isinstance(s, AllocStmt):
+            names |= s.buffer.alloc_size().free_vars()
+    for b in fn.inputs + [fn.output]:
+        names |= b.alloc_size().free_vars()
+    return sorted(names)
+
+
+def function_to_c(fn: ImpFunction) -> str:
+    printer = _CPrinter()
+    size_params = ", ".join(f"int {_c_ident(v)}" for v in _collect_size_vars(fn))
+    buf_params = ", ".join(
+        [f"const float *restrict {b.name}" for b in fn.inputs]
+        + [f"float *restrict {fn.output.name}"]
+    )
+    params = ", ".join(p for p in (size_params, buf_params) if p)
+    printer.lines.append(f"void {fn.name}({params}) {{")
+    printer.stmt(fn.body)
+    printer.lines.append("}")
+    return "\n".join(printer.lines)
+
+
+def program_to_c(prog: ImpProgram) -> str:
+    """The complete C translation unit for a compiled program."""
+    parts = [_PRELUDE.format()]
+    for fn in prog.functions:
+        parts.append(function_to_c(fn))
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,354 @@
+"""Constant folding / algebraic simplification on the imperative IR.
+
+Convolution weights contain zeros and ±1 (the sobel kernels), and unrolled
+reductions start from a literal 0 — any real backend (the paper's OpenCL
+compiler, or gcc on our emitted C) folds these.  Folding them in the IR
+keeps the cost model's operation counts honest and the emitted code
+readable.
+
+Rules (applied bottom-up until fixpoint):
+    0.0 * x -> 0.0        x * 1.0 -> x         x * -1.0 -> -x
+    0.0 + x -> x          x - 0.0 -> x         c1 op c2 -> c
+    broadcast/shuffle/pack of folded operands fold their children.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.ir import (
+    AllocStmt,
+    Assign,
+    BinOp,
+    Block,
+    Broadcast,
+    Comment,
+    DeclScalar,
+    DeclVec,
+    FConst,
+    For,
+    IConst,
+    IExpr,
+    ImpFunction,
+    ImpProgram,
+    Load,
+    Stmt,
+    Store,
+    UnOp,
+    VLane,
+    VLoad,
+    VPack,
+    VShuffle,
+    VStore,
+    Var,
+)
+
+__all__ = ["fold_program", "fold_expr", "cse_program"]
+
+
+def _const(e: IExpr):
+    if isinstance(e, FConst):
+        return e.value
+    return None
+
+
+def fold_expr(e: IExpr) -> IExpr:
+    if isinstance(e, BinOp):
+        a = fold_expr(e.a)
+        b = fold_expr(e.b)
+        ca, cb = _const(a), _const(b)
+        if e.op == "mul":
+            if ca == 0.0 or cb == 0.0:
+                return FConst(0.0)
+            if ca == 1.0:
+                return b
+            if cb == 1.0:
+                return a
+            if ca == -1.0:
+                return fold_expr(UnOp("neg", b))
+            if cb == -1.0:
+                return fold_expr(UnOp("neg", a))
+            if ca is not None and cb is not None:
+                import numpy as np
+
+                return FConst(float(np.float32(ca) * np.float32(cb)))
+        if e.op == "add":
+            if ca == 0.0:
+                return b
+            if cb == 0.0:
+                return a
+            if ca is not None and cb is not None:
+                import numpy as np
+
+                return FConst(float(np.float32(ca) + np.float32(cb)))
+            # x + (-y)  ->  x - y
+            if isinstance(b, UnOp) and b.op == "neg":
+                return BinOp("sub", a, b.a)
+        if e.op == "sub":
+            if cb == 0.0:
+                return a
+            if ca is not None and cb is not None:
+                import numpy as np
+
+                return FConst(float(np.float32(ca) - np.float32(cb)))
+        return BinOp(e.op, a, b)
+    if isinstance(e, UnOp):
+        a = fold_expr(e.a)
+        ca = _const(a)
+        if e.op == "neg":
+            if ca is not None:
+                return FConst(-ca)
+            if isinstance(a, UnOp) and a.op == "neg":
+                return a.a
+        return UnOp(e.op, a)
+    if isinstance(e, Broadcast):
+        return Broadcast(fold_expr(e.value), e.width)
+    if isinstance(e, VShuffle):
+        return VShuffle(fold_expr(e.a), fold_expr(e.b), e.offset, e.width)
+    if isinstance(e, VPack):
+        return VPack(tuple(fold_expr(l) for l in e.lanes))
+    if isinstance(e, VLane):
+        return VLane(fold_expr(e.vec), fold_expr(e.lane))
+    if isinstance(e, Load):
+        return Load(e.buffer, fold_expr(e.index))
+    if isinstance(e, VLoad):
+        return VLoad(e.buffer, fold_expr(e.index), e.width, e.aligned)
+    return e
+
+
+def _fold_stmt(s: Stmt) -> Stmt:
+    if isinstance(s, Block):
+        return Block([_fold_stmt(x) for x in s.stmts])
+    if isinstance(s, For):
+        return For(s.var, fold_expr(s.extent), _fold_stmt(s.body), s.kind, s.step)
+    if isinstance(s, DeclScalar):
+        return DeclScalar(s.var, fold_expr(s.init) if s.init else None, s.kind)
+    if isinstance(s, DeclVec):
+        return DeclVec(s.var, s.width, fold_expr(s.init) if s.init else None)
+    if isinstance(s, Assign):
+        return Assign(s.var, fold_expr(s.value))
+    if isinstance(s, Store):
+        return Store(s.buffer, fold_expr(s.index), fold_expr(s.value))
+    if isinstance(s, VStore):
+        return VStore(s.buffer, fold_expr(s.index), fold_expr(s.value), s.width, s.aligned)
+    return s
+
+
+def fold_program(prog: ImpProgram) -> ImpProgram:
+    """Return a copy of the program with constant-folded expressions."""
+    functions = [
+        ImpFunction(
+            name=fn.name,
+            inputs=fn.inputs,
+            output=fn.output,
+            size_vars=fn.size_vars,
+            body=_fold_stmt(fn.body),
+            temporaries=fn.temporaries,
+        )
+        for fn in prog.functions
+    ]
+    out = ImpProgram(
+        name=prog.name,
+        functions=functions,
+        size_vars=prog.size_vars,
+        launch_overheads=prog.launch_overheads,
+    )
+    out.vector_fallbacks = getattr(prog, "vector_fallbacks", [])
+    out.size_constraints = getattr(prog, "size_constraints", [])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Block-level common-subexpression elimination
+# ---------------------------------------------------------------------------
+
+
+def _expr_size(e: IExpr) -> int:
+    return 1 + sum(_expr_size(c) for c in e.children())
+
+
+def _loads_of(e: IExpr) -> set[str]:
+    out: set[str] = set()
+
+    def go(x: IExpr) -> None:
+        if isinstance(x, (Load, VLoad)):
+            out.add(x.buffer)
+        for c in x.children():
+            go(c)
+
+    go(e)
+    return out
+
+
+def _is_vector_expr(e: IExpr, vector_vars: set[str]) -> bool:
+    if isinstance(e, (VLoad, Broadcast, VShuffle, VPack)):
+        return True
+    if isinstance(e, Var):
+        return e.name in vector_vars
+    if isinstance(e, (BinOp, UnOp)):
+        return any(_is_vector_expr(c, vector_vars) for c in e.children())
+    return False
+
+
+class _CseState:
+    def __init__(self) -> None:
+        self.counter = 0
+        self.vector_vars: set[str] = set()
+
+    def fresh(self) -> str:
+        self.counter += 1
+        return f"cse{self.counter}"
+
+
+def _cse_segment(stmts: list[Stmt], state: _CseState) -> list[Stmt]:
+    """CSE over a straight-line run of value statements.
+
+    Subexpressions repeated across the segment are hoisted into
+    temporaries — this models what any real backend (LLVM under Halide or
+    the OpenCL compiler under RISE) does, and it is essential for fair
+    operation counts: e.g. a structure-tensor sum referenced by both the
+    determinant and the trace must be computed once.
+
+    Expressions reading a buffer that the segment also writes are left
+    untouched (stores act as barriers for them).
+    """
+    stored: set[str] = set()
+    for s in stmts:
+        if isinstance(s, (Store, VStore)):
+            stored.add(s.buffer)
+
+    counts: dict[IExpr, int] = {}
+
+    def count(e: IExpr) -> None:
+        if isinstance(e, (Var, IConst, FConst)):
+            return
+        counts[e] = counts.get(e, 0) + 1
+        if isinstance(e, (Load, VLoad, VLane)):
+            return  # index expressions stay opaque (integer context)
+        for c in e.children():
+            count(c)
+
+    def exprs_of(s: Stmt):
+        if isinstance(s, (Store, VStore)):
+            yield s.value
+        elif isinstance(s, (Assign,)):
+            yield s.value
+        elif isinstance(s, (DeclScalar, DeclVec)) and s.init is not None:
+            yield s.init
+
+    for s in stmts:
+        for e in exprs_of(s):
+            count(e)
+
+    table: dict[IExpr, str] = {}
+    out: list[Stmt] = []
+
+    def rewrite(e: IExpr) -> IExpr:
+        if isinstance(e, (Var, IConst, FConst)):
+            return e
+        if e in table:
+            return Var(table[e])
+        worth = (
+            counts.get(e, 0) >= 2
+            and _expr_size(e) >= 2
+            and not isinstance(e, Broadcast)
+            and not (_loads_of(e) & stored)
+        )
+        if isinstance(e, (Load, VLoad, VLane)):
+            rebuilt: IExpr = e  # never rewrite inside index expressions
+        else:
+            rebuilt = _rebuild_expr(e, [rewrite(c) for c in e.children()])
+        if worth:
+            name = state.fresh()
+            if _is_vector_expr(rebuilt, state.vector_vars):
+                state.vector_vars.add(name)
+                out.append(DeclVec(name, 4, rebuilt))
+            else:
+                out.append(DeclScalar(name, rebuilt))
+            table[e] = name
+            return Var(name)
+        return rebuilt
+
+    for s in stmts:
+        if isinstance(s, Store):
+            out.append(Store(s.buffer, s.index, rewrite(s.value)))
+        elif isinstance(s, VStore):
+            out.append(VStore(s.buffer, s.index, rewrite(s.value), s.width, s.aligned))
+        elif isinstance(s, Assign):
+            out.append(Assign(s.var, rewrite(s.value)))
+        elif isinstance(s, DeclScalar) and s.init is not None:
+            out.append(DeclScalar(s.var, rewrite(s.init), s.kind))
+        elif isinstance(s, DeclVec) and s.init is not None:
+            state.vector_vars.add(s.var)
+            out.append(DeclVec(s.var, s.width, rewrite(s.init)))
+        else:
+            out.append(s)
+    return out
+
+
+def _cse_stmt(s: Stmt, state: _CseState) -> Stmt:
+    if isinstance(s, Block):
+        new: list[Stmt] = []
+        run: list[Stmt] = []
+
+        def flush() -> None:
+            if run:
+                new.extend(_cse_segment(run, state))
+                run.clear()
+
+        for sub in s.stmts:
+            if isinstance(sub, (Store, VStore, Assign, DeclScalar, DeclVec)):
+                if isinstance(sub, DeclVec):
+                    state.vector_vars.add(sub.var)
+                run.append(sub)
+            else:
+                flush()
+                new.append(_cse_stmt(sub, state))
+        flush()
+        return Block(new)
+    if isinstance(s, For):
+        return For(s.var, s.extent, _cse_stmt(s.body, state), s.kind, s.step)
+    return s
+
+
+def _rebuild_expr(e: IExpr, kids: list[IExpr]) -> IExpr:
+    if isinstance(e, BinOp):
+        return BinOp(e.op, kids[0], kids[1])
+    if isinstance(e, UnOp):
+        return UnOp(e.op, kids[0])
+    if isinstance(e, Load):
+        return Load(e.buffer, kids[0])
+    if isinstance(e, VLoad):
+        return VLoad(e.buffer, kids[0], e.width, e.aligned)
+    if isinstance(e, Broadcast):
+        return Broadcast(kids[0], e.width)
+    if isinstance(e, VShuffle):
+        return VShuffle(kids[0], kids[1], e.offset, e.width)
+    if isinstance(e, VPack):
+        return VPack(tuple(kids))
+    if isinstance(e, VLane):
+        return VLane(kids[0], kids[1])
+    return e
+
+
+def cse_program(prog: ImpProgram) -> ImpProgram:
+    """Apply block-level CSE to every kernel."""
+    state = _CseState()
+    functions = [
+        ImpFunction(
+            name=fn.name,
+            inputs=fn.inputs,
+            output=fn.output,
+            size_vars=fn.size_vars,
+            body=_cse_stmt(fn.body, state),
+            temporaries=fn.temporaries,
+        )
+        for fn in prog.functions
+    ]
+    out = ImpProgram(
+        name=prog.name,
+        functions=functions,
+        size_vars=prog.size_vars,
+        launch_overheads=prog.launch_overheads,
+    )
+    out.vector_fallbacks = getattr(prog, "vector_fallbacks", [])
+    out.size_constraints = getattr(prog, "size_constraints", [])
+    return out

@@ -1,0 +1,55 @@
+"""Numeric resolution of leftover size constraints.
+
+Non-strict type inference leaves equations such as ``32 * k == n`` (chunk
+divisibility) undecided; once concrete image sizes are known they are
+solved here, producing bindings for every size variable a compiled
+program's loop extents and buffer sizes mention.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.nat import Nat, nat
+from repro.codegen.ir import ImpProgram
+
+__all__ = ["resolve_sizes"]
+
+
+def resolve_sizes(prog: ImpProgram, sizes: Mapping[str, int]) -> dict[str, int]:
+    """Extend ``sizes`` with values for inference variables by solving the
+    program's recorded size constraints numerically."""
+    env: dict[str, int] = dict(sizes)
+    constraints: list[tuple[Nat, Nat]] = list(getattr(prog, "size_constraints", []))
+    progress = True
+    while progress and constraints:
+        progress = False
+        remaining = []
+        for a, b in constraints:
+            solved = False
+            for lhs, rhs in ((a, b), (b, a)):
+                unknown = [v for v in sorted(lhs.free_vars()) if v not in env]
+                rhs_known = all(v in env for v in rhs.free_vars())
+                if len(unknown) == 1 and rhs_known and all(
+                    v in env for v in lhs.free_vars() if v != unknown[0]
+                ):
+                    substituted = lhs.substitute(
+                        {v: nat(env[v]) for v in lhs.free_vars() if v != unknown[0]}
+                    )
+                    solution = substituted.solve_for(unknown[0], nat(rhs.evaluate(env)))
+                    if solution is not None and solution.is_constant():
+                        env[unknown[0]] = solution.constant_value()
+                        progress = True
+                        solved = True
+                        break
+            if not solved:
+                remaining.append((a, b))
+        constraints = remaining
+    for a, b in constraints:
+        if not (a.free_vars() | b.free_vars()) <= set(env):
+            raise ValueError(f"unresolved size constraint {a!r} == {b!r}")
+        if a.evaluate(env) != b.evaluate(env):
+            raise ValueError(
+                f"size constraint violated: {a!r} != {b!r} under {env}"
+            )
+    return env

@@ -1,0 +1,179 @@
+"""Views: symbolic array values used during code generation.
+
+High-level RISE patterns such as ``zip``, ``transpose``, ``slide``,
+``join`` and projections are *views*: they do not compute anything, they
+only transform the index at which underlying data is read.  During code
+generation every RISE value is represented as a view tree; only explicit
+low-level patterns (``mapSeq*``, ``reduceSeq*``, ``circularBuffer``,
+``rotateValues``, ``toMem``) materialize or iterate.
+
+The index expressions fold constants eagerly so that, e.g., accessing a
+joined 3x3 window at constant position 7 becomes row 2 / column 1 rather
+than a division at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Union
+
+from repro.nat import Nat, nat
+from repro.codegen.ir import BinOp, IConst, IExpr, NatE, Var
+
+__all__ = [
+    "View",
+    "ScalarV",
+    "PairV",
+    "FunV",
+    "ArrV",
+    "CodegenError",
+    "idx_add",
+    "idx_sub",
+    "idx_mul",
+    "idx_mod",
+    "idx_div",
+    "nat_expr",
+]
+
+
+class CodegenError(Exception):
+    """Raised when a RISE program cannot be translated to imperative code."""
+
+
+# ---------------------------------------------------------------------------
+# Index arithmetic with eager constant folding
+# ---------------------------------------------------------------------------
+
+
+def nat_expr(n: Union[Nat, int]) -> IExpr:
+    """Lift a (symbolic) size into an index expression."""
+    if isinstance(n, int):
+        return IConst(n)
+    if n.is_constant():
+        return IConst(n.constant_value())
+    return NatE(n)
+
+
+def _const_of(e: IExpr) -> int | None:
+    if isinstance(e, IConst):
+        return e.value
+    if isinstance(e, NatE) and e.value.is_constant():
+        return e.value.constant_value()
+    return None
+
+
+def idx_add(a: IExpr, b: IExpr) -> IExpr:
+    ca, cb = _const_of(a), _const_of(b)
+    if ca == 0:
+        return b
+    if cb == 0:
+        return a
+    if ca is not None and cb is not None:
+        return IConst(ca + cb)
+    if isinstance(a, NatE) and isinstance(b, NatE):
+        return nat_expr(a.value + b.value)
+    return BinOp("add", a, b)
+
+
+def idx_sub(a: IExpr, b: IExpr) -> IExpr:
+    ca, cb = _const_of(a), _const_of(b)
+    if cb == 0:
+        return a
+    if ca is not None and cb is not None:
+        return IConst(ca - cb)
+    if isinstance(a, NatE) and isinstance(b, NatE):
+        return nat_expr(a.value - b.value)
+    return BinOp("sub", a, b)
+
+
+def idx_mul(a: IExpr, b: IExpr) -> IExpr:
+    ca, cb = _const_of(a), _const_of(b)
+    if ca == 0 or cb == 0:
+        return IConst(0)
+    if ca == 1:
+        return b
+    if cb == 1:
+        return a
+    if ca is not None and cb is not None:
+        return IConst(ca * cb)
+    if isinstance(a, NatE) and isinstance(b, NatE):
+        return nat_expr(a.value * b.value)
+    return BinOp("mul", a, b)
+
+
+def idx_mod(a: IExpr, b: IExpr) -> IExpr:
+    ca, cb = _const_of(a), _const_of(b)
+    if ca is not None and cb is not None and cb != 0:
+        return IConst(ca % cb)
+    if cb == 1:
+        return IConst(0)
+    return BinOp("mod", a, b)
+
+
+def idx_div(a: IExpr, b: IExpr) -> IExpr:
+    ca, cb = _const_of(a), _const_of(b)
+    if ca is not None and cb is not None and cb != 0:
+        return IConst(ca // cb)
+    if cb == 1:
+        return a
+    return BinOp("idiv", a, b)
+
+
+# ---------------------------------------------------------------------------
+# Views
+# ---------------------------------------------------------------------------
+
+
+class View:
+    """Base class of code-generation values."""
+
+
+@dataclass
+class ScalarV(View):
+    """A scalar (or SIMD-vector) value: an imperative expression."""
+
+    expr: IExpr
+
+
+@dataclass
+class PairV(View):
+    fst: View
+    snd: View
+
+
+@dataclass
+class FunV(View):
+    """A function value: applying it may emit statements into the current
+    block (e.g. for reductions in its body)."""
+
+    fn: Callable[[View], View]
+
+    def __call__(self, arg: View) -> View:
+        return self.fn(arg)
+
+
+@dataclass
+class ArrV(View):
+    """An array value: a size plus an indexing function.
+
+    ``at`` takes an index *expression*; constant indices fold through the
+    view tree down to constant buffer offsets.
+    """
+
+    size: Nat
+    at_fn: Callable[[IExpr], View]
+
+    def at(self, index: IExpr) -> View:
+        return self.at_fn(index)
+
+    def at_const(self, index: int) -> View:
+        return self.at_fn(IConst(index))
+
+
+def project(view: View, path: tuple[int, ...]) -> View:
+    """Project a component out of nested pairs (0 = fst, 1 = snd)."""
+    for step in path:
+        if not isinstance(view, PairV):
+            raise CodegenError(f"cannot project component of {type(view).__name__}")
+        view = view.fst if step == 0 else view.snd
+    return view

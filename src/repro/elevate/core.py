@@ -1,0 +1,370 @@
+"""The ELEVATE strategy language (paper section II-C).
+
+A *strategy* is a function from a RISE expression to a rewrite result: it
+either succeeds with a transformed expression or fails.  Strategies compose:
+
+* ``seq(s, t)``      — ``s ; t``   : perform ``t`` on the result of ``s``
+* ``lchoice(s, t)``  — ``s <+ t``  : perform ``t`` if ``s`` fails
+* ``try_(s)``        — do nothing when ``s`` fails
+* ``repeat(s)``      — apply ``s`` until it fails
+
+Operator sugar: ``s >> t`` is ``seq``, ``s | t`` is left choice.
+
+Traversals control *where* a strategy applies:
+
+* ``one(s)``      — first child where ``s`` succeeds
+* ``all_(s)``     — every child (fails if any child fails)
+* ``some(s)``     — every child where it succeeds (at least one)
+* ``top_down(s)`` — depth-first, first location that succeeds (the paper's
+  ``applyOnce``)
+* ``bottom_up(s)``— innermost location first
+* ``normalize(s)``— apply everywhere repeatedly until no location remains
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from repro.rise.expr import Expr
+from repro.rise.traverse import children, rebuild
+
+__all__ = [
+    "RewriteResult",
+    "Success",
+    "Failure",
+    "Strategy",
+    "rule",
+    "id_",
+    "fail",
+    "seq",
+    "lchoice",
+    "try_",
+    "repeat",
+    "one",
+    "all_",
+    "some",
+    "top_down",
+    "bottom_up",
+    "all_top_down",
+    "normalize",
+    "apply_once",
+    "body",
+    "function",
+    "argument",
+    "RewriteTrace",
+    "StrategyError",
+]
+
+_MAX_REPEAT = 100_000
+
+
+class StrategyError(Exception):
+    """Raised when a strategy that must succeed fails, or on runaway rewriting."""
+
+
+@dataclass(frozen=True)
+class RewriteResult:
+    pass
+
+
+@dataclass(frozen=True)
+class Success(RewriteResult):
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Failure(RewriteResult):
+    strategy: "Strategy"
+    reason: str = ""
+
+
+class Strategy:
+    """A named rewrite strategy: ``Expr -> Success | Failure``."""
+
+    def __init__(self, fn: Callable[[Expr], RewriteResult], name: str):
+        self._fn = fn
+        self.name = name
+
+    def __call__(self, expr: Expr) -> RewriteResult:
+        return self._fn(expr)
+
+    def apply(self, expr: Expr) -> Expr:
+        """Apply, raising :class:`StrategyError` on failure."""
+        result = self(expr)
+        if isinstance(result, Success):
+            return result.expr
+        assert isinstance(result, Failure)
+        raise StrategyError(
+            f"strategy {self.name!r} failed"
+            + (f" ({result.reason})" if result.reason else "")
+        )
+
+    # -- combinator sugar ------------------------------------------------
+
+    def __rshift__(self, other: "Strategy") -> "Strategy":
+        return seq(self, other)
+
+    def __or__(self, other: "Strategy") -> "Strategy":
+        return lchoice(self, other)
+
+    def __repr__(self) -> str:
+        return f"<strategy {self.name}>"
+
+
+def rule(name: str):
+    """Decorator turning ``Expr -> Expr | None`` into a rewrite-rule strategy."""
+
+    def decorator(fn: Callable[[Expr], Optional[Expr]]) -> Strategy:
+        def run(expr: Expr) -> RewriteResult:
+            out = fn(expr)
+            if out is None:
+                return Failure(strategy, "pattern did not match")
+            return Success(out)
+
+        strategy = Strategy(run, name)
+        return strategy
+
+    return decorator
+
+
+# ---------------------------------------------------------------------------
+# Basic combinators
+# ---------------------------------------------------------------------------
+
+id_ = Strategy(lambda e: Success(e), "id")
+fail = Strategy(lambda e: Failure(fail, "fail"), "fail")
+
+
+def seq(first: Strategy, second: Strategy) -> Strategy:
+    def run(expr: Expr) -> RewriteResult:
+        result = first(expr)
+        if isinstance(result, Failure):
+            return result
+        return second(result.expr)
+
+    return Strategy(run, f"({first.name} ; {second.name})")
+
+
+def lchoice(first: Strategy, second: Strategy) -> Strategy:
+    def run(expr: Expr) -> RewriteResult:
+        result = first(expr)
+        if isinstance(result, Success):
+            return result
+        return second(expr)
+
+    return Strategy(run, f"({first.name} <+ {second.name})")
+
+
+def try_(strategy: Strategy) -> Strategy:
+    return Strategy(
+        lambda e: lchoice(strategy, id_)(e),
+        f"try({strategy.name})",
+    )
+
+
+def repeat(strategy: Strategy) -> Strategy:
+    def run(expr: Expr) -> RewriteResult:
+        for _ in range(_MAX_REPEAT):
+            result = strategy(expr)
+            if isinstance(result, Failure):
+                return Success(expr)
+            if result.expr is expr:
+                # Strategy succeeded without changing the term; stop rather
+                # than loop forever.
+                return Success(expr)
+            expr = result.expr
+        raise StrategyError(f"repeat({strategy.name}) exceeded {_MAX_REPEAT} steps")
+
+    return Strategy(run, f"repeat({strategy.name})")
+
+
+# ---------------------------------------------------------------------------
+# Traversals
+# ---------------------------------------------------------------------------
+
+
+def one(strategy: Strategy) -> Strategy:
+    """Apply to exactly one child — the first where the strategy succeeds."""
+
+    def run(expr: Expr) -> RewriteResult:
+        kids = children(expr)
+        for index, kid in enumerate(kids):
+            result = strategy(kid)
+            if isinstance(result, Success):
+                new_kids = list(kids)
+                new_kids[index] = result.expr
+                return Success(rebuild(expr, new_kids))
+        return Failure(wrapper, "no child matched")
+
+    wrapper = Strategy(run, f"one({strategy.name})")
+    return wrapper
+
+
+def all_(strategy: Strategy) -> Strategy:
+    """Apply to all children; fail if it fails on any child."""
+
+    def run(expr: Expr) -> RewriteResult:
+        kids = children(expr)
+        new_kids: list[Expr] = []
+        for kid in kids:
+            result = strategy(kid)
+            if isinstance(result, Failure):
+                return Failure(wrapper, "a child failed")
+            new_kids.append(result.expr)
+        return Success(rebuild(expr, new_kids))
+
+    wrapper = Strategy(run, f"all({strategy.name})")
+    return wrapper
+
+
+def some(strategy: Strategy) -> Strategy:
+    """Apply to every child where it succeeds; fail if none succeeds."""
+
+    def run(expr: Expr) -> RewriteResult:
+        kids = children(expr)
+        new_kids: list[Expr] = []
+        succeeded = False
+        for kid in kids:
+            result = strategy(kid)
+            if isinstance(result, Success):
+                succeeded = True
+                new_kids.append(result.expr)
+            else:
+                new_kids.append(kid)
+        if not succeeded:
+            return Failure(wrapper, "no child matched")
+        return Success(rebuild(expr, new_kids))
+
+    wrapper = Strategy(run, f"some({strategy.name})")
+    return wrapper
+
+
+def top_down(strategy: Strategy) -> Strategy:
+    """Depth-first top-down; rewrite the first location that matches."""
+
+    def run(expr: Expr) -> RewriteResult:
+        result = strategy(expr)
+        if isinstance(result, Success):
+            return result
+        return one(wrapper)(expr)
+
+    wrapper = Strategy(run, f"topDown({strategy.name})")
+    return wrapper
+
+
+def bottom_up(strategy: Strategy) -> Strategy:
+    """Innermost-first; rewrite the first location that matches."""
+
+    def run(expr: Expr) -> RewriteResult:
+        result = one(wrapper)(expr)
+        if isinstance(result, Success):
+            return result
+        return strategy(expr)
+
+    wrapper = Strategy(run, f"bottomUp({strategy.name})")
+    return wrapper
+
+
+def all_top_down(strategy: Strategy) -> Strategy:
+    """Try the strategy at every node in one pass (pre-order), keeping going
+    whether or not it succeeds; succeeds always."""
+
+    def run(expr: Expr) -> RewriteResult:
+        result = strategy(expr)
+        current = result.expr if isinstance(result, Success) else expr
+        kids = children(current)
+        if kids:
+            new_kids = []
+            for kid in kids:
+                kid_result = run(kid)
+                assert isinstance(kid_result, Success)
+                new_kids.append(kid_result.expr)
+            current = rebuild(current, new_kids)
+        return Success(current)
+
+    wrapper = Strategy(run, f"allTopDown({strategy.name})")
+    return wrapper
+
+
+def normalize(strategy: Strategy) -> Strategy:
+    """Apply everywhere, repeatedly, until no location matches (paper §II-C:
+    after ``normalize(s)`` the strategy ``s`` applies nowhere)."""
+    return Strategy(
+        lambda e: repeat(top_down(strategy))(e),
+        f"normalize({strategy.name})",
+    )
+
+
+def apply_once(strategy: Strategy) -> Strategy:
+    """The paper's ``applyOnce``: depth-first top-down, first location."""
+    wrapped = top_down(strategy)
+    return Strategy(wrapped, f"applyOnce({strategy.name})")
+
+
+# -- position-restricted traversals ------------------------------------
+
+
+def body(strategy: Strategy) -> Strategy:
+    """Apply inside a lambda body."""
+    from repro.rise.expr import Lambda
+
+    def run(expr: Expr) -> RewriteResult:
+        if not isinstance(expr, Lambda):
+            return Failure(wrapper, "not a lambda")
+        result = strategy(expr.body)
+        if isinstance(result, Failure):
+            return result
+        return Success(Lambda(expr.param, result.expr))
+
+    wrapper = Strategy(run, f"body({strategy.name})")
+    return wrapper
+
+
+def function(strategy: Strategy) -> Strategy:
+    """Apply to the function position of an application."""
+    from repro.rise.expr import App
+
+    def run(expr: Expr) -> RewriteResult:
+        if not isinstance(expr, App):
+            return Failure(wrapper, "not an application")
+        result = strategy(expr.fun)
+        if isinstance(result, Failure):
+            return result
+        return Success(App(result.expr, expr.arg))
+
+    wrapper = Strategy(run, f"function({strategy.name})")
+    return wrapper
+
+
+def argument(strategy: Strategy) -> Strategy:
+    """Apply to the argument position of an application."""
+    from repro.rise.expr import App
+
+    def run(expr: Expr) -> RewriteResult:
+        if not isinstance(expr, App):
+            return Failure(wrapper, "not an application")
+        result = strategy(expr.arg)
+        if isinstance(result, Failure):
+            return result
+        return Success(App(expr.fun, result.expr))
+
+    wrapper = Strategy(run, f"argument({strategy.name})")
+    return wrapper
+
+
+class RewriteTrace:
+    """Records each successful top-level strategy application, for debugging
+    and for the examples that show the derivation steps."""
+
+    def __init__(self) -> None:
+        self.steps: list[tuple[str, Expr, Expr]] = []
+
+    def wrap(self, strategy: Strategy) -> Strategy:
+        def run(expr: Expr) -> RewriteResult:
+            result = strategy(expr)
+            if isinstance(result, Success) and result.expr is not expr:
+                self.steps.append((strategy.name, expr, result.expr))
+            return result
+
+        return Strategy(run, strategy.name)

@@ -1,0 +1,96 @@
+"""Compile emitted C with the host compiler and run it via ctypes.
+
+This is the true end-to-end path: RISE -> rewriting -> imperative IR ->
+C source -> machine code -> execution on real buffers.  Used by the
+integration tests (skipped automatically when no C compiler is present).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.codegen.cprint import _c_ident, _collect_size_vars, program_to_c
+from repro.codegen.ir import ImpProgram
+from repro.codegen.sizes import resolve_sizes
+
+__all__ = ["have_c_compiler", "run_program_c"]
+
+
+def have_c_compiler() -> bool:
+    return shutil.which("gcc") is not None or shutil.which("cc") is not None
+
+
+def _compiler() -> str:
+    return shutil.which("gcc") or shutil.which("cc") or "gcc"
+
+
+def run_program_c(
+    prog: ImpProgram,
+    sizes: Mapping[str, int],
+    inputs: Mapping[str, np.ndarray],
+    extra_flags: tuple[str, ...] = ("-O2",),
+) -> np.ndarray:
+    """Compile the program to a shared library, execute every kernel in
+    order, and return the final (unpadded) output buffer."""
+    from repro.codegen.lower import BUFFER_PAD
+
+    sizes = resolve_sizes(prog, sizes)
+    source = program_to_c(prog)
+    with tempfile.TemporaryDirectory(prefix="repro_c_") as tmp:
+        c_path = Path(tmp) / "kernel.c"
+        so_path = Path(tmp) / "kernel.so"
+        c_path.write_text(source)
+        cmd = [
+            _compiler(),
+            "-shared",
+            "-fPIC",
+            "-std=c11",
+            *extra_flags,
+            "-o",
+            str(so_path),
+            str(c_path),
+            "-lm",
+        ]
+        subprocess.run(cmd, check=True, capture_output=True)
+        lib = ctypes.CDLL(str(so_path))
+
+        produced: dict[str, np.ndarray] = {}
+        result: np.ndarray | None = None
+        for fn in prog.functions:
+            cfn = getattr(lib, fn.name)
+            size_vars = _collect_size_vars(fn)
+            argtypes = [ctypes.c_int] * len(size_vars)
+            call_args: list = [int(sizes[v]) for v in size_vars]
+            arrays: list[np.ndarray] = []
+            for b in fn.inputs:
+                size = int(b.size.evaluate(sizes))
+                if b.name in produced:
+                    data = produced[b.name]
+                elif b.name in inputs:
+                    data = np.asarray(inputs[b.name], dtype=np.float32).ravel()
+                else:
+                    raise KeyError(f"no input for buffer {b.name!r}")
+                buf = np.zeros(size + BUFFER_PAD, dtype=np.float32)
+                buf[: min(len(data), size)] = data[:size]
+                arrays.append(buf)
+                argtypes.append(ctypes.POINTER(ctypes.c_float))
+                call_args.append(buf.ctypes.data_as(ctypes.POINTER(ctypes.c_float)))
+            out_size = int(fn.output.size.evaluate(sizes))
+            out = np.zeros(out_size + BUFFER_PAD, dtype=np.float32)
+            argtypes.append(ctypes.POINTER(ctypes.c_float))
+            call_args.append(out.ctypes.data_as(ctypes.POINTER(ctypes.c_float)))
+            cfn.argtypes = argtypes
+            cfn.restype = None
+            cfn(*call_args)
+            result = out[:out_size]
+            produced[fn.name] = result
+            produced[fn.output.name] = result
+        assert result is not None
+        return result

@@ -1,0 +1,232 @@
+"""Execute imperative programs by compiling them to Python/numpy source.
+
+This is the reference runtime of the reproduction: every compiled pipeline
+(RISE schedules, mini-Halide, OpenCV baseline, LIFT preset) is executed
+through it on real images and validated against the numpy reference — the
+role the POCL OpenCL runtime plays in the paper's artifact.
+
+Vector operations map onto numpy slices, so the generated code exercises
+the same structure (strip loops, unaligned window loads, shuffles,
+rotating registers) the C backend emits.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.codegen.ir import (
+    AllocStmt,
+    Assign,
+    BinOp,
+    Block,
+    Broadcast,
+    Comment,
+    DeclScalar,
+    DeclVec,
+    FConst,
+    For,
+    IConst,
+    IExpr,
+    ImpFunction,
+    ImpProgram,
+    Load,
+    NatE,
+    ScalarKind,
+    Stmt,
+    Store,
+    UnOp,
+    VLane,
+    VLoad,
+    VPack,
+    VShuffle,
+    VStore,
+    Var,
+)
+
+__all__ = ["run_program", "program_to_python"]
+
+
+class _Emitter:
+    def __init__(self, sizes: Mapping[str, int]):
+        self.sizes = dict(sizes)
+        self.lines: list[str] = []
+        self.indent = 1
+
+    def line(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def nat(self, n) -> int:
+        return int(n.evaluate(self.sizes))
+
+    def expr(self, e: IExpr) -> str:
+        if isinstance(e, IConst):
+            return str(e.value)
+        if isinstance(e, FConst):
+            return f"f32({e.value!r})"
+        if isinstance(e, NatE):
+            return str(self.nat(e.value))
+        if isinstance(e, Var):
+            return e.name
+        if isinstance(e, Load):
+            return f"{e.buffer}[{self.expr(e.index)}]"
+        if isinstance(e, VLoad):
+            i = self.expr(e.index)
+            return f"{e.buffer}[{i}:{i}+{e.width}]"
+        if isinstance(e, Broadcast):
+            return f"np.full({e.width}, {self.expr(e.value)}, dtype=np.float32)"
+        if isinstance(e, VShuffle):
+            a, b = self.expr(e.a), self.expr(e.b)
+            return f"np.concatenate(({a}, {b}))[{e.offset}:{e.offset}+{e.width}]"
+        if isinstance(e, VPack):
+            lanes = ", ".join(self.expr(l) for l in e.lanes)
+            return f"np.array([{lanes}], dtype=np.float32)"
+        if isinstance(e, VLane):
+            return f"{self.expr(e.vec)}[{self.expr(e.lane)}]"
+        if isinstance(e, BinOp):
+            a, b = self.expr(e.a), self.expr(e.b)
+            ops = {
+                "add": f"({a} + {b})",
+                "sub": f"({a} - {b})",
+                "mul": f"({a} * {b})",
+                "div": f"({a} / {b})",
+                "min": f"np.minimum({a}, {b})",
+                "max": f"np.maximum({a}, {b})",
+                "mod": f"({a} % {b})",
+                "idiv": f"({a} // {b})",
+            }
+            return ops[e.op]
+        if isinstance(e, UnOp):
+            a = self.expr(e.a)
+            return {
+                "neg": f"(-{a})",
+                "abs": f"np.abs({a})",
+                "sqrt": f"np.sqrt({a})",
+            }[e.op]
+        raise TypeError(f"cannot emit {type(e).__name__}")
+
+    def stmt(self, s: Stmt) -> None:
+        if isinstance(s, Block):
+            if not s.stmts:
+                self.line("pass")
+            for sub in s.stmts:
+                self.stmt(sub)
+            return
+        if isinstance(s, Comment):
+            self.line(f"# {s.text}")
+            return
+        if isinstance(s, AllocStmt):
+            size = self.nat(s.buffer.alloc_size())
+            self.line(f"{s.buffer.name} = np.zeros({size}, dtype=np.float32)")
+            return
+        if isinstance(s, For):
+            extent = self.expr(s.extent)
+            self.line(f"for {s.var} in range({extent}):")
+            self.indent += 1
+            self.stmt(s.body)
+            if isinstance(s.body, Block) and not s.body.stmts:
+                pass
+            self.indent -= 1
+            return
+        if isinstance(s, DeclScalar):
+            init = self.expr(s.init) if s.init is not None else "f32(0.0)"
+            if s.kind is ScalarKind.I32:
+                self.line(f"{s.var} = int({init})")
+            else:
+                self.line(f"{s.var} = {init}")
+            return
+        if isinstance(s, DeclVec):
+            init = (
+                self.expr(s.init)
+                if s.init is not None
+                else f"np.zeros({s.width}, dtype=np.float32)"
+            )
+            self.line(f"{s.var} = _vinit({init}, {s.width})")
+            return
+        if isinstance(s, Assign):
+            self.line(f"{s.var} = {self.expr(s.value)}")
+            return
+        if isinstance(s, Store):
+            self.line(f"{s.buffer}[{self.expr(s.index)}] = {self.expr(s.value)}")
+            return
+        if isinstance(s, VStore):
+            i = self.expr(s.index)
+            self.line(
+                f"{s.buffer}[{i}:{i}+{s.width}] = {self.expr(s.value)}"
+            )
+            return
+        raise TypeError(f"cannot emit statement {type(s).__name__}")
+
+
+def function_to_python(fn: ImpFunction, sizes: Mapping[str, int]) -> str:
+    emitter = _Emitter(sizes)
+    out_name = fn.output.name
+    params = ", ".join(b.name for b in fn.inputs) + (", " if fn.inputs else "") + out_name
+    emitter.lines.append(f"def {fn.name}({params}):")
+    emitter.stmt(fn.body)
+    emitter.line(f"return {out_name}")
+    return "\n".join(emitter.lines)
+
+
+def program_to_python(prog: ImpProgram, sizes: Mapping[str, int]) -> str:
+    """Full program source (one Python function per kernel)."""
+    return "\n\n".join(function_to_python(fn, sizes) for fn in prog.functions)
+
+
+def run_program(
+    prog: ImpProgram,
+    sizes: Mapping[str, int],
+    inputs: Mapping[str, np.ndarray],
+    intermediates: Mapping[str, tuple] | None = None,
+) -> np.ndarray:
+    """Execute a compiled program.
+
+    ``inputs`` maps input buffer names to numpy arrays (any shape; they
+    are flattened into padded float32 buffers).  Multi-kernel programs
+    execute in order; a kernel whose input name matches an earlier
+    kernel's name reads that kernel's output (the convention used by the
+    library/LIFT baselines).
+
+    Returns the final output buffer (flat, unpadded length).
+    """
+    from repro.codegen.lower import BUFFER_PAD
+    from repro.codegen.sizes import resolve_sizes
+
+    sizes = resolve_sizes(prog, sizes)
+
+    def _vinit(value, width):
+        arr = np.asarray(value, dtype=np.float32)
+        if arr.ndim == 0:
+            return np.full(width, arr, dtype=np.float32)
+        return arr.copy()
+
+    namespace: dict = {"np": np, "f32": np.float32, "_vinit": _vinit}
+    produced: dict[str, np.ndarray] = {}
+
+    def padded(buf_name: str, size: int) -> np.ndarray:
+        if buf_name in produced:
+            data = produced[buf_name]
+        elif buf_name in inputs:
+            data = np.asarray(inputs[buf_name], dtype=np.float32).ravel()
+        else:
+            raise KeyError(f"no input for buffer {buf_name!r}")
+        out = np.zeros(size + BUFFER_PAD, dtype=np.float32)
+        out[: min(len(data), size)] = data[:size]
+        return out
+
+    result: np.ndarray | None = None
+    for fn in prog.functions:
+        source = function_to_python(fn, sizes)
+        exec(compile(source, f"<{fn.name}>", "exec"), namespace)
+        args = []
+        for b in fn.inputs:
+            args.append(padded(b.name, int(b.size.evaluate(sizes))))
+        out_size = int(fn.output.size.evaluate(sizes))
+        out = np.zeros(out_size + BUFFER_PAD, dtype=np.float32)
+        namespace[fn.name](*args, out)
+        result = out[:out_size]
+        produced[fn.name] = result
+        produced[fn.output.name] = result
+    assert result is not None
+    return result

@@ -1,0 +1,208 @@
+"""A miniature Halide: functional image definitions plus a schedule API.
+
+Implements the subset of Halide needed to express the paper's reference
+Harris algorithm and its optimized schedule (listing 4):
+
+* pure function definitions over 2-d (x, y) domains with constant-offset
+  accesses (stencils) and references to multi-channel input images;
+* schedule directives ``split``, ``parallel``, ``vectorize``,
+  ``compute_at``, ``store_at`` (with storage folding along y, i.e.
+  circular line buffers), ``compute_with`` and (default) inlining.
+
+The lowering in :mod:`repro.halide.lower` targets the same imperative IR
+as the RISE compiler, so the Halide baseline is executed and costed by
+exactly the same machinery.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+__all__ = ["HVar", "HExpr", "HConst", "HBin", "ImageRef", "FuncRef", "Func", "ImageParam"]
+
+_counter = itertools.count()
+
+
+class HExpr:
+    """Base class of mini-Halide expressions."""
+
+    def __add__(self, other):
+        return HBin("add", self, _wrap(other))
+
+    def __radd__(self, other):
+        return HBin("add", _wrap(other), self)
+
+    def __sub__(self, other):
+        return HBin("sub", self, _wrap(other))
+
+    def __rsub__(self, other):
+        return HBin("sub", _wrap(other), self)
+
+    def __mul__(self, other):
+        return HBin("mul", self, _wrap(other))
+
+    def __rmul__(self, other):
+        return HBin("mul", _wrap(other), self)
+
+    def __truediv__(self, other):
+        return HBin("div", self, _wrap(other))
+
+
+def _wrap(v) -> "HExpr":
+    if isinstance(v, HExpr):
+        return v
+    if isinstance(v, (int, float)):
+        return HConst(float(v))
+    raise TypeError(f"cannot use {v!r} in a Halide expression")
+
+
+@dataclass(frozen=True)
+class HConst(HExpr):
+    value: float
+
+
+@dataclass(frozen=True)
+class HVar(HExpr):
+    """A dimension variable (x, y) or a scheduled loop variable (yo, yi)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class HBin(HExpr):
+    op: str
+    a: HExpr
+    b: HExpr
+
+
+@dataclass(frozen=True)
+class ImageRef(HExpr):
+    """A read of an input image: image[channel][y + dy][x + dx]."""
+
+    image: "ImageParam"
+    channel: int
+    dx: int
+    dy: int
+
+
+@dataclass(frozen=True)
+class FuncRef(HExpr):
+    """A call to another Func at (x + dx, y + dy)."""
+
+    func: "Func"
+    dx: int
+    dy: int
+
+
+@dataclass
+class ImageParam:
+    """A planar float32 input image with ``channels`` planes."""
+
+    name: str
+    channels: int = 1
+
+    def __getitem__(self, key) -> "_ImageChannel":
+        return _ImageChannel(self, key)
+
+
+class _ImageChannel:
+    def __init__(self, image: ImageParam, channel: int):
+        self.image = image
+        self.channel = channel
+
+    def __call__(self, x_expr, y_expr) -> ImageRef:
+        dx = _offset_of(x_expr, "x")
+        dy = _offset_of(y_expr, "y")
+        return ImageRef(self.image, self.channel, dx, dy)
+
+
+def _offset_of(expr, dim_name: str) -> int:
+    """Parse ``x``, ``x + c`` or ``x - c`` into the constant offset c."""
+    if isinstance(expr, HVar):
+        if expr.name != dim_name:
+            raise ValueError(f"expected {dim_name}, got {expr.name}")
+        return 0
+    if isinstance(expr, HBin) and isinstance(expr.a, HVar) and isinstance(expr.b, HConst):
+        if expr.a.name != dim_name:
+            raise ValueError(f"expected {dim_name}, got {expr.a.name}")
+        if expr.op == "add":
+            return int(expr.b.value)
+        if expr.op == "sub":
+            return -int(expr.b.value)
+    if isinstance(expr, HBin) and isinstance(expr.b, HVar) and isinstance(expr.a, HConst):
+        if expr.op == "add" and expr.b.name == dim_name:
+            return int(expr.a.value)
+    raise ValueError(f"unsupported index expression for {dim_name}: {expr!r}")
+
+
+@dataclass
+class _Schedule:
+    split_factor: Optional[int] = None  # split y into (yo, yi)
+    parallel_outer: bool = False
+    vectorize_width: Optional[int] = None
+    compute_at: Optional[tuple["Func", str]] = None  # (consumer, "yi")
+    store_at: Optional[tuple["Func", str]] = None  # (consumer, "yo")
+    compute_with: Optional["Func"] = None  # fused sibling (this computes inside sibling's loop)
+
+
+class Func(HExpr):
+    """A pure 2-d image function with an optional schedule."""
+
+    def __init__(self, name: str | None = None):
+        self.name = name or f"f{next(_counter)}"
+        self.expr: Optional[HExpr] = None
+        self.schedule = _Schedule()
+
+    # -- definition ------------------------------------------------------
+
+    def __call__(self, x_expr, y_expr) -> FuncRef:
+        return FuncRef(self, _offset_of(x_expr, "x"), _offset_of(y_expr, "y"))
+
+    def define(self, expr: HExpr) -> "Func":
+        if self.expr is not None:
+            raise ValueError(f"{self.name} already defined")
+        self.expr = _wrap(expr)
+        return self
+
+    def __setitem__(self, key, value) -> None:
+        # func[x, y] = expr
+        self.define(value)
+
+    # -- schedule (chainable, mirroring Halide's API) ---------------------
+
+    def split(self, _y, _yo, _yi, factor: int) -> "Func":
+        self.schedule.split_factor = factor
+        return self
+
+    def parallel(self, _yo) -> "Func":
+        self.schedule.parallel_outer = True
+        return self
+
+    def vectorize(self, _x, width: int) -> "Func":
+        self.schedule.vectorize_width = width
+        return self
+
+    def compute_at(self, consumer: "Func", _level) -> "Func":
+        self.schedule.compute_at = (consumer, "yi")
+        return self
+
+    def store_at(self, consumer: "Func", _level) -> "Func":
+        self.schedule.store_at = (consumer, "yo")
+        return self
+
+    def compute_with(self, sibling: "Func", _dim) -> "Func":
+        self.schedule.compute_with = sibling
+        return self
+
+    def compute_root(self) -> "Func":
+        self.schedule.compute_at = None
+        return self
+
+    @property
+    def is_scheduled(self) -> bool:
+        return self.schedule.compute_at is not None
+
+    def __repr__(self) -> str:
+        return f"<Func {self.name}>"

@@ -1,0 +1,5 @@
+"""Reference implementations, synthetic data and output metrics."""
+
+from repro.image.data import ImageSpec, PAPER_IMAGE_LARGE, PAPER_IMAGE_SMALL, synthetic_rgb
+from repro.image.metrics import PSNR_THRESHOLD_DB, mse, psnr
+from repro.image import reference

@@ -1,0 +1,106 @@
+"""Pure-numpy reference implementations of the image pipeline operators.
+
+These are the gold standard every compiled implementation is validated
+against (the paper validates against Halide's output via PSNR; here the
+numpy forms play that role, and the mini-Halide output is itself checked
+against them).
+
+Conventions follow the paper's Harris variant (from the Halide repository):
+no border padding — each 3x3 stencil shrinks the image by 2 in both
+dimensions, so a [3][n+4][m+4] input produces an [n][m] output.
+All arithmetic is float32, matching the generated code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "GRAY_WEIGHTS",
+    "SOBEL_X",
+    "SOBEL_Y",
+    "SOBEL_X_VERTICAL",
+    "SOBEL_X_HORIZONTAL",
+    "SOBEL_Y_VERTICAL",
+    "SOBEL_Y_HORIZONTAL",
+    "SUM_3X3",
+    "HARRIS_KAPPA",
+    "grayscale",
+    "conv2d_valid",
+    "sobel_x",
+    "sobel_y",
+    "sum3x3",
+    "coarsity",
+    "harris",
+]
+
+GRAY_WEIGHTS = np.array([0.299, 0.587, 0.114], dtype=np.float32)
+
+SOBEL_X = np.array(
+    [[-1.0, 0.0, 1.0], [-2.0, 0.0, 2.0], [-1.0, 0.0, 1.0]], dtype=np.float32
+)
+SOBEL_Y = SOBEL_X.T.copy()
+
+# Separable decompositions (section IV-B): W = column_vector @ row_vector.
+SOBEL_X_VERTICAL = np.array([1.0, 2.0, 1.0], dtype=np.float32)
+SOBEL_X_HORIZONTAL = np.array([-1.0, 0.0, 1.0], dtype=np.float32)
+SOBEL_Y_VERTICAL = np.array([-1.0, 0.0, 1.0], dtype=np.float32)
+SOBEL_Y_HORIZONTAL = np.array([1.0, 2.0, 1.0], dtype=np.float32)
+
+SUM_3X3 = np.ones((3, 3), dtype=np.float32)
+
+HARRIS_KAPPA = np.float32(0.04)
+
+
+def grayscale(rgb: np.ndarray) -> np.ndarray:
+    """[3][h][w] planar RGB -> [h][w] luminance."""
+    rgb = np.asarray(rgb, dtype=np.float32)
+    if rgb.ndim != 3 or rgb.shape[0] != 3:
+        raise ValueError(f"expected [3][h][w] planar RGB, got shape {rgb.shape}")
+    return np.tensordot(GRAY_WEIGHTS, rgb, axes=(0, 0)).astype(np.float32)
+
+
+def conv2d_valid(image: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """'valid' 2-d correlation (no padding; output shrinks by kernel-1)."""
+    image = np.asarray(image, dtype=np.float32)
+    weights = np.asarray(weights, dtype=np.float32)
+    kh, kw = weights.shape
+    windows = np.lib.stride_tricks.sliding_window_view(image, (kh, kw))
+    return np.einsum("ijkl,kl->ij", windows, weights, dtype=np.float32).astype(
+        np.float32
+    )
+
+
+def sobel_x(image: np.ndarray) -> np.ndarray:
+    return conv2d_valid(image, SOBEL_X)
+
+
+def sobel_y(image: np.ndarray) -> np.ndarray:
+    return conv2d_valid(image, SOBEL_Y)
+
+
+def sum3x3(image: np.ndarray) -> np.ndarray:
+    return conv2d_valid(image, SUM_3X3)
+
+
+def coarsity(
+    sxx: np.ndarray, sxy: np.ndarray, syy: np.ndarray, kappa: float = HARRIS_KAPPA
+) -> np.ndarray:
+    """det(M) - kappa * trace(M)^2 for the structure tensor M."""
+    sxx = np.asarray(sxx, dtype=np.float32)
+    sxy = np.asarray(sxy, dtype=np.float32)
+    syy = np.asarray(syy, dtype=np.float32)
+    det = sxx * syy - sxy * sxy
+    trace = sxx + syy
+    return (det - np.float32(kappa) * trace * trace).astype(np.float32)
+
+
+def harris(rgb: np.ndarray, kappa: float = HARRIS_KAPPA) -> np.ndarray:
+    """The full Harris operator: [3][n+4][m+4] RGB -> [n][m] response."""
+    gray = grayscale(rgb)
+    ix = sobel_x(gray)
+    iy = sobel_y(gray)
+    sxx = sum3x3(ix * ix)
+    sxy = sum3x3(ix * iy)
+    syy = sum3x3(iy * iy)
+    return coarsity(sxx, sxy, syy, kappa)

@@ -1,0 +1,27 @@
+"""Symbolic natural-number arithmetic used for RISE array sizes."""
+
+from repro.nat.core import (
+    Nat,
+    NatAtom,
+    NatCeilDiv,
+    NatEvalError,
+    NatFloorDiv,
+    NatMod,
+    NatVar,
+    ceil_div,
+    nat,
+    round_up,
+)
+
+__all__ = [
+    "Nat",
+    "NatAtom",
+    "NatCeilDiv",
+    "NatEvalError",
+    "NatFloorDiv",
+    "NatMod",
+    "NatVar",
+    "ceil_div",
+    "nat",
+    "round_up",
+]

@@ -1,0 +1,482 @@
+"""Symbolic arithmetic over natural numbers.
+
+RISE types contain sizes such as ``[n + 4][m + 4]`` where ``n`` and ``m`` are
+natural-number variables.  Rewrite rules and type inference need to construct,
+simplify, compare and solve such size expressions.  This module implements a
+small computer-algebra layer for them:
+
+* A :class:`Nat` is kept in a *normal form*: an integer-linear combination of
+  monomials, where a monomial is a product of atoms raised to positive integer
+  powers.
+* Atoms are either variables (:class:`NatVar`) or opaque non-polynomial
+  operations (:class:`NatFloorDiv`, :class:`NatCeilDiv`, :class:`NatMod`)
+  whose operands are themselves :class:`Nat` values.
+* Equality of normal forms decides equality of expressions, which is what the
+  type checker relies on.
+
+Subtraction may produce intermediate values with negative coefficients (for
+example ``n - 1``); this is deliberate, since sizes like ``n + m - 1`` appear
+throughout the paper and only need to be non-negative once evaluated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Union
+
+NatLike = Union["Nat", "NatAtom", int, str]
+
+__all__ = [
+    "Nat",
+    "NatAtom",
+    "NatVar",
+    "NatFloorDiv",
+    "NatCeilDiv",
+    "NatMod",
+    "NatEvalError",
+    "nat",
+    "ceil_div",
+]
+
+
+class NatEvalError(Exception):
+    """Raised when a symbolic Nat cannot be evaluated to a concrete integer."""
+
+
+class NatAtom:
+    """Base class of the indivisible building blocks of Nat normal forms."""
+
+    def sort_key(self) -> tuple:
+        raise NotImplementedError
+
+    def free_vars(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping[str, "Nat"]) -> "Nat":
+        raise NotImplementedError
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class NatVar(NatAtom):
+    """A named natural-number variable, e.g. the ``n`` in ``[n]f32``."""
+
+    name: str
+
+    def sort_key(self) -> tuple:
+        return ("var", self.name)
+
+    def free_vars(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def substitute(self, mapping: Mapping[str, "Nat"]) -> "Nat":
+        if self.name in mapping:
+            return Nat.of(mapping[self.name])
+        return Nat.of(self)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise NatEvalError(f"unbound nat variable {self.name!r}") from None
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class _BinAtom(NatAtom):
+    """Shared implementation of opaque binary atoms (div / mod variants)."""
+
+    num: "Nat"
+    den: "Nat"
+
+    _tag = "bin"
+    _symbol = "?"
+
+    def sort_key(self) -> tuple:
+        return (self._tag, self.num.sort_key(), self.den.sort_key())
+
+    def free_vars(self) -> frozenset[str]:
+        return self.num.free_vars() | self.den.free_vars()
+
+    def substitute(self, mapping: Mapping[str, "Nat"]) -> "Nat":
+        return self._rebuild(self.num.substitute(mapping), self.den.substitute(mapping))
+
+    @classmethod
+    def _rebuild(cls, num: "Nat", den: "Nat") -> "Nat":
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"({self.num!r} {self._symbol} {self.den!r})"
+
+
+class NatFloorDiv(_BinAtom):
+    """Opaque floor division: used when exact division does not simplify."""
+
+    _tag = "floordiv"
+    _symbol = "/"
+
+    @classmethod
+    def _rebuild(cls, num: "Nat", den: "Nat") -> "Nat":
+        return num // den
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        den = self.den.evaluate(env)
+        if den == 0:
+            raise NatEvalError(f"division by zero in {self!r}")
+        return self.num.evaluate(env) // den
+
+
+class NatCeilDiv(_BinAtom):
+    """Opaque ceiling division, e.g. the number of vectors covering n scalars."""
+
+    _tag = "ceildiv"
+    _symbol = "/^"
+
+    @classmethod
+    def _rebuild(cls, num: "Nat", den: "Nat") -> "Nat":
+        return ceil_div(num, den)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        den = self.den.evaluate(env)
+        if den == 0:
+            raise NatEvalError(f"division by zero in {self!r}")
+        return -((-self.num.evaluate(env)) // den)
+
+
+class NatMod(_BinAtom):
+    """Opaque modulo, used by circular-buffer indexing."""
+
+    _tag = "mod"
+    _symbol = "%"
+
+    @classmethod
+    def _rebuild(cls, num: "Nat", den: "Nat") -> "Nat":
+        return num % den
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        den = self.den.evaluate(env)
+        if den == 0:
+            raise NatEvalError(f"modulo by zero in {self!r}")
+        return self.num.evaluate(env) % den
+
+
+# A monomial maps each atom to its (positive) integer power.  Normal form:
+# a tuple of (atom, power) pairs sorted by the atom's sort key.
+Monomial = tuple[tuple[NatAtom, int], ...]
+
+_ONE_MONOMIAL: Monomial = ()
+
+
+def _monomial_sort_key(m: Monomial) -> tuple:
+    return tuple((atom.sort_key(), power) for atom, power in m)
+
+
+def _monomial_mul(a: Monomial, b: Monomial) -> Monomial:
+    powers: dict[NatAtom, int] = {}
+    for atom, power in a + b:
+        powers[atom] = powers.get(atom, 0) + power
+    items = [(atom, power) for atom, power in powers.items() if power != 0]
+    items.sort(key=lambda item: item[0].sort_key())
+    return tuple(items)
+
+
+class Nat:
+    """A natural-number expression in polynomial normal form.
+
+    Use :func:`nat` (or arithmetic on existing Nat values) to construct
+    instances; the constructor is internal.
+    """
+
+    __slots__ = ("_terms", "_hash")
+
+    def __init__(self, terms: Iterable[tuple[Monomial, int]]):
+        cleaned = [(m, c) for m, c in terms if c != 0]
+        cleaned.sort(key=lambda item: _monomial_sort_key(item[0]))
+        self._terms: tuple[tuple[Monomial, int], ...] = tuple(cleaned)
+        self._hash = hash(self._terms)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def of(value: NatLike) -> "Nat":
+        if isinstance(value, Nat):
+            return value
+        if isinstance(value, bool):
+            raise TypeError("bool is not a Nat")
+        if isinstance(value, int):
+            if value == 0:
+                return Nat(())
+            return Nat(((_ONE_MONOMIAL, value),))
+        if isinstance(value, str):
+            return Nat((((((NatVar(value), 1),)), 1),))
+        if isinstance(value, NatAtom):
+            return Nat(((((value, 1),), 1),))
+        raise TypeError(f"cannot build a Nat from {value!r}")
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def terms(self) -> tuple[tuple[Monomial, int], ...]:
+        return self._terms
+
+    def is_constant(self) -> bool:
+        return all(m == _ONE_MONOMIAL for m, _ in self._terms)
+
+    def constant_value(self) -> int:
+        if not self.is_constant():
+            raise NatEvalError(f"{self!r} is not constant")
+        return sum(c for _, c in self._terms)
+
+    def is_zero(self) -> bool:
+        return not self._terms
+
+    def free_vars(self) -> frozenset[str]:
+        names: frozenset[str] = frozenset()
+        for monomial, _ in self._terms:
+            for atom, _power in monomial:
+                names |= atom.free_vars()
+        return names
+
+    def sort_key(self) -> tuple:
+        return tuple((_monomial_sort_key(m), c) for m, c in self._terms)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+
+    def __add__(self, other: NatLike) -> "Nat":
+        other = Nat.of(other)
+        coeffs: dict[Monomial, int] = dict(self._terms)
+        for monomial, coeff in other._terms:
+            coeffs[monomial] = coeffs.get(monomial, 0) + coeff
+        return Nat(coeffs.items())
+
+    __radd__ = __add__
+
+    def __sub__(self, other: NatLike) -> "Nat":
+        return self + (Nat.of(other) * -1)
+
+    def __rsub__(self, other: NatLike) -> "Nat":
+        return Nat.of(other) - self
+
+    def __mul__(self, other: NatLike) -> "Nat":
+        if isinstance(other, int):
+            return Nat((m, c * other) for m, c in self._terms)
+        other = Nat.of(other)
+        coeffs: dict[Monomial, int] = {}
+        for m1, c1 in self._terms:
+            for m2, c2 in other._terms:
+                product = _monomial_mul(m1, m2)
+                coeffs[product] = coeffs.get(product, 0) + c1 * c2
+        return Nat(coeffs.items())
+
+    __rmul__ = __mul__
+
+    def __floordiv__(self, other: NatLike) -> "Nat":
+        other = Nat.of(other)
+        exact = self.divide_exact(other)
+        if exact is not None:
+            return exact
+        if self.is_constant() and other.is_constant():
+            return Nat.of(self.constant_value() // other.constant_value())
+        return Nat.of(NatFloorDiv(self, other))
+
+    def __mod__(self, other: NatLike) -> "Nat":
+        other = Nat.of(other)
+        if self.divide_exact(other) is not None:
+            return Nat.of(0)
+        if self.is_constant() and other.is_constant():
+            return Nat.of(self.constant_value() % other.constant_value())
+        return Nat.of(NatMod(self, other))
+
+    def divide_exact(self, other: "Nat") -> "Nat | None":
+        """Return self / other when the division is exact, else None.
+
+        Handles the cases that matter in practice: division by a constant
+        that divides every coefficient, and division by a single monomial
+        that divides every term.
+        """
+        other = Nat.of(other)
+        if other.is_zero():
+            raise ZeroDivisionError("Nat division by zero")
+        if self.is_zero():
+            return Nat.of(0)
+        if len(other._terms) != 1:
+            if self == other:
+                return Nat.of(1)
+            return None
+        (den_monomial, den_coeff), = other._terms
+        den_powers = dict(den_monomial)
+        out_terms: list[tuple[Monomial, int]] = []
+        for monomial, coeff in self._terms:
+            if coeff % den_coeff != 0:
+                return None
+            powers = dict(monomial)
+            for atom, power in den_powers.items():
+                have = powers.get(atom, 0)
+                if have < power:
+                    return None
+                powers[atom] = have - power
+            items = [(a, p) for a, p in powers.items() if p != 0]
+            items.sort(key=lambda item: item[0].sort_key())
+            out_terms.append((tuple(items), coeff // den_coeff))
+        return Nat(out_terms)
+
+    # ------------------------------------------------------------------
+    # Substitution and evaluation
+    # ------------------------------------------------------------------
+
+    def substitute(self, mapping: Mapping[str, NatLike]) -> "Nat":
+        nat_mapping = {name: Nat.of(value) for name, value in mapping.items()}
+        result = Nat.of(0)
+        for monomial, coeff in self._terms:
+            term = Nat.of(coeff)
+            for atom, power in monomial:
+                base = atom.substitute(nat_mapping)
+                for _ in range(power):
+                    term = term * base
+            result = result + term
+        return result
+
+    def evaluate(self, env: Mapping[str, int] | None = None) -> int:
+        env = env or {}
+        total = 0
+        for monomial, coeff in self._terms:
+            value = coeff
+            for atom, power in monomial:
+                value *= atom.evaluate(env) ** power
+            total += value
+        if total < 0:
+            raise NatEvalError(f"{self!r} evaluated to negative value {total}")
+        return total
+
+    # ------------------------------------------------------------------
+    # Solving (used by nat unification in the type checker)
+    # ------------------------------------------------------------------
+
+    def linear_coefficient(self, name: str) -> "Nat | None":
+        """If self == coeff * name + rest with name absent from coeff and
+        rest, return coeff; otherwise None."""
+        var = NatVar(name)
+        coeff = Nat.of(0)
+        for monomial, c in self._terms:
+            powers = dict(monomial)
+            power = powers.pop(var, 0)
+            if power == 0:
+                for atom, _p in monomial:
+                    if name in atom.free_vars():
+                        return None
+                continue
+            if power > 1:
+                return None
+            items = sorted(powers.items(), key=lambda item: item[0].sort_key())
+            for atom, _p in items:
+                if name in atom.free_vars():
+                    return None
+            coeff = coeff + Nat(((tuple(items), c),))
+        return coeff if not coeff.is_zero() else None
+
+    def without_var_terms(self, name: str) -> "Nat":
+        """Drop every term that mentions ``name``."""
+        kept = [
+            (m, c)
+            for m, c in self._terms
+            if all(name not in atom.free_vars() for atom, _ in m)
+        ]
+        return Nat(kept)
+
+    def solve_for(self, name: str, rhs: "Nat") -> "Nat | None":
+        """Solve ``self == rhs`` for the variable ``name``.
+
+        Only linear occurrences are handled: ``a * name + b == rhs`` gives
+        ``name = (rhs - b) / a`` when the division is exact.
+        """
+        if name in rhs.free_vars():
+            return None
+        coeff = self.linear_coefficient(name)
+        if coeff is None:
+            return None
+        rest = self.without_var_terms(name)
+        return (rhs - rest).divide_exact(coeff)
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, str, NatAtom)):
+            other = Nat.of(other)
+        if not isinstance(other, Nat):
+            return NotImplemented
+        return self._terms == other._terms
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        if not self._terms:
+            return "0"
+        parts: list[str] = []
+        for monomial, coeff in self._terms:
+            factors = []
+            for atom, power in monomial:
+                text = repr(atom)
+                if power != 1:
+                    text = f"{text}^{power}"
+                factors.append(text)
+            if not factors:
+                parts.append(str(coeff))
+            elif coeff == 1:
+                parts.append("*".join(factors))
+            elif coeff == -1:
+                parts.append("-" + "*".join(factors))
+            else:
+                parts.append(f"{coeff}*" + "*".join(factors))
+        text = " + ".join(parts)
+        return text.replace("+ -", "- ")
+
+
+def nat(value: NatLike) -> Nat:
+    """Public constructor: build a Nat from an int, a variable name or a Nat."""
+    return Nat.of(value)
+
+
+def ceil_div(num: NatLike, den: NatLike) -> Nat:
+    """Ceiling division on Nats, simplifying exact and constant cases."""
+    num = Nat.of(num)
+    den = Nat.of(den)
+    exact = num.divide_exact(den)
+    if exact is not None:
+        return exact
+    if num.is_constant() and den.is_constant():
+        n, d = num.constant_value(), den.constant_value()
+        return Nat.of(-((-n) // d))
+    return Nat.of(NatCeilDiv(num, den))
+
+
+def _roundup_const(n: int, multiple: int) -> int:
+    return math.ceil(n / multiple) * multiple
+
+
+def round_up(value: NatLike, multiple: NatLike) -> Nat:
+    """Round ``value`` up to the next multiple of ``multiple``.
+
+    Used when vectorizing: the paper rounds inputs, outputs and temporaries
+    up to a multiple of the vector width.
+    """
+    value = Nat.of(value)
+    multiple = Nat.of(multiple)
+    if value.divide_exact(multiple) is not None:
+        return value
+    if value.is_constant() and multiple.is_constant():
+        return Nat.of(_roundup_const(value.constant_value(), multiple.constant_value()))
+    return ceil_div(value, multiple) * multiple

@@ -1,0 +1,5 @@
+"""The OpenCV library baseline (paper section V: 'highly optimized library')."""
+
+from repro.opencv.pipeline import compile_harris_opencv
+
+__all__ = ["compile_harris_opencv"]

@@ -1,0 +1,216 @@
+"""A trace-driven cache simulator used to validate the analytic memory model.
+
+The analytic model (``repro.perf.cost``) classifies buffer traffic by
+working-set arguments.  This module checks those claims directly on small
+instances: it *enumerates* every load/store of a compiled program (walking
+the imperative IR with concrete loop bounds, evaluating the real index
+expressions) and feeds the resulting address trace through an LRU
+set-associative cache.
+
+It is only practical for small images (the trace is explicit), which is
+exactly its role: a validation oracle for the scalable analytic model,
+mirroring how the paper validates outputs rather than re-deriving them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.codegen.ir import (
+    AllocStmt,
+    Assign,
+    BinOp,
+    Block,
+    Broadcast,
+    Comment,
+    DeclScalar,
+    DeclVec,
+    FConst,
+    For,
+    IConst,
+    IExpr,
+    ImpFunction,
+    ImpProgram,
+    Load,
+    NatE,
+    Stmt,
+    Store,
+    UnOp,
+    Var,
+    VLane,
+    VLoad,
+    VPack,
+    VShuffle,
+    VStore,
+)
+from repro.codegen.sizes import resolve_sizes
+
+__all__ = ["LRUCache", "trace_accesses", "simulate_program", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 1.0
+        return 1.0 - self.misses / self.accesses
+
+    def miss_bytes(self, line_bytes: int = 64) -> int:
+        return self.misses * line_bytes
+
+
+class LRUCache:
+    """A set-associative LRU cache over byte addresses."""
+
+    def __init__(self, size_kb: int, line_bytes: int = 64, ways: int = 4):
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.sets = max(1, (size_kb * 1024) // (line_bytes * ways))
+        self._lines: list[list[int]] = [[] for _ in range(self.sets)]
+        self.stats = CacheStats()
+
+    def access(self, address: int) -> bool:
+        """Touch one byte address; returns True on hit."""
+        line = address // self.line_bytes
+        index = line % self.sets
+        ways = self._lines[index]
+        self.stats.accesses += 1
+        if line in ways:
+            ways.remove(line)
+            ways.append(line)
+            return True
+        self.stats.misses += 1
+        ways.append(line)
+        if len(ways) > self.ways:
+            ways.pop(0)
+        return False
+
+
+def _index_vars(e: IExpr) -> set[str]:
+    out: set[str] = set()
+    if isinstance(e, Var):
+        out.add(e.name)
+    for c in e.children():
+        out |= _index_vars(c)
+    return out
+
+
+class _Tracer:
+    def __init__(self, sizes: Mapping[str, int], base_of: Mapping[str, int]):
+        self.sizes = dict(sizes)
+        self.base_of = dict(base_of)
+        self.env: dict[str, int] = {}
+
+    def index(self, e: IExpr) -> int:
+        if isinstance(e, IConst):
+            return e.value
+        if isinstance(e, NatE):
+            return int(e.value.evaluate(self.sizes))
+        if isinstance(e, Var):
+            return self.env[e.name]
+        if isinstance(e, BinOp):
+            a, b = self.index(e.a), self.index(e.b)
+            if e.op == "add":
+                return a + b
+            if e.op == "sub":
+                return a - b
+            if e.op == "mul":
+                return a * b
+            if e.op == "mod":
+                return a % b
+            if e.op == "idiv":
+                return a // b
+        raise ValueError(f"non-integer index expression {e!r}")
+
+    def addresses(self, e: IExpr) -> Iterator[tuple[int, int]]:
+        """(byte address, bytes) of every memory access in a value expr."""
+        if isinstance(e, Load):
+            yield self.base_of[e.buffer] + 4 * self.index(e.index), 4
+        elif isinstance(e, VLoad):
+            yield self.base_of[e.buffer] + 4 * self.index(e.index), 4 * e.width
+        else:
+            for c in e.children():
+                yield from self.addresses(c)
+
+    def run(self, stmt: Stmt) -> Iterator[tuple[int, int, bool]]:
+        """Yield (address, bytes, is_store) in execution order."""
+        if isinstance(stmt, Block):
+            for s in stmt.stmts:
+                yield from self.run(s)
+        elif isinstance(stmt, (Comment, AllocStmt)):
+            return
+        elif isinstance(stmt, For):
+            extent = self.index(stmt.extent)
+            for i in range(extent):
+                self.env[stmt.var] = i
+                yield from self.run(stmt.body)
+        elif isinstance(stmt, (DeclScalar, DeclVec)):
+            if stmt.init is not None:
+                for addr, nbytes in self.addresses(stmt.init):
+                    yield addr, nbytes, False
+        elif isinstance(stmt, Assign):
+            for addr, nbytes in self.addresses(stmt.value):
+                yield addr, nbytes, False
+        elif isinstance(stmt, Store):
+            for addr, nbytes in self.addresses(stmt.value):
+                yield addr, nbytes, False
+            yield self.base_of[stmt.buffer] + 4 * self.index(stmt.index), 4, True
+        elif isinstance(stmt, VStore):
+            for addr, nbytes in self.addresses(stmt.value):
+                yield addr, nbytes, False
+            yield (
+                self.base_of[stmt.buffer] + 4 * self.index(stmt.index),
+                4 * stmt.width,
+                True,
+            )
+        else:
+            raise ValueError(f"cannot trace {type(stmt).__name__}")
+
+
+def trace_accesses(
+    fn: ImpFunction, sizes: Mapping[str, int]
+) -> Iterator[tuple[int, int, bool]]:
+    """The full (address, bytes, is_store) trace of one kernel."""
+    base = 0
+    base_of: dict[str, int] = {}
+    for b in fn.inputs + [fn.output] + fn.temporaries:
+        base_of[b.name] = base
+        base += 4 * int(b.alloc_size().evaluate(sizes)) + 256  # pad between buffers
+    tracer = _Tracer(sizes, base_of)
+    yield from tracer.run(fn.body)
+
+
+@dataclass
+class SimResult:
+    l1: CacheStats
+    l2: CacheStats
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.l2.miss_bytes()
+
+
+def simulate_program(
+    prog: ImpProgram,
+    sizes: Mapping[str, int],
+    l1_kb: int = 32,
+    l2_kb: int = 256,
+    line_bytes: int = 64,
+) -> SimResult:
+    """Feed every kernel's trace through an L1 -> L2 hierarchy."""
+    sizes = resolve_sizes(prog, sizes)
+    l1 = LRUCache(l1_kb, line_bytes, ways=4)
+    l2 = LRUCache(l2_kb, line_bytes, ways=8)
+    for fn in prog.functions:
+        for address, nbytes, _is_store in trace_accesses(fn, sizes):
+            for line_start in range(
+                address // line_bytes, (address + nbytes - 1) // line_bytes + 1
+            ):
+                if not l1.access(line_start * line_bytes):
+                    l2.access(line_start * line_bytes)
+    return SimResult(l1.stats, l2.stats)

@@ -1,0 +1,421 @@
+"""Analytic cost model: estimate a compiled program's runtime on a machine.
+
+The model walks the imperative IR with concrete sizes, counting per
+loop-nest execution:
+
+* scalar float ops, 128-bit vector ops (with unaligned-load penalties),
+  integer index ops (modulo indexing of circular buffers is charged);
+* loads/stores per buffer, from which per-buffer memory traffic is
+  derived: the first pass over a buffer is served by its *home* level
+  (DRAM for kernel parameters, the smallest cache that fits for
+  temporaries); additional passes hit the smallest level the buffer fits.
+
+Wall-clock combines a compute term (work / cores) and memory terms
+(traffic / shared bandwidth): added for in-order cores, overlapped
+(max) for out-of-order cores, plus per-kernel launch overhead.  This is
+a roofline-style model — crude in absolute terms, but every compared
+implementation is costed identically, which is what the paper's relative
+claims need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.codegen.ir import (
+    AllocStmt,
+    Assign,
+    BinOp,
+    Block,
+    Broadcast,
+    Comment,
+    DeclScalar,
+    DeclVec,
+    FConst,
+    For,
+    IConst,
+    IExpr,
+    ImpFunction,
+    ImpProgram,
+    Load,
+    LoopKind,
+    NatE,
+    Stmt,
+    Store,
+    UnOp,
+    Var,
+    VLane,
+    VLoad,
+    VPack,
+    VShuffle,
+    VStore,
+)
+from repro.codegen.sizes import resolve_sizes
+from repro.perf.machines import Machine, RUNTIME_LAUNCH_FACTOR
+
+__all__ = ["CostReport", "estimate_runtime_ms", "count_operations"]
+
+
+@dataclass
+class OpCounts:
+    scalar_flops: float = 0.0
+    vector_ops: float = 0.0
+    int_ops: float = 0.0
+    mem_ops: float = 0.0          # load/store instructions (any width)
+    shuffle_ops: float = 0.0
+    unaligned_vloads: float = 0.0
+    loads_by_buffer: dict = field(default_factory=dict)
+    stores_by_buffer: dict = field(default_factory=dict)
+    parallel_work: float = 0.0     # fraction of mem+compute inside parallel loops
+
+    def add_load(self, buffer: str, count: float) -> None:
+        self.loads_by_buffer[buffer] = self.loads_by_buffer.get(buffer, 0.0) + count
+
+    def add_store(self, buffer: str, count: float) -> None:
+        self.stores_by_buffer[buffer] = self.stores_by_buffer.get(buffer, 0.0) + count
+
+
+@dataclass
+class CostReport:
+    """Cost breakdown for one program on one machine at one size."""
+
+    name: str
+    machine: str
+    runtime_ms: float
+    compute_ms: float
+    memory_ms: float
+    overhead_ms: float
+    scalar_flops: float
+    vector_ops: float
+    dram_bytes: float
+    l2_bytes: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name:<18} on {self.machine:<10}: {self.runtime_ms:8.2f} ms "
+            f"(compute {self.compute_ms:7.2f}, memory {self.memory_ms:7.2f}, "
+            f"overhead {self.overhead_ms:5.2f})"
+        )
+
+
+class _Counter:
+    def __init__(self, sizes: Mapping[str, int]):
+        self.sizes = dict(sizes)
+        self.counts = OpCounts()
+        self.vector_vars: set[str] = set()
+        self.parallel_extent = 1  # max extent of enclosing parallel loop
+        # (loop var, cumulative iteration count up to and including it)
+        self.loop_stack: list[tuple[str, float]] = []
+
+    # -- loop-invariant index arithmetic --------------------------------
+
+    def _mentioned_vars(self, e: IExpr, out: set[str]) -> None:
+        if isinstance(e, Var):
+            out.add(e.name)
+        for c in e.children():
+            self._mentioned_vars(c, out)
+
+    def _hoisted_mult(self, e: IExpr, default: float) -> float:
+        """Execution count of an index expression after loop-invariant code
+        motion: it is evaluated once per iteration of the *deepest* loop
+        whose variable it mentions (compilers strength-reduce the rest to
+        increments)."""
+        mentioned: set[str] = set()
+        self._mentioned_vars(e, mentioned)
+        for var, cumulative in reversed(self.loop_stack):
+            if var in mentioned:
+                return min(cumulative, default)
+        return 1.0
+
+    def index_cost(self, e: IExpr, mult: float) -> None:
+        """Charge an address computation: one increment at the deepest
+        varying level plus multi-cycle modulo/division at the level of
+        their own operands (circular-buffer row selection is per line,
+        not per pixel)."""
+        c = self.counts
+        c.int_ops += 1.0 * self._hoisted_mult(e, mult)
+
+        def find_divmod(x: IExpr) -> None:
+            if isinstance(x, BinOp) and x.op in ("mod", "idiv"):
+                c.int_ops += 3.0 * self._hoisted_mult(x, mult)
+            for child in x.children():
+                find_divmod(child)
+
+        find_divmod(e)
+
+    def nat(self, n) -> int:
+        return int(n.evaluate(self.sizes))
+
+    def extent(self, e: IExpr) -> int:
+        if isinstance(e, IConst):
+            return e.value
+        if isinstance(e, NatE):
+            return self.nat(e.value)
+        raise ValueError(f"loop extent must be constant after sizing: {e!r}")
+
+    # -- expressions ----------------------------------------------------
+
+    def is_vector(self, e: IExpr) -> bool:
+        if isinstance(e, (VLoad, Broadcast, VShuffle, VPack)):
+            return True
+        if isinstance(e, Var):
+            return e.name in self.vector_vars
+        if isinstance(e, BinOp):
+            return self.is_vector(e.a) or self.is_vector(e.b)
+        if isinstance(e, UnOp):
+            return self.is_vector(e.a)
+        return False
+
+    def expr(self, e: IExpr, mult: float, index_ctx: bool = False) -> None:
+        c = self.counts
+        if isinstance(e, (IConst, FConst, NatE, Var)):
+            return
+        if isinstance(e, Load):
+            c.mem_ops += mult
+            c.add_load(e.buffer, mult)
+            self.index_cost(e.index, mult)
+            return
+        if isinstance(e, VLoad):
+            c.mem_ops += mult
+            c.add_load(e.buffer, mult * e.width)
+            if not e.aligned:
+                c.unaligned_vloads += mult
+            self.index_cost(e.index, mult)
+            return
+        if isinstance(e, Broadcast):
+            c.vector_ops += 0.25 * mult  # dup is cheap and often hoisted
+            self.expr(e.value, mult)
+            return
+        if isinstance(e, VShuffle):
+            c.shuffle_ops += mult
+            self.expr(e.a, mult)
+            self.expr(e.b, mult)
+            return
+        if isinstance(e, VPack):
+            c.vector_ops += mult * len(e.lanes) * 0.5  # lane inserts
+            for lane in e.lanes:
+                self.expr(lane, mult)
+            return
+        if isinstance(e, VLane):
+            c.vector_ops += 0.5 * mult
+            self.expr(e.vec, mult)
+            return
+        if isinstance(e, BinOp):
+            if e.op in ("mod", "idiv") or index_ctx:
+                self.index_cost(e, mult)
+                return
+            if self.is_vector(e):
+                c.vector_ops += mult
+            else:
+                c.scalar_flops += mult
+            self.expr(e.a, mult, index_ctx)
+            self.expr(e.b, mult, index_ctx)
+            return
+        if isinstance(e, UnOp):
+            if self.is_vector(e):
+                c.vector_ops += mult
+            else:
+                c.scalar_flops += mult
+            self.expr(e.a, mult, index_ctx)
+            return
+        raise TypeError(f"cannot cost {type(e).__name__}")
+
+    # -- statements -------------------------------------------------------
+
+    def stmt(self, s: Stmt, mult: float) -> None:
+        c = self.counts
+        if isinstance(s, Block):
+            for sub in s.stmts:
+                self.stmt(sub, mult)
+            return
+        if isinstance(s, (Comment, AllocStmt)):
+            return
+        if isinstance(s, For):
+            extent = self.extent(s.extent)
+            inner_mult = mult * extent
+            self.loop_stack.append((s.var, inner_mult))
+            if s.kind is LoopKind.PARALLEL:
+                self.parallel_extent = max(self.parallel_extent, extent)
+            self.stmt(s.body, inner_mult)
+            self.loop_stack.pop()
+            return
+        if isinstance(s, DeclScalar):
+            if s.init is not None:
+                self.expr(s.init, mult)
+            return
+        if isinstance(s, DeclVec):
+            self.vector_vars.add(s.var)
+            if s.init is not None:
+                self.expr(s.init, mult)
+            return
+        if isinstance(s, Assign):
+            # Bare register moves (rotation shifts) are ~free after renaming.
+            if not isinstance(s.value, Var):
+                self.expr(s.value, mult)
+            return
+        if isinstance(s, Store):
+            c.mem_ops += mult
+            c.add_store(s.buffer, mult)
+            self.index_cost(s.index, mult)
+            self.expr(s.value, mult)
+            return
+        if isinstance(s, VStore):
+            c.mem_ops += mult
+            c.add_store(s.buffer, mult * s.width)
+            self.index_cost(s.index, mult)
+            self.expr(s.value, mult)
+            return
+        raise TypeError(f"cannot cost statement {type(s).__name__}")
+
+
+def count_operations(fn: ImpFunction, sizes: Mapping[str, int]) -> OpCounts:
+    """Raw operation counts for one kernel at concrete sizes."""
+    counter = _Counter(sizes)
+    counter.stmt(fn.body, 1.0)
+    counter.counts.parallel_work = counter.parallel_extent
+    return counter.counts
+
+
+def _buffer_sizes(fn: ImpFunction, sizes: Mapping[str, int]) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for b in fn.inputs + [fn.output] + fn.temporaries:
+        out[b.name] = float(b.alloc_size().evaluate(sizes)) * 4.0  # bytes
+    return out
+
+
+def _memory_traffic(
+    fn: ImpFunction, counts: OpCounts, sizes: Mapping[str, int], machine: Machine
+) -> tuple[float, float]:
+    """Estimate (dram_bytes, l2_bytes) for one kernel.
+
+    Parameters (inputs/output) live in DRAM; their cold traffic is
+    compulsory, and repeated passes hit the smallest cache the buffer fits
+    in.  Temporaries (per-chunk line buffers) are classified *in aggregate*:
+    the working set of a streaming pipeline is the sum of all its live line
+    buffers, so either they all fit in L1 (their traffic is then covered by
+    the load/store issue cost) or they spill together to L2/DRAM.
+    """
+    byte_sizes = _buffer_sizes(fn, sizes)
+    param_names = {b.name for b in fn.inputs} | {fn.output.name}
+    l1 = machine.l1_kb * 1024.0
+    l2 = machine.l2_kb * 1024.0
+
+    # Aggregate working set of temporaries.  For parallel kernels each
+    # thread owns its per-chunk buffers, so the per-core working set is the
+    # aggregate of one chunk's buffers (they are allocated inside the
+    # parallel loop and counted once here).
+    temp_ws = sum(
+        size for name, size in byte_sizes.items() if name not in param_names
+    )
+    if temp_ws <= 1.25 * l1:
+        temp_level = "l1"
+    elif temp_ws <= l2:
+        temp_level = "l2"
+    else:
+        temp_level = "dram"
+
+    dram = 0.0
+    l2_traffic = 0.0
+    for buffer, accesses in counts.loads_by_buffer.items():
+        bytes_accessed = accesses * 4.0
+        size = byte_sizes.get(buffer, 0.0)
+        cold = min(bytes_accessed, size)
+        repeat = max(0.0, bytes_accessed - cold)
+        if buffer in param_names:
+            dram += cold
+            if size > l2:
+                dram += repeat  # no cache holds it across passes
+            elif size > l1:
+                l2_traffic += repeat
+        else:
+            if temp_level == "dram":
+                dram += bytes_accessed
+            elif temp_level == "l2":
+                l2_traffic += bytes_accessed
+            # else: L1-resident, folded into mem_ops issue cost
+    for buffer, accesses in counts.stores_by_buffer.items():
+        bytes_accessed = accesses * 4.0
+        size = byte_sizes.get(buffer, 0.0)
+        if buffer in param_names:
+            dram += min(bytes_accessed, size) + max(
+                0.0, (bytes_accessed - size) if size > l2 else 0.0
+            )
+        else:
+            if temp_level == "dram":
+                dram += bytes_accessed
+            elif temp_level == "l2":
+                l2_traffic += bytes_accessed
+    return dram, l2_traffic
+
+
+def estimate_runtime_ms(
+    prog: ImpProgram,
+    sizes: Mapping[str, int],
+    machine: Machine,
+    runtime_kind: str = "opencl",
+) -> CostReport:
+    """Estimated wall-clock runtime of the whole program, in milliseconds."""
+    sizes = resolve_sizes(prog, sizes)
+    total_compute_us = 0.0
+    total_memory_us = 0.0
+    total_flops = 0.0
+    total_vops = 0.0
+    total_dram = 0.0
+    total_l2 = 0.0
+
+    for fn in prog.functions:
+        counts = count_operations(fn, sizes)
+        cores = min(machine.cores, max(1, int(counts.parallel_work)))
+        cycles = (
+            counts.scalar_flops / machine.scalar_flops_per_cycle
+            + counts.vector_ops / machine.vector_ops_per_cycle
+            + counts.shuffle_ops / machine.shuffle_ops_per_cycle
+            + counts.unaligned_vloads * machine.unaligned_penalty_cycles
+            + counts.int_ops / machine.int_ops_per_cycle
+            + counts.mem_ops / machine.mem_ops_per_cycle
+        )
+        compute_us = cycles / machine.cycles_per_us / cores
+        dram_bytes, l2_bytes = _memory_traffic(fn, counts, sizes, machine)
+        memory_us = (
+            dram_bytes / (machine.dram_gbps * 1e3)
+            + l2_bytes / (machine.l2_gbps * 1e3)
+        )
+        if machine.out_of_order:
+            kernel_us = max(compute_us, memory_us)
+        else:
+            kernel_us = compute_us + 0.85 * memory_us
+        total_compute_us += compute_us
+        total_memory_us += memory_us
+        total_flops += counts.scalar_flops
+        total_vops += counts.vector_ops
+        total_dram += dram_bytes
+        total_l2 += l2_bytes
+        # accumulate per-kernel wall into compute slot for reporting
+        fn_runtime = kernel_us
+        total_compute_us += 0.0
+        if fn is prog.functions[0]:
+            runtime_us = fn_runtime
+        else:
+            runtime_us += fn_runtime
+
+    launches = max(prog.launch_overheads, len(prog.functions))
+    overhead_us = (
+        launches
+        * machine.launch_overhead_us
+        * RUNTIME_LAUNCH_FACTOR.get(runtime_kind, 1.0)
+    )
+    runtime_us += overhead_us
+
+    return CostReport(
+        name=prog.name,
+        machine=machine.name,
+        runtime_ms=runtime_us / 1e3,
+        compute_ms=total_compute_us / 1e3,
+        memory_ms=total_memory_us / 1e3,
+        overhead_ms=overhead_us / 1e3,
+        scalar_flops=total_flops,
+        vector_ops=total_vops,
+        dram_bytes=total_dram,
+        l2_bytes=total_l2,
+    )

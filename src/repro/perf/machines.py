@@ -1,0 +1,150 @@
+"""Analytic models of the paper's four mobile ARM CPUs.
+
+The paper measures on an Odroid XU4 (4x Cortex A7 + 4x Cortex A15, run at
+1.5 GHz) and an Odroid N2 (2x Cortex A53 + 4x Cortex A73, run at 1.8 GHz).
+We cannot run on that silicon, so the evaluation harness costs every
+compiled program on these models instead (DESIGN.md documents the
+substitution).  Parameters combine published micro-architecture facts
+(issue width, NEON datapath width, cache sizes) with effective-bandwidth
+and overhead constants calibrated so the *relative* behaviour matches the
+class of machine; all comparisons use the same model, so orderings and
+ratios between implementations are meaningful.
+
+Key micro-architectural distinctions the model captures:
+
+* A7 and A53 are in-order, narrow, with 64-bit NEON datapaths (a 128-bit
+  vector op issues over 2 cycles); memory stalls add to compute time.
+* A15 and A73 are out-of-order with full 128-bit NEON; memory access
+  overlaps with compute (roofline-style max).
+* Unaligned vector loads cost extra on all of them (paper fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Machine", "CORTEX_A7", "CORTEX_A15", "CORTEX_A53", "CORTEX_A73", "ALL_MACHINES"]
+
+
+@dataclass(frozen=True)
+class Machine:
+    name: str
+    cores: int
+    freq_ghz: float
+    #: sustained scalar float ops per cycle per core (issue width x util)
+    scalar_flops_per_cycle: float
+    #: sustained 128-bit (4 x f32) vector ops per cycle per core
+    vector_ops_per_cycle: float
+    #: loads/stores the LSU retires per cycle per core
+    mem_ops_per_cycle: float
+    #: extra cycles for a vector load that is not 16-byte aligned
+    unaligned_penalty_cycles: float
+    #: integer ALU ops per cycle (index arithmetic, modulo)
+    int_ops_per_cycle: float
+    #: vector permute/shuffle ops per cycle (NEON permutes run on a
+    #: dedicated unit at ~1/cycle, independent of the FP datapath width)
+    shuffle_ops_per_cycle: float
+    l1_kb: int
+    l2_kb: int
+    #: effective DRAM bandwidth, GB/s (shared by all cores)
+    dram_gbps: float
+    #: effective L2 bandwidth, GB/s (shared per cluster)
+    l2_gbps: float
+    #: True for out-of-order cores: memory time overlaps compute
+    out_of_order: bool
+    #: per-kernel-launch overhead in microseconds, per runtime kind
+    launch_overhead_us: float = 60.0
+
+    @property
+    def cycles_per_us(self) -> float:
+        return self.freq_ghz * 1000.0
+
+
+# In-order 2-wide; 64-bit NEON datapath (half-rate 128-bit ops); small L2.
+CORTEX_A7 = Machine(
+    name="Cortex A7",
+    cores=4,
+    freq_ghz=1.5,
+    scalar_flops_per_cycle=0.8,
+    vector_ops_per_cycle=0.45,
+    mem_ops_per_cycle=0.8,
+    unaligned_penalty_cycles=1.2,
+    int_ops_per_cycle=1.6,
+    shuffle_ops_per_cycle=1.0,
+    l1_kb=32,
+    l2_kb=512,
+    dram_gbps=1.6,
+    l2_gbps=10.0,
+    out_of_order=False,
+    launch_overhead_us=180.0,
+)
+
+# Out-of-order 3-wide; full 128-bit NEON; large L2.
+CORTEX_A15 = Machine(
+    name="Cortex A15",
+    cores=4,
+    freq_ghz=1.5,
+    scalar_flops_per_cycle=1.8,
+    vector_ops_per_cycle=1.0,
+    mem_ops_per_cycle=1.6,
+    unaligned_penalty_cycles=0.6,
+    int_ops_per_cycle=2.5,
+    shuffle_ops_per_cycle=1.8,
+    l1_kb=32,
+    l2_kb=2048,
+    dram_gbps=3.2,
+    l2_gbps=18.0,
+    out_of_order=True,
+    launch_overhead_us=140.0,
+)
+
+# In-order 2-wide; 64-bit NEON; only two cores in the Odroid N2 cluster.
+CORTEX_A53 = Machine(
+    name="Cortex A53",
+    cores=2,
+    freq_ghz=1.8,
+    scalar_flops_per_cycle=1.0,
+    vector_ops_per_cycle=0.5,
+    mem_ops_per_cycle=1.0,
+    unaligned_penalty_cycles=1.0,
+    int_ops_per_cycle=1.8,
+    shuffle_ops_per_cycle=1.2,
+    l1_kb=32,
+    l2_kb=256,
+    dram_gbps=2.6,
+    l2_gbps=12.0,
+    out_of_order=False,
+    launch_overhead_us=110.0,
+)
+
+# Out-of-order 2-wide but deep; full 128-bit NEON; fast memory system.
+CORTEX_A73 = Machine(
+    name="Cortex A73",
+    cores=4,
+    freq_ghz=1.8,
+    scalar_flops_per_cycle=1.9,
+    vector_ops_per_cycle=1.1,
+    mem_ops_per_cycle=1.8,
+    unaligned_penalty_cycles=0.5,
+    int_ops_per_cycle=2.6,
+    shuffle_ops_per_cycle=2.0,
+    l1_kb=64,
+    l2_kb=1024,
+    dram_gbps=4.2,
+    l2_gbps=22.0,
+    out_of_order=True,
+    launch_overhead_us=90.0,
+)
+
+ALL_MACHINES = [CORTEX_A7, CORTEX_A15, CORTEX_A53, CORTEX_A73]
+
+
+#: Per-runtime launch-overhead multipliers: the RISE and LIFT pipelines run
+#: through an OpenCL runtime (POCL in the paper) with real enqueue costs;
+#: Halide emits a native function; the library baseline pays a small
+#: dispatch cost per call.
+RUNTIME_LAUNCH_FACTOR = {
+    "opencl": 1.0,
+    "native": 0.08,
+    "library": 0.25,
+}

@@ -1,0 +1,45 @@
+"""The vector-load strategies of paper fig. 7.
+
+When a vectorized stencil reads a 3-wide window, the three window
+operands per output vector are unaligned.  Two implementations:
+
+* naive: three vector loads, two of which are unaligned;
+* optimized (used by RISE, and by our register-rotation codegen): two
+  aligned vector loads plus shuffle instructions combining them.
+
+This module costs both schemes per output vector on a machine model —
+the micro-benchmark behind fig. 7's illustration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.machines import Machine
+
+__all__ = ["VectorLoadCost", "vector_load_costs"]
+
+
+@dataclass
+class VectorLoadCost:
+    machine: str
+    naive_cycles: float
+    optimized_cycles: float
+
+    @property
+    def speedup(self) -> float:
+        return self.naive_cycles / self.optimized_cycles
+
+
+def vector_load_costs(machine: Machine, window: int = 3) -> VectorLoadCost:
+    """Cycles per output vector spent loading a ``window``-wide stencil
+    neighborhood, for the naive and the shuffle-based scheme."""
+    load = 1.0 / machine.mem_ops_per_cycle
+    shuffle = 1.0 / machine.shuffle_ops_per_cycle
+
+    # naive: `window` loads, all but one unaligned.
+    naive = window * load + (window - 1) * machine.unaligned_penalty_cycles
+    # optimized: two aligned loads cover window+width-1 elements; the
+    # remaining window-1 operands come from shuffles of the two registers.
+    optimized = 2 * load + (window - 1) * shuffle
+    return VectorLoadCost(machine.name, naive, optimized)

@@ -1,0 +1,7 @@
+"""Image-processing pipelines expressed in RISE (paper section III)."""
+
+from repro.pipelines.harris import (
+    blur3x3, blur_input_type, blur_pipeline, gaussian3x3, harris,
+    harris_input_type, harris_output_size, sobel_magnitude,
+)
+from repro.pipelines import operators

@@ -1,0 +1,129 @@
+"""The image-processing macro layer (paper listings 1 and 2).
+
+Macros are Python functions that expand to generic RISE patterns — exactly
+the paper's extension mechanism: ``stencil2d`` and friends add domain
+abstractions *without* touching the compiler.  All operators are built
+from ``map``, ``zip``, ``slide``, ``transpose``, ``join`` and ``reduce``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rise.dsl import (
+    arr,
+    dot,
+    fst,
+    fun,
+    join,
+    lit,
+    map_,
+    pipe,
+    reduce_,
+    slide,
+    snd,
+    transpose,
+    zip_,
+)
+from repro.rise.expr import Expr, Lambda
+from repro.image.reference import (
+    GRAY_WEIGHTS,
+    HARRIS_KAPPA,
+    SOBEL_X,
+    SOBEL_Y,
+)
+
+__all__ = [
+    "map2d",
+    "zip2d",
+    "grayscale",
+    "mul2d",
+    "coarsity",
+    "slide2d",
+    "stencil2d",
+    "conv3x3",
+    "sobel_x",
+    "sobel_y",
+    "sum3x3",
+    "SOBEL_X_WEIGHTS",
+    "SOBEL_Y_WEIGHTS",
+    "GRAY_WEIGHT_VECTOR",
+]
+
+GRAY_WEIGHT_VECTOR = arr(list(GRAY_WEIGHTS))
+SOBEL_X_WEIGHTS = arr([list(row) for row in SOBEL_X])
+SOBEL_Y_WEIGHTS = arr([list(row) for row in SOBEL_Y])
+
+
+def map2d(f: Expr, image: Expr) -> Expr:
+    """map2d(f) = map(map(f))                          (listing 1)"""
+    return map_(map_(f), image)
+
+
+def zip2d(a: Expr, b: Expr) -> Expr:
+    """zip2d : [n][m]s -> [n][m]t -> [n][m](s x t)     (listing 1)"""
+    return map_(fun(lambda p: zip_(fst(p), snd(p))), zip_(a, b))
+
+
+def grayscale(rgb: Expr) -> Expr:
+    """[3][n][m]f32 -> [n][m]f32: per-pixel dot with the RGB weights
+    after bringing the channel dimension innermost.   (listing 1)"""
+    lines = map_(transpose(), transpose(rgb))
+    return map2d(dot(GRAY_WEIGHT_VECTOR), lines)
+
+
+def mul2d(a: Expr, b: Expr) -> Expr:
+    """Pointwise product of two images (listing 1's x2d)."""
+    return map2d(fun(lambda p: fst(p) * snd(p)), zip2d(a, b))
+
+
+def coarsity(sxx: Expr, sxy: Expr, syy: Expr, kappa: float = float(HARRIS_KAPPA)) -> Expr:
+    """det - kappa * trace^2 over zipped structure-tensor images (listing 1)."""
+    k = lit(kappa)
+
+    def per_pixel(p: Expr) -> Expr:
+        s_xx = fst(p)
+        s_xy = fst(snd(p))
+        s_yy = snd(snd(p))
+        det = s_xx * s_yy - s_xy * s_xy
+        trace = s_xx + s_yy
+        return det - k * trace * trace
+
+    return map2d(fun(per_pixel), zip2d(sxx, zip2d(sxy, syy)))
+
+
+def slide2d(size: int, step: int, image: Expr) -> Expr:
+    """2-d sliding windows: map(slide) |> slide |> map(transpose)
+                                                       (listing 2)"""
+    return pipe(
+        image,
+        map_(slide(size, step)),
+        slide(size, step),
+        map_(transpose()),
+    )
+
+
+def stencil2d(size: int, f: Lambda, image: Expr) -> Expr:
+    """stencil2d(N, f) = slide2d(N, 1) |> map2d(f)     (listing 2)"""
+    return map2d(f, slide2d(size, 1, image))
+
+
+def conv3x3(weights: Expr, image: Expr) -> Expr:
+    """3x3 convolution: dot of flattened weights and neighborhood
+                                                       (listing 2)"""
+    f = fun(lambda w: dot(join(weights))(join(w)))
+    return stencil2d(3, f, image)
+
+
+def sobel_x(image: Expr) -> Expr:
+    return conv3x3(SOBEL_X_WEIGHTS, image)
+
+
+def sobel_y(image: Expr) -> Expr:
+    return conv3x3(SOBEL_Y_WEIGHTS, image)
+
+
+def sum3x3(image: Expr) -> Expr:
+    """+3x3 = stencil2d(3, fun w. reduce(+, 0, join(w)))  (listing 2)"""
+    f = fun(lambda w: reduce_(fun(lambda a, b: a + b), lit(0.0), join(w)))
+    return stencil2d(3, f, image)

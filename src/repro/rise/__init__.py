@@ -1,0 +1,21 @@
+"""RISE: a typed functional IR of data-parallel patterns (paper section II/III)."""
+
+from repro.rise.types import (
+    AddressSpace, ArrayType, DataType, FunType, PairType, ScalarType, Type,
+    TypeError_, TypeVar, VectorType, array, array2d, f32, f64, fun_type, i32,
+    pair, vec,
+)
+from repro.rise.expr import (
+    App, ArrayLiteral, AsScalar, AsVector, CircularBuffer, Expr, Fresh, Fst,
+    Identifier, Join, Lambda, Let, Literal, MakePair, Map, MapGlobal, MapSeq,
+    MapSeqUnroll, MapVec, Primitive, PRIMITIVE_REGISTRY, Reduce, ReduceSeq,
+    ReduceSeqUnroll, RotateValues, ScalarOp, Slide, Snd, Split, ToMem,
+    Transpose, UnaryOp, Unzip, VectorFromScalar, Zip, register_primitive,
+)
+from repro.rise.typecheck import Typing, infer_types, type_of, well_typed
+from repro.rise.traverse import (
+    alpha_equal, app_spine, children, count_nodes, free_identifiers,
+    from_spine, rebuild, substitute, subterms,
+)
+from repro.rise.interpreter import EvalError, evaluate, from_numpy, to_numpy
+from repro.rise.pprint import pretty

@@ -1,0 +1,263 @@
+"""A builder DSL for writing RISE programs in Python.
+
+Mirrors the paper's surface syntax: ``pipe(x, f, g)`` is ``x |> f |> g``,
+``fun(lambda x: ...)`` builds lambdas with readable fresh names, and helpers
+such as ``map_``, ``reduce_`` and ``zip_`` wrap primitive application.
+The macro layer of listing 1/2 (``map2d``, ``slide2d``, ``stencil2d``,
+``conv3x3``) lives in :mod:`repro.pipelines.operators` on top of this.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable
+
+from repro.nat import Nat, nat
+from repro.rise.expr import (
+    App,
+    ArrayLiteral,
+    AsScalar,
+    AsVector,
+    CircularBuffer,
+    Expr,
+    Fresh,
+    Fst,
+    Identifier,
+    Join,
+    Lambda,
+    Let,
+    Literal,
+    MakePair,
+    Map,
+    MapGlobal,
+    MapSeq,
+    MapSeqUnroll,
+    MapVec,
+    Reduce,
+    ReduceSeq,
+    ReduceSeqUnroll,
+    RotateValues,
+    ScalarOp,
+    Slide,
+    Snd,
+    Split,
+    ToMem,
+    Transpose,
+    UnaryOp,
+    Unzip,
+    VectorFromScalar,
+    Zip,
+)
+from repro.rise.types import AddressSpace, ScalarType, f32
+
+__all__ = [
+    "fun",
+    "let",
+    "pipe",
+    "compose",
+    "lit",
+    "arr",
+    "map_",
+    "map_seq",
+    "map_seq_unroll",
+    "map_global",
+    "map_vec",
+    "reduce_",
+    "reduce_seq",
+    "reduce_seq_unroll",
+    "zip_",
+    "unzip_",
+    "fst",
+    "snd",
+    "make_pair",
+    "transpose",
+    "slide",
+    "split",
+    "join",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "to_mem",
+    "as_vector",
+    "as_scalar",
+    "vector_from_scalar",
+    "circular_buffer",
+    "rotate_values",
+    "dot",
+    "id_fun",
+]
+
+
+def fun(body_fn: Callable[..., Expr]) -> Lambda:
+    """Build (nested) lambdas from a Python function.
+
+    ``fun(lambda acc, x: acc + x)`` creates ``fun acc. fun x. acc + x`` with
+    fresh-but-readable parameter names derived from the Python argument names.
+    """
+    signature = inspect.signature(body_fn)
+    params = [Identifier(Fresh.name(p + "_")) for p in signature.parameters]
+    body = body_fn(*params)
+    if not isinstance(body, Expr):
+        raise TypeError(f"fun body must be an Expr, got {body!r}")
+    for param in reversed(params):
+        body = Lambda(param, body)
+    return body
+
+
+def let(value: Expr, body_fn: Callable[[Identifier], Expr], name: str = "v") -> Let:
+    """Build a ``def``-style let binding (paper listing 3 uses these)."""
+    ident = Identifier(Fresh.name(name + "_"))
+    return Let(ident, value, body_fn(ident))
+
+
+def pipe(x: Expr, *fs: Expr) -> Expr:
+    """``pipe(x, f, g)`` is the paper's ``x |> f |> g`` i.e. ``g(f(x))``."""
+    for f in fs:
+        x = App(f, x)
+    return x
+
+
+def compose(*fs: Expr) -> Lambda:
+    """Function composition in pipeline order: compose(f, g) = fun x. g(f(x))."""
+    return fun(lambda x: pipe(x, *fs))
+
+
+def id_fun() -> Lambda:
+    return fun(lambda x: x)
+
+
+def lit(value: float, dtype: ScalarType = f32) -> Literal:
+    return Literal(float(value), dtype)
+
+
+def _to_tuple(values) -> tuple:
+    if isinstance(values, (list, tuple)):
+        return tuple(_to_tuple(v) for v in values)
+    return float(values)
+
+
+def arr(values, dtype: ScalarType = f32) -> ArrayLiteral:
+    """An array literal (used for convolution weights)."""
+    return ArrayLiteral(_to_tuple(values), dtype)
+
+
+def _apply(prim: Expr, args: tuple[Expr, ...]) -> Expr:
+    result = prim
+    for arg in args:
+        result = App(result, arg)
+    return result
+
+
+def map_(*args: Expr) -> Expr:
+    return _apply(Map(), args)
+
+
+def map_seq(*args: Expr) -> Expr:
+    return _apply(MapSeq(), args)
+
+
+def map_seq_unroll(*args: Expr) -> Expr:
+    return _apply(MapSeqUnroll(), args)
+
+
+def map_global(*args: Expr, dim: int = 0) -> Expr:
+    return _apply(MapGlobal(dim=dim), args)
+
+
+def map_vec(*args: Expr) -> Expr:
+    return _apply(MapVec(), args)
+
+
+def reduce_(*args: Expr) -> Expr:
+    return _apply(Reduce(), args)
+
+
+def reduce_seq(*args: Expr) -> Expr:
+    return _apply(ReduceSeq(), args)
+
+
+def reduce_seq_unroll(*args: Expr) -> Expr:
+    return _apply(ReduceSeqUnroll(), args)
+
+
+def zip_(*args: Expr) -> Expr:
+    return _apply(Zip(), args)
+
+
+def unzip_(*args: Expr) -> Expr:
+    return _apply(Unzip(), args)
+
+
+def fst(*args: Expr) -> Expr:
+    return _apply(Fst(), args)
+
+
+def snd(*args: Expr) -> Expr:
+    return _apply(Snd(), args)
+
+
+def make_pair(*args: Expr) -> Expr:
+    return _apply(MakePair(), args)
+
+
+def transpose(*args: Expr) -> Expr:
+    return _apply(Transpose(), args)
+
+
+def slide(size, step, *args: Expr) -> Expr:
+    return _apply(Slide(size=nat(size), step=nat(step)), args)
+
+
+def split(chunk, *args: Expr) -> Expr:
+    return _apply(Split(chunk=nat(chunk)), args)
+
+
+def join(*args: Expr) -> Expr:
+    return _apply(Join(), args)
+
+
+add = ScalarOp(op="add")
+sub = ScalarOp(op="sub")
+mul = ScalarOp(op="mul")
+div = ScalarOp(op="div")
+
+
+def to_mem(addr: AddressSpace = AddressSpace.GLOBAL, *args: Expr) -> Expr:
+    return _apply(ToMem(addr=addr), args)
+
+
+def as_vector(width, *args: Expr) -> Expr:
+    return _apply(AsVector(width=nat(width)), args)
+
+
+def as_scalar(*args: Expr) -> Expr:
+    return _apply(AsScalar(), args)
+
+
+def vector_from_scalar(width, *args: Expr) -> Expr:
+    return _apply(VectorFromScalar(width=nat(width)), args)
+
+
+def circular_buffer(addr: AddressSpace, size, *args: Expr) -> Expr:
+    return _apply(CircularBuffer(addr=addr, size=nat(size)), args)
+
+
+def rotate_values(addr: AddressSpace, size, *args: Expr) -> Expr:
+    return _apply(RotateValues(addr=addr, size=nat(size)), args)
+
+
+def dot(weights: Expr) -> Lambda:
+    """The paper's running example:
+
+        def dot(ws, xs) = zip(ws, xs) |> map(mul) |> reduce(add, 0)
+
+    partially applied to the weights.
+    """
+    return fun(
+        lambda xs: pipe(
+            zip_(weights, xs),
+            map_(fun(lambda p: fst(p) * snd(p))),
+            reduce_(fun(lambda acc, x: acc + x), lit(0.0)),
+        )
+    )

@@ -1,0 +1,614 @@
+"""The RISE expression AST.
+
+RISE is a small lambda calculus over an *extensible* set of computational
+patterns (primitives).  Expressions are immutable; rewriting builds new
+trees.  Every primitive declares its polymorphic type scheme; adding a new
+pattern (as section II of the paper describes for ``circularBuffer`` and
+``rotateValues``) means defining a new :class:`Primitive` subclass and
+registering interpreter semantics and code-generation support for it —
+without modifying this module's core classes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, fields
+from typing import Callable, ClassVar, Iterable
+
+from repro.nat import Nat, nat
+from repro.rise.types import (
+    AddressSpace,
+    ArrayType,
+    DataType,
+    FunType,
+    PairType,
+    ScalarType,
+    Type,
+    TypeVar,
+    VectorType,
+    f32,
+    fun_type,
+)
+
+__all__ = [
+    "Expr",
+    "Identifier",
+    "Lambda",
+    "App",
+    "Let",
+    "Literal",
+    "ArrayLiteral",
+    "Primitive",
+    "Fresh",
+    "PRIMITIVE_REGISTRY",
+    "register_primitive",
+    # primitives
+    "Map",
+    "MapSeq",
+    "MapSeqUnroll",
+    "MapSeqVec",
+    "MapGlobal",
+    "MapVec",
+    "Reduce",
+    "ReduceSeq",
+    "ReduceSeqUnroll",
+    "Zip",
+    "Unzip",
+    "Fst",
+    "Snd",
+    "MakePair",
+    "Transpose",
+    "Slide",
+    "Split",
+    "Join",
+    "ScalarOp",
+    "UnaryOp",
+    "ToMem",
+    "AsVector",
+    "AsScalar",
+    "VectorFromScalar",
+    "CircularBuffer",
+    "RotateValues",
+]
+
+
+class Fresh:
+    """Generates fresh type and nat variables during type-scheme instantiation."""
+
+    _counter = itertools.count()
+
+    def __init__(self, prefix: str = "_t"):
+        self._prefix = prefix
+
+    def dt(self) -> TypeVar:
+        return TypeVar(f"{self._prefix}{next(Fresh._counter)}")
+
+    def nat(self) -> Nat:
+        return nat(f"{self._prefix}n{next(Fresh._counter)}")
+
+    @staticmethod
+    def name(prefix: str = "x") -> str:
+        return f"{prefix}{next(Fresh._counter)}"
+
+
+class Expr:
+    """Base class of RISE expressions."""
+
+    def __rshift__(self, f: "Expr") -> "Expr":
+        """``x >> f`` builds ``f(x)`` — the paper's pipe operator ``x |> f``."""
+        return App(f, self)
+
+    # Scalar-arithmetic sugar used when writing pipelines such as coarsity.
+    def __add__(self, other: "Expr") -> "Expr":
+        return _binop("add", self, other)
+
+    def __sub__(self, other: "Expr") -> "Expr":
+        return _binop("sub", self, other)
+
+    def __mul__(self, other: "Expr") -> "Expr":
+        return _binop("mul", self, other)
+
+    def __truediv__(self, other: "Expr") -> "Expr":
+        return _binop("div", self, other)
+
+    def __call__(self, *args: "Expr") -> "Expr":
+        result: Expr = self
+        for arg in args:
+            result = App(result, arg)
+        return result
+
+    def __repr__(self) -> str:
+        from repro.rise.pprint import pretty
+
+        return pretty(self)
+
+
+@dataclass(frozen=True, repr=False)
+class Identifier(Expr):
+    """A variable reference (also used as the binder of Lambda/Let)."""
+
+    name: str
+
+
+@dataclass(frozen=True, repr=False)
+class Lambda(Expr):
+    """``fun param. body``"""
+
+    param: Identifier
+    body: Expr
+
+
+@dataclass(frozen=True, repr=False)
+class App(Expr):
+    """Function application ``fun(arg)``."""
+
+    fun: Expr
+    arg: Expr
+
+
+@dataclass(frozen=True, repr=False)
+class Let(Expr):
+    """``def ident = value; body`` — a let binding visible to strategies."""
+
+    ident: Identifier
+    value: Expr
+    body: Expr
+
+
+@dataclass(frozen=True, repr=False)
+class Literal(Expr):
+    """A scalar literal."""
+
+    value: float
+    dtype: ScalarType = f32
+
+
+@dataclass(frozen=True, repr=False)
+class ArrayLiteral(Expr):
+    """A (possibly nested) array literal, used for convolution weights."""
+
+    values: tuple
+    dtype: ScalarType = f32
+
+    def shape(self) -> tuple[int, ...]:
+        shape: list[int] = []
+        v = self.values
+        while isinstance(v, tuple):
+            shape.append(len(v))
+            v = v[0]
+        return tuple(shape)
+
+    def data_type(self) -> DataType:
+        result: DataType = self.dtype
+        for size in reversed(self.shape()):
+            result = ArrayType(nat(size), result)
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Primitives
+# ---------------------------------------------------------------------------
+
+PRIMITIVE_REGISTRY: dict[str, type] = {}
+
+
+def register_primitive(cls: type) -> type:
+    """Class decorator registering a primitive so tooling can enumerate them."""
+    PRIMITIVE_REGISTRY[cls.__name__] = cls
+    return cls
+
+
+@dataclass(frozen=True, repr=False)
+class Primitive(Expr):
+    """Base class of computational patterns.
+
+    ``type_scheme`` returns the primitive's type with fresh variables; the
+    type checker instantiates it at every use site.
+    """
+
+    name: ClassVar[str] = "?"
+
+    def type_scheme(self, fresh: Fresh) -> Type:
+        raise NotImplementedError
+
+    def nat_params(self) -> tuple[Nat, ...]:
+        """Nat parameters carried by this primitive instance (for printing)."""
+        return tuple(
+            getattr(self, f.name)
+            for f in fields(self)
+            if f.type in ("Nat",) or isinstance(getattr(self, f.name), Nat)
+        )
+
+
+@register_primitive
+@dataclass(frozen=True, repr=False)
+class Map(Primitive):
+    """map : (s -> t) -> [n]s -> [n]t"""
+
+    name: ClassVar[str] = "map"
+
+    def type_scheme(self, fresh: Fresh) -> Type:
+        s, t, n = fresh.dt(), fresh.dt(), fresh.nat()
+        return fun_type(FunType(s, t), ArrayType(n, s), ArrayType(n, t))
+
+
+@register_primitive
+@dataclass(frozen=True, repr=False)
+class MapSeq(Map):
+    """Low-level map: a sequential loop."""
+
+    name: ClassVar[str] = "mapSeq"
+
+
+@register_primitive
+@dataclass(frozen=True, repr=False)
+class MapSeqUnroll(Map):
+    """Low-level map: a fully unrolled sequential loop."""
+
+    name: ClassVar[str] = "mapSeqUnroll"
+
+
+@register_primitive
+@dataclass(frozen=True, repr=False)
+class MapGlobal(Map):
+    """Low-level map: parallel across global threads (OpenCL) / cores (C)."""
+
+    name: ClassVar[str] = "mapGlobal"
+    dim: int = 0
+
+
+@register_primitive
+@dataclass(frozen=True, repr=False)
+class MapSeqVec(Map):
+    """Low-level map: a strip-mined SIMD loop of the given vector width.
+
+    Semantically identical to ``map``; the code generator emits a loop over
+    groups of ``width`` elements whose body computes on vector values
+    (loads of stencil windows become the unaligned vector loads of paper
+    fig. 7).  This pattern is the packaged result of the asVector /
+    mapVec rewrite chain of listing 7, introduced as one low-level pattern
+    so the full-pipeline schedules stay compact.
+    """
+
+    name: ClassVar[str] = "mapSeqVec"
+    width: Nat = nat(4)
+
+
+@register_primitive
+@dataclass(frozen=True, repr=False)
+class MapVec(Primitive):
+    """mapVec : (s -> t) -> <v>s -> <v>t — vectorizes a scalar function."""
+
+    name: ClassVar[str] = "mapVec"
+
+    def type_scheme(self, fresh: Fresh) -> Type:
+        s, t, v = fresh.dt(), fresh.dt(), fresh.nat()
+        return fun_type(FunType(s, t), VectorType(v, s), VectorType(v, t))
+
+
+@register_primitive
+@dataclass(frozen=True, repr=False)
+class Reduce(Primitive):
+    """reduce : (t -> s -> t) -> t -> [n]s -> t"""
+
+    name: ClassVar[str] = "reduce"
+
+    def type_scheme(self, fresh: Fresh) -> Type:
+        s, t, n = fresh.dt(), fresh.dt(), fresh.nat()
+        return fun_type(fun_type(t, s, t), t, ArrayType(n, s), t)
+
+
+@register_primitive
+@dataclass(frozen=True, repr=False)
+class ReduceSeq(Reduce):
+    """Low-level reduce: a sequential accumulation loop."""
+
+    name: ClassVar[str] = "reduceSeq"
+
+
+@register_primitive
+@dataclass(frozen=True, repr=False)
+class ReduceSeqUnroll(Reduce):
+    """Low-level reduce: fully unrolled accumulation."""
+
+    name: ClassVar[str] = "reduceSeqUnroll"
+
+
+@register_primitive
+@dataclass(frozen=True, repr=False)
+class Zip(Primitive):
+    """zip : [n]s -> [n]t -> [n](s x t)"""
+
+    name: ClassVar[str] = "zip"
+
+    def type_scheme(self, fresh: Fresh) -> Type:
+        s, t, n = fresh.dt(), fresh.dt(), fresh.nat()
+        return fun_type(ArrayType(n, s), ArrayType(n, t), ArrayType(n, PairType(s, t)))
+
+
+@register_primitive
+@dataclass(frozen=True, repr=False)
+class Unzip(Primitive):
+    """unzip : [n](s x t) -> ([n]s x [n]t)"""
+
+    name: ClassVar[str] = "unzip"
+
+    def type_scheme(self, fresh: Fresh) -> Type:
+        s, t, n = fresh.dt(), fresh.dt(), fresh.nat()
+        return FunType(
+            ArrayType(n, PairType(s, t)), PairType(ArrayType(n, s), ArrayType(n, t))
+        )
+
+
+@register_primitive
+@dataclass(frozen=True, repr=False)
+class Fst(Primitive):
+    """fst : (s x t) -> s"""
+
+    name: ClassVar[str] = "fst"
+
+    def type_scheme(self, fresh: Fresh) -> Type:
+        s, t = fresh.dt(), fresh.dt()
+        return FunType(PairType(s, t), s)
+
+
+@register_primitive
+@dataclass(frozen=True, repr=False)
+class Snd(Primitive):
+    """snd : (s x t) -> t"""
+
+    name: ClassVar[str] = "snd"
+
+    def type_scheme(self, fresh: Fresh) -> Type:
+        s, t = fresh.dt(), fresh.dt()
+        return FunType(PairType(s, t), t)
+
+
+@register_primitive
+@dataclass(frozen=True, repr=False)
+class MakePair(Primitive):
+    """pair : s -> t -> (s x t)"""
+
+    name: ClassVar[str] = "pair"
+
+    def type_scheme(self, fresh: Fresh) -> Type:
+        s, t = fresh.dt(), fresh.dt()
+        return fun_type(s, t, PairType(s, t))
+
+
+@register_primitive
+@dataclass(frozen=True, repr=False)
+class Transpose(Primitive):
+    """transpose : [n][m]t -> [m][n]t"""
+
+    name: ClassVar[str] = "transpose"
+
+    def type_scheme(self, fresh: Fresh) -> Type:
+        t, n, m = fresh.dt(), fresh.nat(), fresh.nat()
+        return FunType(
+            ArrayType(n, ArrayType(m, t)), ArrayType(m, ArrayType(n, t))
+        )
+
+
+@register_primitive
+@dataclass(frozen=True, repr=False)
+class Slide(Primitive):
+    """slide(sz, sp) : [sp*n + sz - sp]t -> [n][sz]t — a sliding window."""
+
+    name: ClassVar[str] = "slide"
+    size: Nat = nat(3)
+    step: Nat = nat(1)
+
+    def type_scheme(self, fresh: Fresh) -> Type:
+        t, n = fresh.dt(), fresh.nat()
+        in_size = self.step * n + self.size - self.step
+        return FunType(ArrayType(in_size, t), ArrayType(n, ArrayType(self.size, t)))
+
+
+@register_primitive
+@dataclass(frozen=True, repr=False)
+class Split(Primitive):
+    """split(n) : [n*m]t -> [m][n]t"""
+
+    name: ClassVar[str] = "split"
+    chunk: Nat = nat(2)
+
+    def type_scheme(self, fresh: Fresh) -> Type:
+        t, m = fresh.dt(), fresh.nat()
+        return FunType(
+            ArrayType(self.chunk * m, t), ArrayType(m, ArrayType(self.chunk, t))
+        )
+
+
+@register_primitive
+@dataclass(frozen=True, repr=False)
+class Join(Primitive):
+    """join : [n][m]t -> [n*m]t"""
+
+    name: ClassVar[str] = "join"
+
+    def type_scheme(self, fresh: Fresh) -> Type:
+        t, n, m = fresh.dt(), fresh.nat(), fresh.nat()
+        return FunType(ArrayType(n, ArrayType(m, t)), ArrayType(n * m, t))
+
+
+_SCALAR_OPS = ("add", "sub", "mul", "div", "min", "max")
+_UNARY_OPS = ("neg", "abs", "sqrt")
+
+
+@register_primitive
+@dataclass(frozen=True, repr=False)
+class ScalarOp(Primitive):
+    """A binary arithmetic operation, polymorphic so it also applies to vectors
+    once ``mapVec`` has wrapped it (the interpreter/codegen handle both)."""
+
+    name: ClassVar[str] = "scalarOp"
+    op: str = "add"
+
+    def __post_init__(self) -> None:
+        if self.op not in _SCALAR_OPS:
+            raise ValueError(f"unknown scalar op {self.op!r}")
+
+    def type_scheme(self, fresh: Fresh) -> Type:
+        a = fresh.dt()
+        return fun_type(a, a, a)
+
+
+@register_primitive
+@dataclass(frozen=True, repr=False)
+class UnaryOp(Primitive):
+    """A unary arithmetic operation."""
+
+    name: ClassVar[str] = "unaryOp"
+    op: str = "neg"
+
+    def __post_init__(self) -> None:
+        if self.op not in _UNARY_OPS:
+            raise ValueError(f"unknown unary op {self.op!r}")
+
+    def type_scheme(self, fresh: Fresh) -> Type:
+        a = fresh.dt()
+        return FunType(a, a)
+
+
+def _binop(op: str, a: Expr, b: Expr) -> Expr:
+    return App(App(ScalarOp(op=op), a), b)
+
+
+@register_primitive
+@dataclass(frozen=True, repr=False)
+class ToMem(Primitive):
+    """toMem(addr) : t -> t — materialize a value in the given address space."""
+
+    name: ClassVar[str] = "toMem"
+    addr: AddressSpace = AddressSpace.GLOBAL
+
+    def type_scheme(self, fresh: Fresh) -> Type:
+        t = fresh.dt()
+        return FunType(t, t)
+
+
+@register_primitive
+@dataclass(frozen=True, repr=False)
+class AsVector(Primitive):
+    """asVector(v) : [v*n]s -> [n]<v>s"""
+
+    name: ClassVar[str] = "asVector"
+    width: Nat = nat(4)
+
+    def type_scheme(self, fresh: Fresh) -> Type:
+        s, n = fresh.dt(), fresh.nat()
+        return FunType(
+            ArrayType(self.width * n, s), ArrayType(n, VectorType(self.width, s))
+        )
+
+
+@register_primitive
+@dataclass(frozen=True, repr=False)
+class AsScalar(Primitive):
+    """asScalar : [n]<v>s -> [v*n]s"""
+
+    name: ClassVar[str] = "asScalar"
+
+    def type_scheme(self, fresh: Fresh) -> Type:
+        s, n, v = fresh.dt(), fresh.nat(), fresh.nat()
+        return FunType(ArrayType(n, VectorType(v, s)), ArrayType(v * n, s))
+
+
+@register_primitive
+@dataclass(frozen=True, repr=False)
+class VectorFromScalar(Primitive):
+    """vectorFromScalar : s -> <v>s — broadcast a scalar across vector lanes."""
+
+    name: ClassVar[str] = "vectorFromScalar"
+    width: Nat = nat(4)
+
+    def type_scheme(self, fresh: Fresh) -> Type:
+        s = fresh.dt()
+        return FunType(s, VectorType(self.width, s))
+
+
+@register_primitive
+@dataclass(frozen=True, repr=False)
+class CircularBuffer(Primitive):
+    """circularBuffer(addr, m) : (s -> t) -> [n + m - 1]s -> [n][m]t
+
+    The new low-level pattern introduced by the paper: like ``slide(m, 1)``
+    but the last ``m`` loaded values live in a circular buffer in ``addr``
+    memory; the function argument loads values into the buffer.
+    """
+
+    name: ClassVar[str] = "circularBuffer"
+    addr: AddressSpace = AddressSpace.GLOBAL
+    size: Nat = nat(3)
+
+    def type_scheme(self, fresh: Fresh) -> Type:
+        s, t, n = fresh.dt(), fresh.dt(), fresh.nat()
+        return fun_type(
+            FunType(s, t),
+            ArrayType(n + self.size - 1, s),
+            ArrayType(n, ArrayType(self.size, t)),
+        )
+
+
+@register_primitive
+@dataclass(frozen=True, repr=False)
+class RotateValues(Primitive):
+    """rotateValues(addr, m) : [n + m - 1]t -> [n][m]t
+
+    The paper's register-rotation pattern: like ``slide(m, 1)`` but the last
+    ``m`` values are kept in registers that rotate as the array is read
+    sequentially.
+    """
+
+    name: ClassVar[str] = "rotateValues"
+    addr: AddressSpace = AddressSpace.PRIVATE
+    size: Nat = nat(3)
+
+    def type_scheme(self, fresh: Fresh) -> Type:
+        t, n = fresh.dt(), fresh.nat()
+        return FunType(
+            ArrayType(n + self.size - 1, t),
+            ArrayType(n, ArrayType(self.size, t)),
+        )
+
+
+_PRIMITIVE_ARITY: dict[type, int] = {}
+
+
+def _init_arities() -> None:
+    _PRIMITIVE_ARITY.update(
+        {
+            Map: 2,
+            MapVec: 2,
+            Reduce: 3,
+            Zip: 2,
+            Unzip: 1,
+            Fst: 1,
+            Snd: 1,
+            MakePair: 2,
+            Transpose: 1,
+            Slide: 1,
+            Split: 1,
+            Join: 1,
+            ScalarOp: 2,
+            UnaryOp: 1,
+            ToMem: 1,
+            AsVector: 1,
+            AsScalar: 1,
+            VectorFromScalar: 1,
+            CircularBuffer: 2,
+            RotateValues: 1,
+        }
+    )
+
+
+_init_arities()
+
+
+def primitive_arity(prim: Primitive) -> int:
+    """Number of expression arguments a primitive takes when fully applied."""
+    for klass in type(prim).__mro__:
+        if klass in _PRIMITIVE_ARITY:
+            return _PRIMITIVE_ARITY[klass]
+    raise KeyError(f"unknown primitive {type(prim).__name__}")

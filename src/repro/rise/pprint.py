@@ -1,0 +1,73 @@
+"""Pretty printing of RISE expressions in a paper-like surface syntax."""
+
+from __future__ import annotations
+
+from repro.rise import expr as E
+
+__all__ = ["pretty"]
+
+_OP_SYMBOLS = {"add": "+", "sub": "-", "mul": "*", "div": "/", "min": "min", "max": "max"}
+
+
+def _prim_label(p: E.Primitive) -> str:
+    if isinstance(p, E.Slide):
+        return f"slide({p.size!r},{p.step!r})"
+    if isinstance(p, E.Split):
+        return f"split({p.chunk!r})"
+    if isinstance(p, E.AsVector):
+        return f"asVector({p.width!r})"
+    if isinstance(p, E.VectorFromScalar):
+        return f"vectorFromScalar({p.width!r})"
+    if isinstance(p, E.ToMem):
+        return f"toMem({p.addr.value})"
+    if isinstance(p, E.CircularBuffer):
+        return f"circularBuffer({p.addr.value},{p.size!r})"
+    if isinstance(p, E.RotateValues):
+        return f"rotateValues({p.addr.value},{p.size!r})"
+    if isinstance(p, E.ScalarOp):
+        return f"({_OP_SYMBOLS[p.op]})"
+    if isinstance(p, E.UnaryOp):
+        return p.op
+    return p.name
+
+
+def pretty(e: E.Expr, indent: int = 0) -> str:
+    """Render an expression compactly; lambdas/lets introduce no line breaks
+    so the output stays grep-friendly in tests and examples."""
+    if isinstance(e, E.Identifier):
+        return e.name
+    if isinstance(e, E.Literal):
+        value = e.value
+        text = f"{value:g}" if isinstance(value, float) else str(value)
+        return text
+    if isinstance(e, E.ArrayLiteral):
+        def rec(v) -> str:
+            if isinstance(v, tuple):
+                return "[" + ", ".join(rec(x) for x in v) + "]"
+            return f"{v:g}"
+
+        return rec(e.values)
+    if isinstance(e, E.Lambda):
+        return f"(fun {e.param.name}. {pretty(e.body)})"
+    if isinstance(e, E.Let):
+        return f"(def {e.ident.name} = {pretty(e.value)} in {pretty(e.body)})"
+    if isinstance(e, E.App):
+        head, args = _spine(e)
+        if isinstance(head, E.ScalarOp) and len(args) == 2:
+            symbol = _OP_SYMBOLS[head.op]
+            if symbol in "+-*/":
+                return f"({pretty(args[0])} {symbol} {pretty(args[1])})"
+        head_text = pretty(head)
+        return f"{head_text}({', '.join(pretty(a) for a in args)})"
+    if isinstance(e, E.Primitive):
+        return _prim_label(e)
+    return f"<{type(e).__name__}>"
+
+
+def _spine(e: E.Expr) -> tuple[E.Expr, list[E.Expr]]:
+    args: list[E.Expr] = []
+    while isinstance(e, E.App):
+        args.append(e.arg)
+        e = e.fun
+    args.reverse()
+    return e, args

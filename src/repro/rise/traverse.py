@@ -1,0 +1,167 @@
+"""Generic traversal, substitution and comparison utilities for RISE ASTs.
+
+These are the mechanics that the ELEVATE traversals (``topDown``,
+``bottomUp``, ``one``, ``all``) are built from.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.rise.expr import App, Expr, Fresh, Identifier, Lambda, Let
+
+__all__ = [
+    "children",
+    "rebuild",
+    "subterms",
+    "free_identifiers",
+    "substitute",
+    "alpha_equal",
+    "app_spine",
+    "from_spine",
+    "count_nodes",
+]
+
+
+def children(expr: Expr) -> list[Expr]:
+    """The rewritable sub-expressions of a node (binders are not children)."""
+    if isinstance(expr, Lambda):
+        return [expr.body]
+    if isinstance(expr, App):
+        return [expr.fun, expr.arg]
+    if isinstance(expr, Let):
+        return [expr.value, expr.body]
+    return []
+
+
+def rebuild(expr: Expr, new_children: list[Expr]) -> Expr:
+    """Rebuild a node with replaced children (same order as :func:`children`)."""
+    if isinstance(expr, Lambda):
+        (body,) = new_children
+        if body is expr.body:
+            return expr
+        return Lambda(expr.param, body)
+    if isinstance(expr, App):
+        fun, arg = new_children
+        if fun is expr.fun and arg is expr.arg:
+            return expr
+        return App(fun, arg)
+    if isinstance(expr, Let):
+        value, body = new_children
+        if value is expr.value and body is expr.body:
+            return expr
+        return Let(expr.ident, value, body)
+    if new_children:
+        raise ValueError(f"{type(expr).__name__} has no children")
+    return expr
+
+
+def subterms(expr: Expr) -> Iterator[Expr]:
+    """Depth-first pre-order iteration over all sub-expressions."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(children(node)))
+
+
+def count_nodes(expr: Expr) -> int:
+    return sum(1 for _ in subterms(expr))
+
+
+def free_identifiers(expr: Expr) -> frozenset[str]:
+    """Names of identifiers that occur free in ``expr``."""
+    if isinstance(expr, Identifier):
+        return frozenset({expr.name})
+    if isinstance(expr, Lambda):
+        return free_identifiers(expr.body) - {expr.param.name}
+    if isinstance(expr, Let):
+        return free_identifiers(expr.value) | (
+            free_identifiers(expr.body) - {expr.ident.name}
+        )
+    result: frozenset[str] = frozenset()
+    for child in children(expr):
+        result |= free_identifiers(child)
+    return result
+
+
+def substitute(expr: Expr, name: str, value: Expr) -> Expr:
+    """Capture-avoiding substitution of ``value`` for free ``name`` in ``expr``."""
+    value_free = free_identifiers(value)
+
+    def go(e: Expr) -> Expr:
+        if isinstance(e, Identifier):
+            return value if e.name == name else e
+        if isinstance(e, Lambda):
+            if e.param.name == name:
+                return e
+            if e.param.name in value_free:
+                renamed = Identifier(Fresh.name(e.param.name + "_"))
+                body = substitute(e.body, e.param.name, renamed)
+                return Lambda(renamed, go(body))
+            return Lambda(e.param, go(e.body))
+        if isinstance(e, Let):
+            new_value = go(e.value)
+            if e.ident.name == name:
+                return Let(e.ident, new_value, e.body)
+            if e.ident.name in value_free:
+                renamed = Identifier(Fresh.name(e.ident.name + "_"))
+                body = substitute(e.body, e.ident.name, renamed)
+                return Let(renamed, new_value, go(body))
+            return Let(e.ident, new_value, go(e.body))
+        kids = children(e)
+        if not kids:
+            return e
+        return rebuild(e, [go(c) for c in kids])
+
+    return go(expr)
+
+
+def alpha_equal(a: Expr, b: Expr) -> bool:
+    """Structural equality modulo renaming of bound variables."""
+
+    def go(x: Expr, y: Expr, env_x: dict[str, int], env_y: dict[str, int], depth: int) -> bool:
+        if isinstance(x, Identifier) and isinstance(y, Identifier):
+            bx = env_x.get(x.name)
+            by = env_y.get(y.name)
+            if bx is None and by is None:
+                return x.name == y.name
+            return bx is not None and bx == by
+        if isinstance(x, Lambda) and isinstance(y, Lambda):
+            env_x2 = {**env_x, x.param.name: depth}
+            env_y2 = {**env_y, y.param.name: depth}
+            return go(x.body, y.body, env_x2, env_y2, depth + 1)
+        if isinstance(x, Let) and isinstance(y, Let):
+            if not go(x.value, y.value, env_x, env_y, depth):
+                return False
+            env_x2 = {**env_x, x.ident.name: depth}
+            env_y2 = {**env_y, y.ident.name: depth}
+            return go(x.body, y.body, env_x2, env_y2, depth + 1)
+        if isinstance(x, App) and isinstance(y, App):
+            return go(x.fun, y.fun, env_x, env_y, depth) and go(
+                x.arg, y.arg, env_x, env_y, depth
+            )
+        if type(x) is not type(y):
+            return False
+        # Leaves: primitives, literals — rely on structural equality.
+        return x == y
+
+    return go(a, b, {}, {}, 0)
+
+
+def app_spine(expr: Expr) -> tuple[Expr, list[Expr]]:
+    """Decompose nested applications: ``f(a)(b)(c)`` -> (f, [a, b, c])."""
+    args: list[Expr] = []
+    while isinstance(expr, App):
+        args.append(expr.arg)
+        expr = expr.fun
+    args.reverse()
+    return expr, args
+
+
+def from_spine(head: Expr, args: list[Expr]) -> Expr:
+    """Inverse of :func:`app_spine`."""
+    result = head
+    for arg in args:
+        result = App(result, arg)
+    return result

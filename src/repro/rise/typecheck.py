@@ -1,0 +1,309 @@
+"""Type inference for RISE.
+
+Implements unification-based inference over data types *and* symbolic
+natural numbers.  Nat unification solves linear equations such as
+
+    1 * _n3 + 2  ==  n + 4        ==>   _n3 = n + 2
+
+which is what makes ``slide`` and ``split`` typeable without annotations.
+Only *inference* variables (prefixed ``_``) are bindable; user-chosen size
+variables such as ``n`` are rigid.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.nat import Nat
+from repro.rise.expr import (
+    App,
+    ArrayLiteral,
+    Expr,
+    Fresh,
+    Identifier,
+    Lambda,
+    Let,
+    Literal,
+    Primitive,
+)
+from repro.rise.types import (
+    ArrayType,
+    DataType,
+    FunType,
+    PairType,
+    ScalarType,
+    Type,
+    TypeError_,
+    TypeVar,
+    VectorType,
+)
+
+__all__ = ["Typing", "infer_types", "type_of", "well_typed"]
+
+
+def _is_flexible(name: str) -> bool:
+    return name.startswith("_")
+
+
+class _Subst:
+    """A mutable substitution over type variables and nat variables."""
+
+    def __init__(self) -> None:
+        self.types: dict[str, DataType] = {}
+        self.nats: dict[str, Nat] = {}
+        # Nat equations that could not be solved yet (e.g. ``_n * _m == 9``
+        # before the factors are known).  They are retried after every new
+        # binding and must all be resolved by the end of inference.
+        self.pending: list[tuple[Nat, Nat]] = []
+
+    # -- application ---------------------------------------------------
+
+    def apply_nat(self, n: Nat) -> Nat:
+        for _ in range(1000):
+            relevant = {v: self.nats[v] for v in n.free_vars() if v in self.nats}
+            if not relevant:
+                return n
+            n = n.substitute(relevant)
+        raise TypeError_("nat substitution did not terminate (cyclic binding?)")
+
+    def apply(self, t: Type) -> Type:
+        if isinstance(t, TypeVar):
+            bound = self.types.get(t.name)
+            if bound is None:
+                return t
+            resolved = self.apply(bound)
+            # Path compression keeps repeated application cheap.
+            if isinstance(resolved, DataType):
+                self.types[t.name] = resolved
+            return resolved
+        if isinstance(t, ScalarType):
+            return t
+        if isinstance(t, ArrayType):
+            return ArrayType(self.apply_nat(t.size), self.apply(t.elem))
+        if isinstance(t, VectorType):
+            return VectorType(self.apply_nat(t.size), self.apply(t.elem))
+        if isinstance(t, PairType):
+            return PairType(self.apply(t.fst), self.apply(t.snd))
+        if isinstance(t, FunType):
+            return FunType(self.apply(t.param), self.apply(t.ret))
+        raise TypeError_(f"unknown type {t!r}")
+
+    # -- unification ---------------------------------------------------
+
+    def unify(self, a: Type, b: Type) -> None:
+        a = self.apply(a)
+        b = self.apply(b)
+        if isinstance(a, TypeVar) or isinstance(b, TypeVar):
+            if isinstance(b, TypeVar) and not isinstance(a, TypeVar):
+                a, b = b, a
+            assert isinstance(a, TypeVar)
+            if a == b:
+                return
+            if not isinstance(b, DataType):
+                raise TypeError_(f"cannot unify data-type variable {a!r} with {b!r}")
+            if a.name in b.free_type_vars():
+                raise TypeError_(f"occurs check failed: {a!r} in {b!r}")
+            self.types[a.name] = b
+            return
+        if isinstance(a, ScalarType) and isinstance(b, ScalarType):
+            if a.name != b.name:
+                raise TypeError_(f"scalar mismatch: {a!r} vs {b!r}")
+            return
+        if isinstance(a, ArrayType) and isinstance(b, ArrayType):
+            self.unify_nat(a.size, b.size)
+            self.unify(a.elem, b.elem)
+            return
+        if isinstance(a, VectorType) and isinstance(b, VectorType):
+            self.unify_nat(a.size, b.size)
+            self.unify(a.elem, b.elem)
+            return
+        if isinstance(a, PairType) and isinstance(b, PairType):
+            self.unify(a.fst, b.fst)
+            self.unify(a.snd, b.snd)
+            return
+        if isinstance(a, FunType) and isinstance(b, FunType):
+            self.unify(a.param, b.param)
+            self.unify(a.ret, b.ret)
+            return
+        raise TypeError_(f"cannot unify {a!r} with {b!r}")
+
+    def unify_nat(self, a: Nat, b: Nat) -> None:
+        if self._try_solve_nat(a, b):
+            self._drain_pending()
+            return
+        a = self.apply_nat(a)
+        b = self.apply_nat(b)
+        if a.is_constant() and b.is_constant():
+            raise TypeError_(f"size mismatch: {a!r} != {b!r}")
+        if not any(_is_flexible(v) for v in a.free_vars() | b.free_vars()):
+            raise TypeError_(f"cannot unify sizes {a!r} and {b!r}")
+        self.pending.append((a, b))
+
+    def _try_solve_nat(self, a: Nat, b: Nat) -> bool:
+        """Attempt to discharge ``a == b`` now; True when solved/trivial."""
+        a = self.apply_nat(a)
+        b = self.apply_nat(b)
+        if a == b:
+            return True
+        for lhs, rhs in ((a, b), (b, a)):
+            for var in sorted(lhs.free_vars()):
+                if not _is_flexible(var) or var in self.nats:
+                    continue
+                solution = lhs.solve_for(var, rhs)
+                if solution is not None:
+                    if solution.is_constant() and solution.constant_value() < 0:
+                        # sizes are natural numbers: a negative solution
+                        # means the constraint is unsatisfiable (e.g. a
+                        # sliding window larger than its array)
+                        raise TypeError_(
+                            f"size constraint {a!r} == {b!r} requires "
+                            f"{var} = {solution!r} < 0"
+                        )
+                    self.nats[var] = solution
+                    return True
+        return False
+
+    def _drain_pending(self) -> None:
+        """Retry postponed equations until no further progress is made."""
+        progress = True
+        while progress and self.pending:
+            progress = False
+            remaining: list[tuple[Nat, Nat]] = []
+            for a, b in self.pending:
+                if self._try_solve_nat(a, b):
+                    progress = True
+                else:
+                    remaining.append((a, b))
+            self.pending = remaining
+
+    def assert_resolved(self) -> None:
+        self._drain_pending()
+        unresolved = [
+            (self.apply_nat(a), self.apply_nat(b))
+            for a, b in self.pending
+            if self.apply_nat(a) != self.apply_nat(b)
+        ]
+        if unresolved:
+            a, b = unresolved[0]
+            raise TypeError_(
+                f"unresolved size constraint: {a!r} == {b!r}"
+                + (f" (+{len(unresolved) - 1} more)" if len(unresolved) > 1 else "")
+            )
+
+
+class Typing:
+    """The result of type inference: the root type plus per-node types.
+
+    Node types are addressed by object identity, which is stable because
+    expressions are immutable.  The typing holds references to all typed
+    nodes so the ids stay valid.
+    """
+
+    def __init__(self, root: Expr, root_type: Type, by_node: dict[int, Type], nodes: list[Expr]):
+        self.root = root
+        self.root_type = root_type
+        self._by_node = by_node
+        self._nodes = nodes  # keeps ids alive
+        # Size equations left undecided by non-strict inference (e.g.
+        # chunk-divisibility); solved numerically at instantiation time.
+        self.pending_sizes: list = []
+
+    def of(self, node: Expr) -> Type:
+        try:
+            return self._by_node[id(node)]
+        except KeyError:
+            raise TypeError_("node was not part of the typed expression") from None
+
+
+class _Inferencer:
+    def __init__(self, env: Mapping[str, Type]):
+        self.subst = _Subst()
+        self.fresh = Fresh()
+        self.env0 = dict(env)
+        self.by_node: dict[int, Type] = {}
+        self.nodes: list[Expr] = []
+
+    def infer(self, expr: Expr, env: Mapping[str, Type]) -> Type:
+        t = self._infer(expr, env)
+        self.by_node[id(expr)] = t
+        self.nodes.append(expr)
+        return t
+
+    def _infer(self, expr: Expr, env: Mapping[str, Type]) -> Type:
+        if isinstance(expr, Identifier):
+            try:
+                return env[expr.name]
+            except KeyError:
+                raise TypeError_(f"unbound identifier {expr.name!r}") from None
+        if isinstance(expr, Literal):
+            return expr.dtype
+        if isinstance(expr, ArrayLiteral):
+            return expr.data_type()
+        if isinstance(expr, Lambda):
+            param_type = self.fresh.dt()
+            inner = {**env, expr.param.name: param_type}
+            self.by_node[id(expr.param)] = param_type
+            self.nodes.append(expr.param)
+            body_type = self.infer(expr.body, inner)
+            return FunType(param_type, body_type)
+        if isinstance(expr, Let):
+            value_type = self.infer(expr.value, env)
+            self.by_node[id(expr.ident)] = value_type
+            self.nodes.append(expr.ident)
+            inner = {**env, expr.ident.name: value_type}
+            return self.infer(expr.body, inner)
+        if isinstance(expr, App):
+            fun_type = self.subst.apply(self.infer(expr.fun, env))
+            arg_type = self.infer(expr.arg, env)
+            if not isinstance(fun_type, FunType):
+                raise TypeError_(
+                    f"applying non-function of type {fun_type!r} in {expr!r}"
+                )
+            self.subst.unify(fun_type.param, arg_type)
+            return fun_type.ret
+        if isinstance(expr, Primitive):
+            return expr.type_scheme(self.fresh)
+        raise TypeError_(f"cannot infer type of {expr!r}")
+
+    def finish(self, root: Expr, root_type: Type, strict: bool = True) -> Typing:
+        if strict:
+            self.subst.assert_resolved()
+        else:
+            self.subst._drain_pending()
+        resolved = {key: self.subst.apply(t) for key, t in self.by_node.items()}
+        typing = Typing(root, self.subst.apply(root_type), resolved, self.nodes)
+        typing.pending_sizes = [
+            (self.subst.apply_nat(a), self.subst.apply_nat(b))
+            for a, b in self.subst.pending
+        ]
+        return typing
+
+
+def infer_types(
+    expr: Expr, env: Mapping[str, Type] | None = None, strict: bool = True
+) -> Typing:
+    """Infer the type of ``expr`` (with free identifiers typed by ``env``).
+
+    Raises :class:`~repro.rise.types.TypeError_` on ill-typed programs.
+    With ``strict=False``, size constraints that cannot be decided
+    symbolically (e.g. divisibility of a free size by a chunk width) are
+    tolerated instead of rejected — used by typed strategies that run on
+    programs whose sizes are bound only at code-generation time.
+    """
+    inferencer = _Inferencer(env or {})
+    root_type = inferencer.infer(expr, inferencer.env0)
+    return inferencer.finish(expr, root_type, strict=strict)
+
+
+def type_of(expr: Expr, env: Mapping[str, Type] | None = None) -> Type:
+    """Shorthand: infer and return just the root type."""
+    return infer_types(expr, env).root_type
+
+
+def well_typed(expr: Expr, env: Mapping[str, Type] | None = None) -> bool:
+    """True when the expression type checks."""
+    try:
+        infer_types(expr, env)
+        return True
+    except TypeError_:
+        return False

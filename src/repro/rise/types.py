@@ -1,0 +1,223 @@
+"""The RISE type system.
+
+RISE is a typed functional language.  Data types describe values living in
+memory (scalars, SIMD vectors, fixed-size arrays, pairs); function types
+describe computations.  Array sizes are symbolic :class:`~repro.nat.Nat`
+expressions, which is what lets a primitive such as ``slide`` have the type
+
+    slide(sz, sp) : [sp*n + sz - sp]t -> [n][sz]t
+
+and lets the type checker solve for ``n`` when the input size is known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator
+
+from repro.nat import Nat, nat
+
+__all__ = [
+    "Type",
+    "DataType",
+    "ScalarType",
+    "VectorType",
+    "ArrayType",
+    "PairType",
+    "TypeVar",
+    "FunType",
+    "AddressSpace",
+    "f32",
+    "f64",
+    "i32",
+    "i8",
+    "bool_",
+    "array",
+    "array2d",
+    "pair",
+    "vec",
+    "fun_type",
+    "TypeError_",
+]
+
+
+class TypeError_(Exception):
+    """Raised for RISE type errors (named to avoid shadowing the builtin)."""
+
+
+class Type:
+    """Base class of all RISE types."""
+
+    def free_type_vars(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def free_nat_vars(self) -> frozenset[str]:
+        raise NotImplementedError
+
+
+class DataType(Type):
+    """Base class of first-order data types (things that can be in memory)."""
+
+
+@dataclass(frozen=True)
+class ScalarType(DataType):
+    """A machine scalar such as f32."""
+
+    name: str
+
+    def free_type_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def free_nat_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class VectorType(DataType):
+    """A SIMD vector ``<size>elem`` of scalar elements."""
+
+    size: Nat
+    elem: DataType
+
+    def free_type_vars(self) -> frozenset[str]:
+        return self.elem.free_type_vars()
+
+    def free_nat_vars(self) -> frozenset[str]:
+        return self.size.free_vars() | self.elem.free_nat_vars()
+
+    def __repr__(self) -> str:
+        return f"<{self.size!r}>{self.elem!r}"
+
+
+@dataclass(frozen=True)
+class ArrayType(DataType):
+    """A fixed-size array ``[size]elem``."""
+
+    size: Nat
+    elem: DataType
+
+    def free_type_vars(self) -> frozenset[str]:
+        return self.elem.free_type_vars()
+
+    def free_nat_vars(self) -> frozenset[str]:
+        return self.size.free_vars() | self.elem.free_nat_vars()
+
+    def __repr__(self) -> str:
+        return f"[{self.size!r}]{self.elem!r}"
+
+
+@dataclass(frozen=True)
+class PairType(DataType):
+    """A pair ``(fst x snd)``."""
+
+    fst: DataType
+    snd: DataType
+
+    def free_type_vars(self) -> frozenset[str]:
+        return self.fst.free_type_vars() | self.snd.free_type_vars()
+
+    def free_nat_vars(self) -> frozenset[str]:
+        return self.fst.free_nat_vars() | self.snd.free_nat_vars()
+
+    def __repr__(self) -> str:
+        return f"({self.fst!r} x {self.snd!r})"
+
+
+@dataclass(frozen=True)
+class TypeVar(DataType):
+    """A data-type variable used during inference (and in type schemes)."""
+
+    name: str
+
+    def free_type_vars(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def free_nat_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class FunType(Type):
+    """A function type ``param -> ret``."""
+
+    param: Type
+    ret: Type
+
+    def free_type_vars(self) -> frozenset[str]:
+        return self.param.free_type_vars() | self.ret.free_type_vars()
+
+    def free_nat_vars(self) -> frozenset[str]:
+        return self.param.free_nat_vars() | self.ret.free_nat_vars()
+
+    def __repr__(self) -> str:
+        param = f"({self.param!r})" if isinstance(self.param, FunType) else repr(self.param)
+        return f"{param} -> {self.ret!r}"
+
+
+class AddressSpace(Enum):
+    """OpenCL-style address spaces used by low-level patterns."""
+
+    GLOBAL = "global"
+    LOCAL = "local"
+    PRIVATE = "private"
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+f32 = ScalarType("f32")
+f64 = ScalarType("f64")
+i32 = ScalarType("i32")
+i8 = ScalarType("i8")
+bool_ = ScalarType("bool")
+
+
+def array(size, elem: DataType) -> ArrayType:
+    """Build ``[size]elem`` accepting ints/strs/Nats for the size."""
+    return ArrayType(nat(size), elem)
+
+
+def array2d(rows, cols, elem: DataType) -> ArrayType:
+    """Build ``[rows][cols]elem``."""
+    return array(rows, array(cols, elem))
+
+
+def pair(fst: DataType, snd: DataType) -> PairType:
+    return PairType(fst, snd)
+
+
+def vec(size, elem: DataType) -> VectorType:
+    return VectorType(nat(size), elem)
+
+
+def fun_type(*types: Type) -> Type:
+    """Right-associated function type: fun_type(a, b, c) == a -> (b -> c)."""
+    if not types:
+        raise TypeError_("fun_type needs at least one type")
+    result = types[-1]
+    for param in reversed(types[:-1]):
+        result = FunType(param, result)
+    return result
+
+
+def array_dims(dtype: DataType) -> Iterator[Nat]:
+    """Yield the sizes of the outer array dimensions of a data type."""
+    while isinstance(dtype, ArrayType):
+        yield dtype.size
+        dtype = dtype.elem
+
+
+def array_elem(dtype: DataType, depth: int) -> DataType:
+    """Strip ``depth`` array layers off a data type."""
+    for _ in range(depth):
+        if not isinstance(dtype, ArrayType):
+            raise TypeError_(f"expected array type, got {dtype!r}")
+        dtype = dtype.elem
+    return dtype

@@ -1,0 +1,20 @@
+"""Rewrite rules: algorithmic, lowering, vectorization and domain-specific.
+
+New rules are plain functions decorated with ``@rule`` — they extend the
+compiler without modifying it (the paper's extensibility claim).
+"""
+
+from repro.rules.algorithmic import (
+    beta_reduction, eta_reduction, fst_pair, let_inline, map_fusion,
+    map_of_identity, map_outside_zip, reduce_map_fusion, slide_after_split,
+    slide_before_map, slide_before_slide, slide_outside_zip, snd_pair,
+    split_join, transpose_around_map_map, zip_same,
+)
+from repro.rules.lowering import (
+    slide_to_circular_buffer, slide_to_rotate_values, store_to_memory,
+    unroll_map_seq, unroll_reduce_seq, use_map_global, use_map_seq,
+    use_map_seq_unroll, use_reduce_seq, use_reduce_seq_unroll,
+)
+from repro.rules.vectorize import (
+    start_vectorization, vectorize_before_map, vectorize_before_map_reduce,
+)

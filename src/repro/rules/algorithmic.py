@@ -1,0 +1,375 @@
+"""Algorithmic (semantics-preserving, hardware-agnostic) rewrite rules.
+
+These are the rules of paper listing 6 plus the standard RISE/LIFT fusion
+and movement rules the strategies compose.  Every rule here has a matching
+property test in ``tests/rules`` that interprets programs before and after
+rewriting and compares results numerically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nat import Nat, nat
+from repro.rise.dsl import fun, make_pair, map_, slide as slide_, unzip_, zip_
+from repro.rise.expr import (
+    App,
+    Expr,
+    Identifier,
+    Join,
+    Lambda,
+    Let,
+    Map,
+    MakePair,
+    Fst,
+    Snd,
+    Reduce,
+    ReduceSeq,
+    Slide,
+    Split,
+    Transpose,
+    Zip,
+)
+from repro.elevate.core import Strategy, rule
+from repro.rise.traverse import alpha_equal, free_identifiers, substitute
+from repro.rules.match import match_prim_app
+
+__all__ = [
+    "beta_reduction",
+    "eta_reduction",
+    "let_inline",
+    "fst_pair",
+    "snd_pair",
+    "map_fusion",
+    "map_of_identity",
+    "reduce_map_fusion",
+    "split_join",
+    "slide_after_split",
+    "slide_before_map",
+    "slide_before_slide",
+    "map_outside_zip",
+    "zip_same",
+    "slide_outside_zip",
+    "transpose_around_map_map",
+    "fst_unzip",
+    "snd_unzip",
+    "map_proj_fusion",
+]
+
+
+@rule("betaReduction")
+def beta_reduction(expr: Expr) -> Optional[Expr]:
+    """(fun x. body)(arg)  -->  body[x := arg]"""
+    if isinstance(expr, App) and isinstance(expr.fun, Lambda):
+        return substitute(expr.fun.body, expr.fun.param.name, expr.arg)
+    return None
+
+
+@rule("etaReduction")
+def eta_reduction(expr: Expr) -> Optional[Expr]:
+    """fun x. f(x)  -->  f   (when x is not free in f)"""
+    if (
+        isinstance(expr, Lambda)
+        and isinstance(expr.body, App)
+        and isinstance(expr.body.arg, Identifier)
+        and expr.body.arg.name == expr.param.name
+        and expr.param.name not in free_identifiers(expr.body.fun)
+    ):
+        return expr.body.fun
+    return None
+
+
+@rule("letInline")
+def let_inline(expr: Expr) -> Optional[Expr]:
+    """def x = v in body  -->  body[x := v]"""
+    if isinstance(expr, Let):
+        return substitute(expr.body, expr.ident.name, expr.value)
+    return None
+
+
+@rule("fstPair")
+def fst_pair(expr: Expr) -> Optional[Expr]:
+    """fst(pair(a, b))  -->  a"""
+    match = match_prim_app(expr, Fst, 1)
+    if match is None:
+        return None
+    inner = match_prim_app(match[1][0], MakePair, 2)
+    if inner is None:
+        return None
+    return inner[1][0]
+
+
+@rule("sndPair")
+def snd_pair(expr: Expr) -> Optional[Expr]:
+    """snd(pair(a, b))  -->  b"""
+    match = match_prim_app(expr, Snd, 1)
+    if match is None:
+        return None
+    inner = match_prim_app(match[1][0], MakePair, 2)
+    if inner is None:
+        return None
+    return inner[1][1]
+
+
+@rule("mapFusion")
+def map_fusion(expr: Expr) -> Optional[Expr]:
+    """map(f) |> map(h)  -->  map(f |> h)          (listing 6)"""
+    outer = match_prim_app(expr, Map, 2)
+    if outer is None:
+        return None
+    _, (h, inner_expr) = outer
+    inner = match_prim_app(inner_expr, Map, 2)
+    if inner is None:
+        return None
+    _, (f, x) = inner
+    return map_(fun(lambda a: App(h, App(f, a))), x)
+
+
+@rule("mapOfIdentity")
+def map_of_identity(expr: Expr) -> Optional[Expr]:
+    """map(fun a. a)  -->  identity (drop the application)"""
+    outer = match_prim_app(expr, Map, 2)
+    if outer is None:
+        return None
+    _, (f, x) = outer
+    if isinstance(f, Lambda) and isinstance(f.body, Identifier) and f.body.name == f.param.name:
+        return x
+    return None
+
+
+@rule("reduceMapFusion")
+def reduce_map_fusion(expr: Expr) -> Optional[Expr]:
+    """map(f) |> reduce(g, init)
+       -->  reduceSeq(fun (acc, x). g(acc, f(x)), init)     (paper section II-A)
+    """
+    outer = match_prim_app(expr, Reduce, 3)
+    if outer is None:
+        return None
+    _, (g, init, mapped) = outer
+    inner = match_prim_app(mapped, Map, 2)
+    if inner is None:
+        return None
+    _, (f, x) = inner
+    from repro.rise.dsl import reduce_seq
+
+    return reduce_seq(fun(lambda acc, y: App(App(g, acc), App(f, y))), init, x)
+
+
+def split_join(p) -> Strategy:
+    """map(f)  -->  split(p) |> map(map(f)) |> join      (listing 6)"""
+    p = nat(p)
+
+    @rule(f"splitJoin({p!r})")
+    def run(expr: Expr) -> Optional[Expr]:
+        match = match_prim_app(expr, Map, 2)
+        if match is None:
+            return None
+        _, (f, x) = match
+        from repro.rise.dsl import join, split
+
+        return join(map_(map_(f), split(p, x)))
+
+    return run
+
+
+@rule("slideAfterSplit")
+def slide_after_split(expr: Expr) -> Optional[Expr]:
+    """slide(n, m) |> split(p)
+       -->  slide((p-1)*m + n, p*m) |> map(slide(n, m))    (listing 6)
+
+    Listing 6 states the step/size for m == 1; this is the general form,
+    which coincides with the paper's when m == 1.
+    """
+    outer = match_prim_app(expr, Split, 1)
+    if outer is None:
+        return None
+    split_prim, (slided,) = outer
+    inner = match_prim_app(slided, Slide, 1)
+    if inner is None:
+        return None
+    slide_prim, (x,) = inner
+    p: Nat = split_prim.chunk
+    n: Nat = slide_prim.size
+    m: Nat = slide_prim.step
+    outer_size = (p - 1) * m + n
+    outer_step = p * m
+    return map_(
+        fun(lambda chunk: slide_(n, m, chunk)),
+        slide_(outer_size, outer_step, x),
+    )
+
+
+@rule("slideBeforeMap")
+def slide_before_map(expr: Expr) -> Optional[Expr]:
+    """map(f) |> slide(n, m)  -->  slide(n, m) |> map(map(f))   (listing 6)"""
+    outer = match_prim_app(expr, Slide, 1)
+    if outer is None:
+        return None
+    slide_prim, (mapped,) = outer
+    inner = match_prim_app(mapped, Map, 2)
+    if inner is None:
+        return None
+    _, (f, x) = inner
+    return map_(map_(f), slide_(slide_prim.size, slide_prim.step, x))
+
+
+@rule("slideBeforeSlide")
+def slide_before_slide(expr: Expr) -> Optional[Expr]:
+    """slide(n, 1) |> slide(m, k)
+       -->  slide(m + n - 1, k) |> map(slide(n, 1))            (listing 6)"""
+    outer = match_prim_app(expr, Slide, 1)
+    if outer is None:
+        return None
+    outer_prim, (slided,) = outer
+    inner = match_prim_app(slided, Slide, 1)
+    if inner is None:
+        return None
+    inner_prim, (x,) = inner
+    if inner_prim.step != nat(1):
+        return None
+    n: Nat = inner_prim.size
+    m: Nat = outer_prim.size
+    k: Nat = outer_prim.step
+    return map_(
+        fun(lambda w: slide_(n, 1, w)),
+        slide_(m + n - 1, k, x),
+    )
+
+
+@rule("mapOutsideZip")
+def map_outside_zip(expr: Expr) -> Optional[Expr]:
+    """zip(map(f, x), map(g, y))  -->  map(fun a. pair(f(a), g(a)), x)
+    when x and y are the same (alpha-equal) expression.
+
+    Also covers the asymmetric forms where one side is the bare source.
+    This is the fusion step that merges the Ix and Iy sobel stages so they
+    are computed in one pass (the Halide schedule's ``compute_with``).
+    """
+    match = match_prim_app(expr, Zip, 2)
+    if match is None:
+        return None
+    _, (left, right) = match
+
+    def as_map(e: Expr):
+        inner = match_prim_app(e, Map, 2)
+        if inner is None:
+            return None
+        return inner[1]
+
+    left_map = as_map(left)
+    right_map = as_map(right)
+    if left_map is not None and right_map is not None:
+        f, x = left_map
+        g, y = right_map
+        if alpha_equal(x, y):
+            return map_(fun(lambda a: make_pair(App(f, a), App(g, a))), x)
+    if left_map is not None:
+        f, x = left_map
+        if alpha_equal(x, right):
+            return map_(fun(lambda a: make_pair(App(f, a), a)), x)
+    if right_map is not None:
+        g, y = right_map
+        if alpha_equal(left, y):
+            return map_(fun(lambda a: make_pair(a, App(g, a))), left)
+    return None
+
+
+@rule("zipSame")
+def zip_same(expr: Expr) -> Optional[Expr]:
+    """zip(x, x)  -->  map(fun a. pair(a, a), x)"""
+    match = match_prim_app(expr, Zip, 2)
+    if match is None:
+        return None
+    _, (left, right) = match
+    if alpha_equal(left, right):
+        return map_(fun(lambda a: make_pair(a, a)), left)
+    return None
+
+
+@rule("slideOutsideZip")
+def slide_outside_zip(expr: Expr) -> Optional[Expr]:
+    """zip(slide(n, s, a), slide(n, s, b))
+       -->  slide(n, s, zip(a, b)) |> map(unzip)
+
+    Turns a pair of sliding windows over two arrays into sliding windows
+    over the zipped array — the step that lets separately-produced stencil
+    inputs share one line pipeline.
+    """
+    match = match_prim_app(expr, Zip, 2)
+    if match is None:
+        return None
+    _, (left, right) = match
+    left_slide = match_prim_app(left, Slide, 1)
+    right_slide = match_prim_app(right, Slide, 1)
+    if left_slide is None or right_slide is None:
+        return None
+    lp, (a,) = left_slide
+    rp, (b,) = right_slide
+    if lp.size != rp.size or lp.step != rp.step:
+        return None
+    return map_(unzip_(), slide_(lp.size, lp.step, zip_(a, b)))
+
+
+@rule("transposeAroundMapMap")
+def transpose_around_map_map(expr: Expr) -> Optional[Expr]:
+    """map(map(f)) |> transpose  -->  transpose |> map(map(f))"""
+    outer = match_prim_app(expr, Transpose, 1)
+    if outer is None:
+        return None
+    _, (mapped,) = outer
+    inner = match_prim_app(mapped, Map, 2)
+    if inner is None:
+        return None
+    _, (f, x) = inner
+    inner2 = match_prim_app(f, Map, 1)
+    if inner2 is None:
+        return None
+    from repro.rise.dsl import transpose as transpose_
+
+    return map_(f, transpose_(x))
+
+
+@rule("fstUnzip")
+def fst_unzip(expr: Expr) -> Optional[Expr]:
+    """fst(unzip(e))  -->  map(fst, e)"""
+    from repro.rise.expr import Unzip
+    from repro.rise.dsl import fst as fst_
+
+    match = match_prim_app(expr, Fst, 1)
+    if match is None:
+        return None
+    inner = match_prim_app(match[1][0], Unzip, 1)
+    if inner is None:
+        return None
+    return map_(Fst(), inner[1][0])
+
+
+@rule("sndUnzip")
+def snd_unzip(expr: Expr) -> Optional[Expr]:
+    """snd(unzip(e))  -->  map(snd, e)"""
+    from repro.rise.expr import Unzip
+
+    match = match_prim_app(expr, Snd, 1)
+    if match is None:
+        return None
+    inner = match_prim_app(match[1][0], Unzip, 1)
+    if inner is None:
+        return None
+    return map_(Snd(), inner[1][0])
+
+
+@rule("mapProjFusion")
+def map_proj_fusion(expr: Expr) -> Optional[Expr]:
+    """map(proj, map(f, x))  -->  map(fun a. proj(f(a)), x) — like mapFusion
+    but with a bare primitive as the outer function (fst/snd)."""
+    outer = match_prim_app(expr, Map, 2)
+    if outer is None:
+        return None
+    _, (p, mapped) = outer
+    if not isinstance(p, (Fst, Snd)):
+        return None
+    inner = match_prim_app(mapped, Map, 2)
+    if inner is None:
+        return None
+    _, (f, x) = inner
+    return map_(fun(lambda a: App(p, App(f, a))), x)

@@ -1,0 +1,572 @@
+"""Convolution separation (paper section IV-B, listings 9 and 10).
+
+A 2-d convolution whose kernel factors into a column vector times a row
+vector can be computed as a vertical 1-d convolution followed by a
+horizontal 1-d convolution:
+
+    nbh |> transpose |> map(dot(weightsV)) |> slide(3,1) |> map(dot(weightsH))
+
+Crucially, after this rewrite the *vertical* reductions are computed once
+per column and shared between adjacent horizontal positions, which both
+lowers arithmetic complexity (9 MACs -> 6 per output for a 3x3 kernel) and
+enables register rotation over the vertical results.
+
+``separate_conv_line`` implements the paper's
+``pushSeparation(separateConvKernel(...))``: it recognizes line-level
+stencil maps of the form
+
+    map(fun w. C[dot(join W, join w), ...], transpose(map(slide(3,1), rows)))
+
+(the shape fuseOperators produces for every 3x3 convolution), checks each
+kernel is separable, and rewrites the whole site so all vertical
+reductions are computed in one shared pass over the columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.elevate.core import Strategy, rule
+from repro.nat import nat
+from repro.rise.dsl import dot, arr, fst, fun, join as join_, make_pair, map_, pipe, slide as slide_, snd, transpose as transpose_
+from repro.rise.expr import (
+    App,
+    ArrayLiteral,
+    Expr,
+    Identifier,
+    Join,
+    Lambda,
+    Let,
+    Map,
+    Reduce,
+    ScalarOp,
+    Slide,
+    Transpose,
+    Zip,
+    Fst,
+    Snd,
+    MakePair,
+    Literal,
+)
+from repro.rise.traverse import app_spine, children, free_identifiers, rebuild, subterms
+from repro.rules.match import match_prim_app
+
+__all__ = ["separate_kernel", "separate_conv_line", "separate_conv_line_zip", "rotate_values_consume"]
+
+
+def separate_kernel(weights: np.ndarray) -> Optional[tuple[np.ndarray, np.ndarray]]:
+    """Factor a 2-d kernel W into (column, row) vectors with W = col x row,
+    or return None when the kernel is not separable (rank > 1).
+
+    This is the side condition of the paper's ``separateConvKernel`` rule,
+    which must be given the separated weights explicitly; here we compute
+    them, which also lets the rule *reject* non-separable kernels.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 2:
+        return None
+    if not w.any():
+        return None
+    # Use the largest-magnitude row as the row factor for stability.
+    pivot = int(np.argmax(np.abs(w).sum(axis=1)))
+    row = w[pivot]
+    if not row.any():
+        return None
+    ratios = []
+    for i in range(w.shape[0]):
+        mask = row != 0
+        candidate = w[i][mask] / row[mask]
+        # float32-level tolerances: kernels quantized to float32 must
+        # still be recognized as separable
+        if not np.allclose(candidate, candidate[0], rtol=1e-5, atol=1e-7):
+            return None
+        if not np.allclose(w[i][~mask], 0.0, atol=1e-7):
+            return None
+        ratios.append(candidate[0])
+    col = np.asarray(ratios, dtype=np.float64)
+    if not np.allclose(np.outer(col, row), w, rtol=1e-5, atol=1e-7):
+        return None
+    return col.astype(np.float32), row.astype(np.float32)
+
+
+@dataclass
+class _ConvSite:
+    """A 3x3 dot/sum over the stencil-map parameter found in a line body."""
+
+    node: Expr
+    weights: np.ndarray
+    vertical: np.ndarray
+    horizontal: np.ndarray
+
+
+def _literal_matrix(e: Expr) -> Optional[np.ndarray]:
+    if isinstance(e, ArrayLiteral) and len(e.shape()) == 2:
+        return np.asarray(e.values, dtype=np.float32)
+    return None
+
+
+def _is_add_fun(e: Expr) -> bool:
+    """The addition operator: bare ``(+)`` or ``fun a. fun b. a + b``."""
+    if isinstance(e, ScalarOp) and e.op == "add":
+        return True
+    if not (isinstance(e, Lambda) and isinstance(e.body, Lambda)):
+        return False
+    inner = e.body.body
+    head, args = app_spine(inner)
+    return (
+        isinstance(head, ScalarOp)
+        and head.op == "add"
+        and len(args) == 2
+        and isinstance(args[0], Identifier)
+        and isinstance(args[1], Identifier)
+        and args[0].name == e.param.name
+        and args[1].name == e.body.param.name
+    )
+
+
+def _is_mul_pair_fun(e: Expr) -> bool:
+    """fun p. fst(p) * snd(p)"""
+    if not isinstance(e, Lambda):
+        return False
+    head, args = app_spine(e.body)
+    if not (isinstance(head, ScalarOp) and head.op == "mul" and len(args) == 2):
+        return False
+
+    def is_proj(x: Expr, proj) -> bool:
+        m = match_prim_app(x, proj, 1)
+        return (
+            m is not None
+            and isinstance(m[1][0], Identifier)
+            and m[1][0].name == e.param.name
+        )
+
+    return is_proj(args[0], Fst) and is_proj(args[1], Snd)
+
+
+def _match_conv_over_param(node: Expr, param: str) -> Optional[np.ndarray]:
+    """Match ``reduce(+, 0, map(mulp, zip(join(W), join(param))))`` (a 2-d
+    dot product over the joined window) or ``reduce(+, 0, join(param))``
+    (a 2-d sum); return the kernel matrix."""
+    head, args = app_spine(node)
+    if not isinstance(head, Reduce) or len(args) != 3:
+        return None
+    add_fn, init, source = args
+    if not _is_add_fun(add_fn):
+        return None
+    if not (isinstance(init, Literal) and init.value == 0.0):
+        return None
+    # Case 1: plain sum of the joined window (sum3x3): kernel of ones.
+    joined = match_prim_app(source, Join, 1)
+    if joined is not None and isinstance(joined[1][0], Identifier):
+        if joined[1][0].name == param:
+            return np.ones((3, 3), dtype=np.float32)
+        return None
+    # Case 2: weighted dot: map(mulp, zip(join(W), join(param)))
+    mapped = match_prim_app(source, Map, 2)
+    if mapped is None:
+        return None
+    _, (mul_fn, zipped) = mapped
+    if not _is_mul_pair_fun(mul_fn):
+        return None
+    zm = match_prim_app(zipped, Zip, 2)
+    if zm is None:
+        return None
+    _, (wside, xside) = zm
+    wj = match_prim_app(wside, Join, 1)
+    xj = match_prim_app(xside, Join, 1)
+    if wj is None or xj is None:
+        return None
+    weights = _literal_matrix(wj[1][0])
+    if weights is None:
+        return None
+    if not (isinstance(xj[1][0], Identifier) and xj[1][0].name == param):
+        return None
+    return weights
+
+
+def _dot1d(weights: np.ndarray) -> Lambda:
+    return dot(arr([float(x) for x in weights]))
+
+
+@rule("separateConvolutionsInLine")
+def separate_conv_line(expr: Expr) -> Optional[Expr]:
+    """The paper's separateConvolutions applied at a fused line-stencil site:
+
+        map(fun w. C[conv_1(w), ..., conv_k(w)],
+            transpose(map(slide(3,1), rows)))
+      -->
+        map(fun q. C[dot(wH_1, map(proj_1, q)), ...],
+            slide(3,1,
+                  map(fun col. (dot(wV_1, col), ..., dot(wV_k, col)),
+                      transpose(rows))))
+
+    Every 3x3 convolution in the body must have a separable kernel; the
+    vertical reductions of all convolutions at the site are fused into one
+    shared pass over the columns.
+    """
+    outer = match_prim_app(expr, Map, 2)
+    if outer is None:
+        return None
+    _, (f, source) = outer
+    if not isinstance(f, Lambda):
+        return None
+    # source must be transpose(map(slide(3,1), rows))
+    tm = match_prim_app(source, Transpose, 1)
+    if tm is None:
+        return None
+    inner_map = match_prim_app(tm[1][0], Map, 2)
+    if inner_map is None:
+        return None
+    _, (slide_fn, rows) = inner_map
+    slide_head, slide_args = app_spine(slide_fn)
+    if not (
+        isinstance(slide_head, Slide)
+        and slide_head.size == nat(3)
+        and slide_head.step == nat(1)
+        and not slide_args
+    ):
+        return None
+
+    param = f.param.name
+    sites: list[_ConvSite] = []
+    seen_keys: list[Expr] = []
+    for node in subterms(f.body):
+        weights = _match_conv_over_param(node, param)
+        if weights is None:
+            continue
+        separated = separate_kernel(weights)
+        if separated is None:
+            return None  # a non-separable kernel at this site: do not touch
+        col, row = separated
+        sites.append(_ConvSite(node, weights, col, row))
+    if not sites:
+        return None
+
+    # Deduplicate identical kernels so the vertical pass computes each
+    # distinct vertical reduction once.
+    distinct: list[_ConvSite] = []
+    index_of: dict[int, int] = {}
+    for site in sites:
+        for j, d in enumerate(distinct):
+            if np.array_equal(site.weights, d.weights):
+                index_of[id(site)] = j
+                break
+        else:
+            index_of[id(site)] = len(distinct)
+            distinct.append(site)
+
+    k = len(distinct)
+
+    def vertical_tuple(col: Expr) -> Expr:
+        dots = [App(_dot1d(d.vertical), col) for d in distinct]
+        result = dots[-1]
+        for d in reversed(dots[:-1]):
+            result = make_pair(d, result)
+        return result
+
+    def projection(q: Expr, index: int) -> Expr:
+        """Project component ``index`` out of the right-nested tuple."""
+        if k == 1:
+            return q
+        e = q
+        for _ in range(index):
+            e = snd(e)
+        if index < k - 1:
+            e = fst(e)
+        return e
+
+    new_source = slide_(
+        3,
+        1,
+        map_(fun(lambda col: vertical_tuple(col)), transpose_(rows)),
+    )
+
+    new_param = Identifier(f.param.name + "_sep")
+
+    def rewrite_body(e: Expr) -> Expr:
+        for site in sites:
+            if e is site.node:
+                comp = index_of[id(site)]
+                verticals = map_(
+                    fun(lambda t: projection(t, comp)), new_param
+                )
+                return App(_dot1d(site.horizontal), verticals)
+        kids = children(e)
+        if not kids:
+            return e
+        return rebuild(e, [rewrite_body(kid) for kid in kids])
+
+    new_body = rewrite_body(f.body)
+    # The old parameter must no longer occur (every use was a conv site
+    # or we must re-expose the raw window, which separation does not keep).
+    from repro.rise.traverse import substitute
+
+    if param in free_identifiers(new_body):
+        return None
+    new_f = Lambda(new_param, new_body)
+    return map_(new_f, new_source)
+
+
+@rule("rotateValuesConsume")
+def rotate_values_consume(expr: Expr) -> Optional[Expr]:
+    """map(g) o slide(3,1)  -->  mapSeq(g) o rotateValues(private, 3)
+    (listing 11): replace the sliding window over per-column values with
+    rotating registers, consumed sequentially.
+
+    Fires on high-level ``map`` and on already-vectorized ``mapSeqVec``
+    consumers (rotating vector registers, the paper's cbuf+rot variant).
+    """
+    from repro.rise.expr import MapSeq, MapSeqVec
+    from repro.rise.dsl import rotate_values
+    from repro.rise.types import AddressSpace
+
+    head, args = app_spine(expr)
+    if len(args) != 2:
+        return None
+    if type(head) is Map:
+        new_head: Expr = MapSeq()
+    elif type(head) is MapSeqVec:
+        new_head = head
+    else:
+        return None
+    g, windows = args
+    sm = match_prim_app(windows, Slide, 1)
+    if sm is None:
+        return None
+    slide_prim, (values,) = sm
+    if slide_prim.step != nat(1):
+        return None
+    # Only rotate windows over *computed* values (a map pipeline), not
+    # windows that are pure views of a buffer.
+    inner_head, _ = app_spine(values)
+    if not isinstance(inner_head, Map):
+        return None
+    return App(
+        App(new_head, g),
+        rotate_values(AddressSpace.PRIVATE, slide_prim.size, values),
+    )
+
+
+def _path_of_window(node: Expr, param: str) -> Optional[tuple[int, ...]]:
+    """Match a fst/snd chain applied to the parameter; return the path."""
+    path: list[int] = []
+    e = node
+    while isinstance(e, App):
+        if isinstance(e.fun, Fst):
+            path.append(0)
+        elif isinstance(e.fun, Snd):
+            path.append(1)
+        else:
+            return None
+        e = e.arg
+    if isinstance(e, Identifier) and e.name == param:
+        return tuple(reversed(path))
+    return None
+
+
+def _match_conv_over_path(node: Expr, param: str):
+    """Like _match_conv_over_param but the window is a projection of the
+    parameter: reduce(+, 0, [map(mulp, zip(join(W),] join(PATH(param)) [))]).
+    Returns (kernel, path) or None."""
+    head, args = app_spine(node)
+    if not isinstance(head, Reduce) or len(args) != 3:
+        return None
+    add_fn, init, source = args
+    if not _is_add_fun(add_fn):
+        return None
+    if not (isinstance(init, Literal) and init.value == 0.0):
+        return None
+    joined = match_prim_app(source, Join, 1)
+    if joined is not None:
+        path = _path_of_window(joined[1][0], param)
+        if path is not None:
+            return np.ones((3, 3), dtype=np.float32), path
+        return None
+    mapped = match_prim_app(source, Map, 2)
+    if mapped is None:
+        return None
+    _, (mul_fn, zipped) = mapped
+    if not _is_mul_pair_fun(mul_fn):
+        return None
+    zm = match_prim_app(zipped, Zip, 2)
+    if zm is None:
+        return None
+    _, (wside, xside) = zm
+    wj = match_prim_app(wside, Join, 1)
+    xj = match_prim_app(xside, Join, 1)
+    if wj is None or xj is None:
+        return None
+    weights = _literal_matrix(wj[1][0])
+    if weights is None:
+        return None
+    path = _path_of_window(xj[1][0], param)
+    if path is None:
+        return None
+    return weights, path
+
+
+def _proj_chain(e: Expr, path: tuple[int, ...]) -> Expr:
+    for step in path:
+        e = App(Fst() if step == 0 else Snd(), e)
+    return e
+
+
+@rule("separateConvolutionsZipped")
+def separate_conv_line_zip(expr: Expr) -> Optional[Expr]:
+    """Convolution separation at a fused multi-component line site:
+
+        map(fun w. C[conv_k(PATH_k(w))],
+            zip-tree of transpose(map(fun r. slide(3,1)(map(proj_k, r)), rows)))
+      -->
+        map(fun q. C[dot(wH_k, map(proj'_k, q))],
+            slide(3,1, map(fun col. (vertical dots...), transpose(rows))))
+
+    This is the form of the structure-tensor sums after sibling-stage
+    merging: three 3x3 sums over the components of one tuple-line window.
+    All vertical reductions share a single pass over the tuple columns.
+    """
+    outer = match_prim_app(expr, Map, 2)
+    if outer is None:
+        return None
+    _, (f, src) = outer
+    if not isinstance(f, Lambda):
+        return None
+
+    # 1. decompose the zip tree into leaves with their pair paths
+    leaves: list[tuple[tuple[int, ...], Expr]] = []
+
+    def collect(e: Expr, pos: tuple[int, ...]) -> bool:
+        zm = match_prim_app(e, Zip, 2)
+        if zm is not None:
+            return collect(zm[1][0], pos + (0,)) and collect(zm[1][1], pos + (1,))
+        leaves.append((pos, e))
+        return True
+
+    zm0 = match_prim_app(src, Zip, 2)
+    if zm0 is None:
+        return None
+    if not collect(src, ()):
+        return None
+
+    # 2. each leaf: transpose(map(fun r. slide(3,1)(map(proj, r)), rows))
+    from repro.rise.traverse import alpha_equal
+
+    leaf_proj: dict[tuple[int, ...], tuple[int, ...]] = {}
+    rows_exprs: list[Expr] = []
+    for pos, leaf in leaves:
+        tm = match_prim_app(leaf, Transpose, 1)
+        if tm is None:
+            return None
+        mm = match_prim_app(tm[1][0], Map, 2, exact=False)
+        if mm is None:
+            return None
+        g, rows = mm[1]
+        if not isinstance(g, Lambda):
+            return None
+        sm = match_prim_app(g.body, Slide, 1)
+        if sm is None or sm[0].step != nat(1) or sm[0].size != nat(3):
+            return None
+        im = match_prim_app(sm[1][0], Map, 2, exact=False)
+        if im is None:
+            return None
+        proj_fn, inner_arg = im[1]
+        if not (isinstance(inner_arg, Identifier) and inner_arg.name == g.param.name):
+            return None
+        if isinstance(proj_fn, Fst):
+            comp_path: Optional[tuple[int, ...]] = (0,)
+        elif isinstance(proj_fn, Snd):
+            comp_path = (1,)
+        elif isinstance(proj_fn, Lambda):
+            comp_path = _path_of_window(proj_fn.body, proj_fn.param.name)
+        else:
+            comp_path = None
+        if comp_path is None:
+            return None
+        leaf_proj[pos] = comp_path
+        rows_exprs.append(rows)
+    if not all(alpha_equal(r, rows_exprs[0]) for r in rows_exprs[1:]):
+        return None
+    rows = rows_exprs[0]
+
+    # 3. conv sites in the body, keyed by window path
+    param = f.param.name
+    sites: list[tuple[Expr, np.ndarray, tuple[int, ...]]] = []
+    for node in subterms(f.body):
+        matched = _match_conv_over_path(node, param)
+        if matched is None:
+            continue
+        weights, path = matched
+        if path not in leaf_proj:
+            return None
+        if separate_kernel(weights) is None:
+            return None
+        sites.append((node, weights, path))
+    if not sites:
+        return None
+
+    # 4. distinct (kernel, component) pairs -> one vertical reduction each
+    distinct: list[tuple[np.ndarray, tuple[int, ...]]] = []
+    site_index: dict[int, int] = {}
+    for node, weights, path in sites:
+        comp = leaf_proj[path]
+        for j, (w2, c2) in enumerate(distinct):
+            if np.array_equal(weights, w2) and comp == c2:
+                site_index[id(node)] = j
+                break
+        else:
+            site_index[id(node)] = len(distinct)
+            distinct.append((weights, comp))
+    k = len(distinct)
+
+    def _mk_comp_proj(comp_path):
+        return fun(lambda t: _proj_chain(t, comp_path))
+
+    def vertical_tuple(col: Expr) -> Expr:
+        dots = []
+        for weights, comp in distinct:
+            colv, _roww = separate_kernel(weights)
+            component = map_(_mk_comp_proj(comp), col)
+            dots.append(App(_dot1d(colv), component))
+        result = dots[-1]
+        for d in reversed(dots[:-1]):
+            result = make_pair(d, result)
+        return result
+
+    def tuple_proj(q: Expr, index: int) -> Expr:
+        if k == 1:
+            return q
+        e = q
+        for _ in range(index):
+            e = snd(e)
+        if index < k - 1:
+            e = fst(e)
+        return e
+
+    new_source = slide_(3, 1, map_(fun(vertical_tuple), transpose_(rows)))
+    new_param = Identifier(f.param.name + "_sep")
+
+    from repro.rise.traverse import children, rebuild, free_identifiers
+
+    def rewrite_body(e: Expr) -> Expr:
+        for node, weights, path in sites:
+            if e is node:
+                _colv, roww = separate_kernel(weights)
+                idx = site_index[id(node)]
+
+                def _mk_tuple_proj(index):
+                    return fun(lambda t: tuple_proj(t, index))
+
+                verticals = map_(_mk_tuple_proj(idx), new_param)
+                return App(_dot1d(roww), verticals)
+        kids = children(e)
+        if not kids:
+            return e
+        return rebuild(e, [rewrite_body(kid) for kid in kids])
+
+    new_body = rewrite_body(f.body)
+    if param in free_identifiers(new_body):
+        return None
+    return map_(Lambda(new_param, new_body), new_source)

@@ -1,0 +1,167 @@
+"""Lowering rules: rewrite high-level patterns into low-level implementation
+patterns (paper fig. 4), encoding explicit implementation decisions.
+
+``circularBuffer`` and ``rotateValues`` introduction are the paper's key new
+lowerings (listings 8 and 11).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.elevate.core import Strategy, rule
+from repro.rise.dsl import fun, id_fun
+from repro.rise.expr import (
+    App,
+    Expr,
+    Map,
+    MapGlobal,
+    MapSeq,
+    MapSeqUnroll,
+    MapVec,
+    Reduce,
+    ReduceSeq,
+    ReduceSeqUnroll,
+    Slide,
+    ToMem,
+)
+from repro.rise.types import AddressSpace
+from repro.nat import nat
+from repro.rules.match import match_prim_app
+
+__all__ = [
+    "use_map_seq",
+    "use_map_global",
+    "use_map_seq_unroll",
+    "use_reduce_seq",
+    "use_reduce_seq_unroll",
+    "unroll_map_seq",
+    "unroll_reduce_seq",
+    "slide_to_circular_buffer",
+    "slide_to_rotate_values",
+    "store_to_memory",
+]
+
+
+@rule("useMapSeq")
+def use_map_seq(expr: Expr) -> Optional[Expr]:
+    """map  -->  mapSeq  (implement with a sequential loop)"""
+    if type(expr) is Map:
+        return MapSeq()
+    return None
+
+
+@rule("useMapGlobal")
+def use_map_global(expr: Expr) -> Optional[Expr]:
+    """map  -->  mapGlobal  (parallelize across global threads; listing 6)"""
+    if type(expr) is Map:
+        return MapGlobal()
+    return None
+
+
+@rule("useMapSeqUnroll")
+def use_map_seq_unroll(expr: Expr) -> Optional[Expr]:
+    """map  -->  mapSeqUnroll"""
+    if type(expr) is Map:
+        return MapSeqUnroll()
+    return None
+
+
+@rule("useReduceSeq")
+def use_reduce_seq(expr: Expr) -> Optional[Expr]:
+    """reduce  -->  reduceSeq"""
+    if type(expr) is Reduce:
+        return ReduceSeq()
+    return None
+
+
+@rule("useReduceSeqUnroll")
+def use_reduce_seq_unroll(expr: Expr) -> Optional[Expr]:
+    """reduce  -->  reduceSeqUnroll  (the paper's unrollReductions)"""
+    if type(expr) is Reduce:
+        return ReduceSeqUnroll()
+    return None
+
+
+@rule("unrollMapSeq")
+def unroll_map_seq(expr: Expr) -> Optional[Expr]:
+    """mapSeq  -->  mapSeqUnroll"""
+    if type(expr) is MapSeq:
+        return MapSeqUnroll()
+    return None
+
+
+@rule("unrollReduceSeq")
+def unroll_reduce_seq(expr: Expr) -> Optional[Expr]:
+    """reduceSeq  -->  reduceSeqUnroll"""
+    if type(expr) is ReduceSeq:
+        return ReduceSeqUnroll()
+    return None
+
+
+def slide_to_circular_buffer(addr: AddressSpace = AddressSpace.GLOBAL) -> Strategy:
+    """map(f) |> slide(m, 1)  -->  circularBuffer(addr, m, f)     (listing 8)
+
+    The producing map is fused into the buffer's load function, so each
+    input line is loaded (computed) exactly once and the last ``m`` results
+    stay in the circular buffer.  A bare ``slide(m, 1)`` gets the identity
+    load function.
+    """
+
+    @rule(f"slideToCircularBuffer({addr.value})")
+    def run(expr: Expr) -> Optional[Expr]:
+        match = match_prim_app(expr, Slide, 1)
+        if match is None:
+            return None
+        slide_prim, (source,) = match
+        if slide_prim.step != nat(1):
+            return None
+        from repro.rise.dsl import circular_buffer
+
+        inner = match_prim_app(source, Map, 2)
+        if inner is not None:
+            _, (f, x) = inner
+            return circular_buffer(addr, slide_prim.size, f, x)
+        return circular_buffer(addr, slide_prim.size, id_fun(), source)
+
+    return run
+
+
+def slide_to_rotate_values(addr: AddressSpace = AddressSpace.PRIVATE) -> Strategy:
+    """slide(m, 1)  -->  rotateValues(addr, m)                    (listing 11)
+
+    Valid when the windows are consumed sequentially; the strategy that
+    applies this rule (rotateValuesAndConsume) also introduces the
+    sequential consumer.
+    """
+
+    @rule(f"slideToRotateValues({addr.value})")
+    def run(expr: Expr) -> Optional[Expr]:
+        match = match_prim_app(expr, Slide, 1)
+        if match is None:
+            return None
+        slide_prim, (source,) = match
+        if slide_prim.step != nat(1):
+            return None
+        from repro.rise.dsl import rotate_values
+
+        return rotate_values(addr, slide_prim.size, source)
+
+    return run
+
+
+def store_to_memory(addr: AddressSpace) -> Strategy:
+    """e  -->  toMem(addr, e) — materialize a value (usePrivateMemory)."""
+
+    @rule(f"storeToMemory({addr.value})")
+    def run(expr: Expr) -> Optional[Expr]:
+        head, _args = match_prim_app(expr, ToMem, 1) or (None, None)
+        if head is not None:
+            return None  # already materialized
+        if isinstance(expr, ToMem):
+            return None
+        from repro.rise.dsl import to_mem
+
+        return to_mem(addr, expr)
+
+    return run

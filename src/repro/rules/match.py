@@ -1,0 +1,48 @@
+"""Pattern-matching helpers shared by the rewrite rules.
+
+Rules match *applied* pipelines: the paper writes ``map(f) |> reduce(g, init)``
+as a function composition, which in an applied program appears as the
+application tree ``reduce(g, init, map(f, x))``.  The helpers here decompose
+application spines and recognize primitive heads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.rise.expr import App, Expr, Primitive
+from repro.rise.traverse import app_spine
+
+__all__ = ["match_prim_app", "exact_prim", "spine"]
+
+
+def spine(expr: Expr) -> tuple[Expr, list[Expr]]:
+    return app_spine(expr)
+
+
+def exact_prim(expr: Expr, prim_class: type) -> Optional[Primitive]:
+    """Match a primitive of *exactly* this class (subclasses excluded).
+
+    This distinction matters: ``mapSeq`` is a subclass of ``map`` in the
+    class hierarchy, but algorithmic rules must only fire on the high-level
+    ``map`` — rewriting an already-lowered ``mapSeq`` would undo explicit
+    implementation decisions.
+    """
+    if type(expr) is prim_class:
+        return expr  # type: ignore[return-value]
+    return None
+
+
+def match_prim_app(
+    expr: Expr, prim_class: type, argc: int, exact: bool = True
+) -> Optional[tuple[Primitive, list[Expr]]]:
+    """Match ``prim(arg_1, ..., arg_argc)`` with the given head class."""
+    head, args = app_spine(expr)
+    if not isinstance(head, Primitive) or len(args) != argc:
+        return None
+    if exact:
+        if type(head) is not prim_class:
+            return None
+    elif not isinstance(head, prim_class):
+        return None
+    return head, args

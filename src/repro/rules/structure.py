@@ -1,0 +1,464 @@
+"""Structural rules used by operator fusion (paper section IV-A).
+
+``fuseOperators`` turns the Harris dataflow graph into a line-based
+pipeline.  The load-bearing rules are:
+
+* ``zip_of_maps``   — push zips past maps toward the shared source, which
+  merges independently-written stages (Ix and Iy; the three products;
+  the three structure-tensor sums) into single passes;
+* ``slide_before_map_view`` — move *view-only* maps (windowing /
+  transposition, which cost nothing at code-generation time) inside the
+  consuming stage, so stage boundaries sit exactly at the line slides;
+* ``cse_in_lambda`` — factor repeated computations that stage merging
+  would otherwise duplicate (the sobel lines feeding all three products),
+  the effect Halide gets from ``compute_with``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.elevate.core import Strategy, rule
+from repro.nat import nat
+from repro.rise.dsl import fst, fun, make_pair, map_, snd, zip_
+from repro.rise.expr import (
+    App,
+    Expr,
+    Identifier,
+    Lambda,
+    Let,
+    MakePair,
+    Map,
+    Slide,
+    Transpose,
+    Primitive,
+    Join,
+    Split,
+    Unzip,
+    Fst,
+    Snd,
+)
+from repro.rise.traverse import alpha_equal, children, free_identifiers, subterms, substitute
+from repro.rules.match import match_prim_app
+
+__all__ = [
+    "zip_of_maps",
+    "narrow_shared_pair_producer",
+    "merge_sibling_maps",
+    "slide_before_map_view",
+    "map_fission_at",
+    "cse_in_lambda",
+    "canonical_key",
+]
+
+
+@rule("zipOfMaps")
+def zip_of_maps(expr: Expr) -> Optional[Expr]:
+    """zip(map(f, a), map(g, b))
+       -->  zip(a, b) |> map(fun p. pair(f(fst p), g(snd p)))
+
+    Valid for any a and b; combined with ``zip_same`` and the projection
+    reductions it subsumes the shared-source ``map_outside_zip`` while also
+    handling different sources.
+    """
+    from repro.rise.expr import Zip
+
+    match = match_prim_app(expr, Zip, 2)
+    if match is None:
+        return None
+    _, (left, right) = match
+    left_map = match_prim_app(left, Map, 2)
+    right_map = match_prim_app(right, Map, 2)
+    if left_map is not None and right_map is not None:
+        _, (f, a) = left_map
+        _, (g, b) = right_map
+        return map_(
+            fun(lambda p: make_pair(App(f, fst(p)), App(g, snd(p)))),
+            zip_(a, b),
+        )
+    # One-sided variants: zip(map(f, a), b) --> zip(a, b) |> map-with-fst,
+    # needed when stage merging has already rewritten one side further.
+    if left_map is not None:
+        _, (f, a) = left_map
+        return map_(
+            fun(lambda p: make_pair(App(f, fst(p)), snd(p))),
+            zip_(a, right),
+        )
+    if right_map is not None:
+        _, (g, b) = right_map
+        return map_(
+            fun(lambda p: make_pair(fst(p), App(g, snd(p)))),
+            zip_(left, b),
+        )
+    return None
+
+
+def _is_view_function(f: Expr) -> bool:
+    """Functions that code generation implements as index transformations
+    (no computation): windowing, transposition, flattening and projections."""
+    head = f
+    while isinstance(head, App):
+        head = head.fun
+    return isinstance(head, (Slide, Transpose, Join, Split, Unzip, Fst, Snd))
+
+
+@rule("slideBeforeMapView")
+def slide_before_map_view(expr: Expr) -> Optional[Expr]:
+    """map(view) |> slide(n, m)  -->  slide(n, m) |> map(map(view))
+
+    The restriction of listing 6's slideBeforeMap to view-only functions:
+    moving a *computing* map inside a slide would re-compute overlapping
+    elements once per window, so operator fusion only moves views.  (The
+    unrestricted rule is still available for splitPipeline, where the
+    recomputation at chunk borders is exactly the paper's design.)
+    """
+    outer = match_prim_app(expr, Slide, 1)
+    if outer is None:
+        return None
+    slide_prim, (mapped,) = outer
+    inner = match_prim_app(mapped, Map, 2)
+    if inner is None:
+        return None
+    _, (f, x) = inner
+    if not _is_view_function(f):
+        return None
+    from repro.rise.dsl import slide as slide_
+
+    return map_(map_(f), slide_(slide_prim.size, slide_prim.step, x))
+
+
+def map_fission_at(expr: Expr) -> Optional[Expr]:
+    """map(fun a. g(h(a)))  -->  map(fun a. h(a)) |> map(g)
+    when ``a`` does not occur free in ``g``."""
+    match = match_prim_app(expr, Map, 2)
+    if match is None:
+        return None
+    _, (f, x) = match
+    if not isinstance(f, Lambda) or not isinstance(f.body, App):
+        return None
+    g, inner = f.body.fun, f.body.arg
+    if f.param.name in free_identifiers(g):
+        return None
+    return map_(g, map_(Lambda(f.param, inner), x))
+
+
+map_fission = rule("mapFission")(map_fission_at)
+
+
+# ---------------------------------------------------------------------------
+# Common-subexpression factoring inside stage functions
+# ---------------------------------------------------------------------------
+
+
+def canonical_key(expr: Expr) -> str:
+    """A string key equal for alpha-equivalent expressions (de Bruijn form)."""
+
+    def go(e: Expr, env: dict[str, int], depth: int) -> str:
+        if isinstance(e, Identifier):
+            bound = env.get(e.name)
+            return f"b{depth - bound}" if bound is not None else f"f:{e.name}"
+        if isinstance(e, Lambda):
+            return f"(lam {go(e.body, {**env, e.param.name: depth}, depth + 1)})"
+        if isinstance(e, Let):
+            value = go(e.value, env, depth)
+            body = go(e.body, {**env, e.ident.name: depth}, depth + 1)
+            return f"(let {value} {body})"
+        if isinstance(e, App):
+            return f"({go(e.fun, env, depth)} {go(e.arg, env, depth)})"
+        return repr(e)
+
+    return go(expr, {}, 0)
+
+
+def _internal_binders(expr: Expr) -> frozenset[str]:
+    names: set[str] = set()
+    for node in subterms(expr):
+        if isinstance(node, Lambda):
+            names.add(node.param.name)
+        elif isinstance(node, Let):
+            names.add(node.ident.name)
+    return frozenset(names)
+
+
+def _replace_by_key(expr: Expr, key: str, replacement: Expr) -> Expr:
+    if canonical_key(expr) == key:
+        return replacement
+    kids = children(expr)
+    if not kids:
+        return expr
+    from repro.rise.traverse import rebuild
+
+    return rebuild(expr, [_replace_by_key(k, key, replacement) for k in kids])
+
+
+def cse_in_lambda(min_nodes: int = 8) -> Strategy:
+    """fun p. C[A, A]  -->  fun p. (fun t. C[t, t])(A)
+
+    Factors the largest repeated (alpha-equivalent) application inside a
+    lambda body, provided the repeated term only refers to the lambda's own
+    parameter or truly free variables (never to binders introduced inside
+    the body).  Repeatedly applied, this recovers the sharing of the sobel
+    lines after zip-merging duplicated them.
+    """
+
+    @rule(f"cseInLambda({min_nodes})")
+    def run(expr: Expr) -> Optional[Expr]:
+        if not isinstance(expr, Lambda):
+            return None
+        body = expr.body
+        internal = _internal_binders(body)
+        candidates: dict[str, list[Expr]] = {}
+        for node in subterms(body):
+            if not isinstance(node, App):
+                continue
+            if not _is_saturated(node):
+                # Partial applications are function-valued; let-binding them
+                # monomorphically would break uses at different types.
+                continue
+            size = sum(1 for _ in subterms(node))
+            if size < min_nodes:
+                continue
+            if free_identifiers(node) & internal:
+                continue
+            candidates.setdefault(canonical_key(node), []).append(node)
+        repeated = {
+            key: nodes for key, nodes in candidates.items() if len(nodes) >= 2
+        }
+        if not repeated:
+            return None
+        # Choose the largest repeated term; skip candidates nested inside a
+        # larger repeated term (factoring the outer one subsumes them).
+        def size_of(key: str) -> int:
+            return sum(1 for _ in subterms(repeated[key][0]))
+
+        best_key = max(repeated, key=size_of)
+        shared = repeated[best_key][0]
+        from repro.rise.expr import Fresh
+
+        temp = Identifier(Fresh.name("shared_"))
+        new_body = _replace_by_key(body, best_key, temp)
+        # A Let (not a beta-redex) so later simplification passes do not
+        # re-inline the shared value.
+        return Lambda(expr.param, Let(temp, shared, new_body))
+
+    return run
+
+
+def _is_saturated(expr: Expr) -> bool:
+    """True when the application spine fully applies a primitive (the term
+    denotes data, not a partially-applied function)."""
+    from repro.rise.expr import primitive_arity
+
+    head = expr
+    argc = 0
+    while isinstance(head, App):
+        head = head.fun
+        argc += 1
+    if isinstance(head, Primitive):
+        try:
+            return argc == primitive_arity(head)
+        except KeyError:
+            return False
+    return False
+
+
+@rule("narrowSharedPairProducer")
+def narrow_shared_pair_producer(expr: Expr) -> Optional[Expr]:
+    """slide(k,1)(map(fun l. def t = V in PT[t], src))
+       -->  map(map(fun r. PT[r]))(slide(k,1)(map(fun l. V, src)))
+
+    When a stage produces a pair tree whose leaves are all views of one
+    shared value ``t`` (the gray line feeding Ixx/Ixy/Iyy), narrow the
+    produced element to the shared value itself and rebuild the pair
+    structure as a view on the consumer side of the slide.  This makes the
+    consumers' projections reduce to a *single* syntactic source, enabling
+    sibling-stage merging (the compute_with effect).
+    """
+    from repro.rise.expr import Slide as SlideP
+
+    outer = match_prim_app(expr, SlideP, 1)
+    if outer is None:
+        return None
+    slide_prim, (mapped,) = outer
+    from repro.nat import nat as _nat
+
+    if slide_prim.step != _nat(1):
+        return None
+    inner = match_prim_app(mapped, Map, 2)
+    if inner is None:
+        return None
+    _, (g, src) = inner
+    if not (isinstance(g, Lambda) and isinstance(g.body, Let)):
+        return None
+    let_node = g.body
+    t = let_node.ident.name
+    pair_tree = let_node.body
+
+    def is_view_of_t(e: Expr) -> bool:
+        if free_identifiers(e) != {t}:
+            return False
+        head = e
+        while isinstance(head, App):
+            head = head.fun
+        from repro.rise.expr import Identifier as Ident
+
+        return isinstance(head, (Slide, Transpose, Join, Split, Map, Ident)) or (
+            isinstance(e, Ident)
+        )
+
+    def check_tree(e: Expr) -> bool:
+        head, args = (e, [])
+        node = e
+        m = match_prim_app(node, MakePair, 2)
+        if m is not None:
+            return check_tree(m[1][0]) and check_tree(m[1][1])
+        return is_view_of_t(node)
+
+    if not check_tree(pair_tree):
+        return None
+
+    from repro.rise.dsl import slide as slide_dsl
+    from repro.rise.expr import Fresh, Identifier as Ident
+
+    r = Ident(Fresh.name("row_"))
+    rebuilt_tree = substitute(pair_tree, t, r)
+    pairize = Lambda(r, rebuilt_tree)
+    narrow_g = Lambda(g.param, let_node.value)
+    return map_(
+        map_(pairize),
+        slide_dsl(slide_prim.size, slide_prim.step, map_(narrow_g, src)),
+    )
+
+
+def _projection_path(f: Expr) -> Optional[tuple[int, ...]]:
+    """Recognize fst/snd primitives and fun p. <fst/snd chain>(p)."""
+    if isinstance(f, Fst):
+        return (0,)
+    if isinstance(f, Snd):
+        return (1,)
+    if isinstance(f, Lambda):
+        path: list[int] = []
+        body = f.body
+        while isinstance(body, App):
+            head = body.fun
+            if isinstance(head, Fst):
+                path.append(0)
+            elif isinstance(head, Snd):
+                path.append(1)
+            else:
+                return None
+            body = body.arg
+        if isinstance(body, Identifier) and body.name == f.param.name:
+            return tuple(reversed(path))
+        return None
+    return None
+
+
+@rule("mergeSiblingMaps")
+def merge_sibling_maps(expr: Expr) -> Optional[Expr]:
+    """pair(phi_1(map(f_1, A)), ..., phi_k(map(f_k, A)))
+       -->  def P = map(fun a. (f_1(a), ..., f_k(a)), A)
+            in pair(phi_1(map(proj_1, P)), ...)
+
+    with phi in {identity, slide(s, 1)}: sibling stages mapping over the
+    *same* source merge into one pass over a shared tuple-producing map —
+    the sharing Halide expresses with compute_with.  Components that are
+    already projections of a shared map are left alone (idempotence).
+    """
+    # collect pair-tree leaves with their positions
+    leaves: list[tuple[tuple[int, ...], Expr]] = []
+
+    def collect(e: Expr, pos: tuple[int, ...]) -> None:
+        m = match_prim_app(e, MakePair, 2)
+        if m is not None:
+            collect(m[1][0], pos + (0,))
+            collect(m[1][1], pos + (1,))
+            return
+        leaves.append((pos, e))
+
+    m0 = match_prim_app(expr, MakePair, 2)
+    if m0 is None:
+        return None
+    collect(expr, ())
+    if len(leaves) < 2:
+        return None
+
+    def decompose(e: Expr):
+        """leaf -> (wrap_fn, map_fn, source) for phi(map(f, A)) forms."""
+        head, args = (e, [])
+        sm = match_prim_app(e, Slide, 1)
+        if sm is not None and sm[0].step == nat(1):
+            inner = match_prim_app(sm[1][0], Map, 2)
+            if inner is None:
+                return None
+            _, (f, a) = inner
+            if _projection_path(f) is not None:
+                return None  # already shared
+            size = sm[0].size
+            from repro.rise.dsl import slide as slide_dsl
+
+            return (lambda x, s=size: slide_dsl(s, 1, x)), f, a
+        mm = match_prim_app(e, Map, 2)
+        if mm is not None:
+            f, a = mm[1]
+            if _projection_path(f) is not None:
+                return None
+            return (lambda x: x), f, a
+        return None
+
+    parts = [(pos, decompose(e)) for pos, e in leaves]
+    if any(p[1] is None for p in parts):
+        return None
+    # group by alpha-equal source; merge the largest group (>= 2)
+    groups: list[list[int]] = []
+    for i, (_pos, (_w, _f, a)) in enumerate(parts):
+        for group in groups:
+            _, (_w2, _f2, a2) = parts[group[0]]
+            if alpha_equal(a, a2):
+                group.append(i)
+                break
+        else:
+            groups.append([i])
+    groups = [g for g in groups if len(g) >= 2]
+    if not groups:
+        return None
+    group = max(groups, key=len)
+
+    from repro.rise.expr import Fresh, Identifier as Ident
+
+    source = parts[group[0]][1][2]
+    fns = [parts[i][1][1] for i in group]
+    a_var = Ident(Fresh.name("a_"))
+    tuple_body: Expr = App(fns[-1], a_var)
+    for f in reversed(fns[:-1]):
+        tuple_body = make_pair(App(f, a_var), tuple_body)
+    shared_map = map_(Lambda(a_var, tuple_body), source)
+    shared = Ident(Fresh.name("sharedmap_"))
+
+    def proj_fn(index: int) -> Expr:
+        p_var = Ident(Fresh.name("p_"))
+        e: Expr = p_var
+        for _ in range(index):
+            e = App(Snd(), e)
+        if index < len(fns) - 1:
+            e = App(Fst(), e)
+        return Lambda(p_var, e)
+
+    replacement: dict[tuple[int, ...], Expr] = {}
+    for rank, i in enumerate(group):
+        pos, (wrap, _f, _a) = parts[i]
+        replacement[pos] = wrap(map_(proj_fn(rank), shared))
+
+    def rebuild_tree(e: Expr, pos: tuple[int, ...]) -> Expr:
+        if pos in replacement:
+            return replacement[pos]
+        m = match_prim_app(e, MakePair, 2)
+        if m is not None:
+            return make_pair(
+                rebuild_tree(m[1][0], pos + (0,)),
+                rebuild_tree(m[1][1], pos + (1,)),
+            )
+        return e
+
+    new_tree = rebuild_tree(expr, ())
+    return Let(shared, shared_map, new_tree)

@@ -1,0 +1,120 @@
+"""Vectorization rewrite rules (paper listing 7).
+
+SIMD vectorization is expressed by reinterpreting arrays as arrays of
+vectors (``asVector``/``asScalar``) and pushing the reinterpretation
+through ``map`` and ``map(reduce(...))`` until scalar functions become
+vector functions (``mapVec``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.elevate.core import Strategy, rule
+from repro.nat import Nat, nat
+from repro.rise.dsl import (
+    as_vector,
+    fun,
+    map_,
+    map_vec,
+    reduce_,
+    transpose as transpose_,
+    vector_from_scalar,
+)
+from repro.rise.expr import App, Expr, Map, Reduce
+from repro.rules.match import match_prim_app
+
+__all__ = [
+    "start_vectorization",
+    "vectorize_before_map",
+    "vectorize_before_map_reduce",
+]
+
+
+def start_vectorization(width) -> Strategy:
+    """a : [n*v]s  -->  a |> asVector(v) |> asScalar      (listing 7)
+
+    The rewrite is locally unconditioned; the strategy that applies it
+    (vectorizeReductions) checks that the result still type-checks, which
+    enforces the `size divisible by v` side condition.
+    """
+    width = nat(width)
+
+    @rule(f"startVectorization({width!r})")
+    def run(expr: Expr) -> Optional[Expr]:
+        from repro.rise.dsl import as_scalar
+
+        return as_scalar(as_vector(width, expr))
+
+    return run
+
+
+def _is_basic_scalar_fun(f: Expr) -> bool:
+    """mapVec 'is currently supported for functions that use basic
+    operations such as addition and multiplication' (paper §IV-A) — the
+    side condition of vectorizeBeforeMap."""
+    from repro.rise.expr import App, Identifier, Lambda, Literal, ScalarOp, UnaryOp
+    from repro.rise.traverse import subterms
+
+    if isinstance(f, (ScalarOp, UnaryOp)):
+        return True
+    if not isinstance(f, Lambda):
+        return False
+    return all(
+        isinstance(node, (App, Identifier, Lambda, Literal, ScalarOp, UnaryOp))
+        for node in subterms(f.body)
+    )
+
+
+@rule("vectorizeBeforeMap")
+def vectorize_before_map(expr: Expr) -> Optional[Expr]:
+    """map(f) |> asVector(v)  -->  asVector(v) |> map(mapVec(f))   (listing 7)
+
+    Only for basic scalar functions f (the published mapVec restriction);
+    reductions are handled by vectorizeBeforeMapReduce instead.
+    """
+    from repro.rise.expr import AsVector
+
+    outer = match_prim_app(expr, AsVector, 1)
+    if outer is None:
+        return None
+    vec_prim, (mapped,) = outer
+    inner = match_prim_app(mapped, Map, 2)
+    if inner is None:
+        return None
+    _, (f, x) = inner
+    if not _is_basic_scalar_fun(f):
+        return None
+    return map_(map_vec(f), as_vector(vec_prim.width, x))
+
+
+@rule("vectorizeBeforeMapReduce")
+def vectorize_before_map_reduce(expr: Expr) -> Optional[Expr]:
+    """map(reduce(op, init)) |> asVector(v)
+       -->  transpose |> map(asVector(v)) |> transpose
+            |> map(reduce(op, vectorFromScalar(init)))           (listing 7)
+
+    A row-wise reduction vectorized across *rows*: v adjacent rows are
+    reduced in lockstep, one row per vector lane.  The binary operator is
+    reused at vector type (the paper's mapVec(+) — arithmetic primitives
+    are overloaded for vectors in this implementation).
+    """
+    from repro.rise.expr import AsVector
+
+    outer = match_prim_app(expr, AsVector, 1)
+    if outer is None:
+        return None
+    vec_prim, (mapped,) = outer
+    inner = match_prim_app(mapped, Map, 2)
+    if inner is None:
+        return None
+    _, (f, x) = inner
+    reduction = match_prim_app(f, Reduce, 2)
+    if reduction is None:
+        return None
+    _, (op, init) = reduction
+    v: Nat = vec_prim.width
+    return map_(
+        reduce_(op, vector_from_scalar(v, init)),
+        transpose_(map_(as_vector(v), transpose_(x))),
+    )

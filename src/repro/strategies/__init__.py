@@ -1,0 +1,12 @@
+"""ELEVATE optimization strategies for the Harris pipeline (paper section IV)."""
+
+from repro.strategies.harris import (
+    circular_buffer_stages, fuse_operators, harris_ix_with_iy, lower_dot,
+    parallel, sequential, simplify, split_pipeline, unroll_reductions,
+    use_private_memory, vectorize_reductions,
+)
+from repro.strategies.schedules import (
+    DEFAULT_CHUNK, DEFAULT_VEC, Schedule, cbuf_rrot_version, cbuf_version,
+    naive_version,
+)
+from repro.strategies.scoping import down_arg, in_chunk_function

@@ -1,0 +1,315 @@
+"""The paper's optimization strategies for the Harris pipeline
+(section IV, listings 5 and 9), expressed as compositions of rewrite rules.
+
+The strategy names follow the paper:
+
+* ``fuse_operators``        — listing 5 step 1: dataflow graph -> line pipeline
+* ``split_pipeline(n)``     — chunk the pipeline for multi-threading
+* ``parallel``              — run chunks across global threads (mapGlobal)
+* ``vectorize_reductions``  — SIMD-vectorize the per-line loops
+* ``harris_ix_with_iy``     — share the sobel computations (compute_with)
+* ``circular_buffer_stages``— buffer lines between stages
+* ``sequential``            — make line computations sequential loops
+* ``use_private_memory``    — keep per-line temporaries in private memory
+* ``unroll_reductions``     — fully unroll the 3- and 9-element reductions
+"""
+
+from __future__ import annotations
+
+from repro.elevate.core import (
+    Strategy,
+    apply_once,
+    normalize,
+    repeat,
+    seq,
+    try_,
+)
+from repro.nat import Nat, nat
+from repro.rise.expr import (
+    App,
+    ArrayType,
+    Expr,
+    Map,
+    MapSeqVec,
+    PairType,
+    ScalarType,
+)
+from repro.rise.traverse import children, rebuild
+from repro.rules.algorithmic import (
+    beta_reduction,
+    fst_pair,
+    let_inline,
+    map_fusion,
+    map_of_identity,
+    slide_after_split,
+    slide_before_map,
+    slide_before_slide,
+    slide_outside_zip,
+    snd_pair,
+    split_join,
+    zip_same,
+)
+from repro.rules.lowering import (
+    slide_to_circular_buffer,
+    slide_to_rotate_values,
+    unroll_map_seq,
+    unroll_reduce_seq,
+    use_map_global,
+    use_map_seq,
+    use_reduce_seq,
+    use_reduce_seq_unroll,
+)
+from repro.rules.structure import cse_in_lambda, zip_of_maps
+from repro.rise.types import AddressSpace
+from repro.strategies.scoping import down_arg, in_chunk_function
+
+__all__ = [
+    "lower_dot",
+    "simplify",
+    "fuse_operators",
+    "split_pipeline",
+    "parallel",
+    "sequential",
+    "harris_ix_with_iy",
+    "circular_buffer_stages",
+    "vectorize_reductions",
+    "unroll_reductions",
+    "use_private_memory",
+]
+
+from repro.rules.algorithmic import reduce_map_fusion
+
+#: The paper's first example strategy (section II-A).
+lower_dot = apply_once(reduce_map_fusion)
+lower_dot.name = "lowerDot"
+
+_SIMPLIFY_RULES = beta_reduction | fst_pair | snd_pair | map_of_identity
+
+#: Cleanup pass: beta/projection reduction and identity-map removal.
+simplify = normalize(_SIMPLIFY_RULES)
+simplify.name = "simplify"
+
+from repro.rules.structure import slide_before_map_view  # noqa: E402
+
+_FUSION_RULES = (
+    beta_reduction
+    | fst_pair
+    | snd_pair
+    | map_of_identity
+    | map_fusion
+    | zip_of_maps
+    | zip_same
+    | slide_outside_zip
+    | slide_before_map_view
+)
+
+#: fuseOperators (listing 5): inline the dataflow lets, then normalize with
+#: the fusion rule set until the program is a line pipeline
+#: ``map(grayLine) |> slide(3,1) |> map(sobelLine) |> slide(3,1) |> map(coarsityLine)``.
+fuse_operators = seq(
+    normalize(let_inline),
+    normalize(_FUSION_RULES),
+)
+fuse_operators.name = "fuseOperators"
+
+
+from repro.rules.algorithmic import (  # noqa: E402
+    eta_reduction,
+    fst_unzip,
+    map_proj_fusion,
+    snd_unzip,
+)
+from repro.rules.structure import (  # noqa: E402
+    merge_sibling_maps,
+    narrow_shared_pair_producer,
+)
+
+_PROJECTION_CLEANUP = (
+    beta_reduction
+    | eta_reduction
+    | fst_unzip
+    | snd_unzip
+    | map_fusion
+    | map_proj_fusion
+    | fst_pair
+    | snd_pair
+    | map_of_identity
+)
+
+#: harrisIxWithIy: share the sobel-line computations between their consumers
+#: (the effect of Halide's ``Ix.compute_with(Iy, x)``).  Composition:
+#: factor repeated computations inside stage functions (cse), narrow
+#: producers that emit duplicated pair components, clean up the resulting
+#: projections, merge sibling maps over the now-identical source into one
+#: tuple-producing pass, and factor again so each sobel is computed once.
+harris_ix_with_iy = (
+    normalize(cse_in_lambda(min_nodes=10))
+    >> try_(normalize(narrow_shared_pair_producer))
+    >> normalize(_PROJECTION_CLEANUP)
+    >> try_(normalize(merge_sibling_maps))
+    >> normalize(cse_in_lambda(min_nodes=10))
+)
+harris_ix_with_iy.name = "harrisIxWithIy"
+
+
+def split_pipeline(chunk_lines) -> Strategy:
+    """splitPipeline(n) (section IV-A): split the output into chunks of n
+    lines and propagate the split to the start of the pipeline, producing
+    ``slide(n+4, n) |> map(<whole pipeline on a chunk>) |> join``.
+
+    Composition per listing 6: splitJoin on the last map, then movement
+    rules (slideAfterSplit, slideBeforeMap, slideBeforeSlide) and map
+    fusions — applied along the pipeline's argument chain only, so stage
+    *functions* are never rewritten (the recomputation the unrestricted
+    slideBeforeMap would introduce at stage level is only correct at chunk
+    borders, which is precisely where this traversal applies it).
+    """
+    chunk_lines = nat(chunk_lines)
+    propagate = repeat(
+        down_arg(
+            slide_after_split
+            | slide_before_slide
+            | slide_before_map
+            | map_fusion
+            | beta_reduction
+        )
+    )
+    strategy = seq(apply_once(split_join(chunk_lines)), propagate)
+    strategy.name = f"splitPipeline({chunk_lines!r})"
+    return strategy
+
+
+#: parallel: implement the outermost (chunk) map across global threads.
+parallel = apply_once(use_map_global)
+parallel.name = "parallel"
+
+
+#: circularBufferStages (listing 8): rewrite the stage slides inside the
+#: parallel chunk into circular buffers, fusing each producing map into the
+#: buffer's load function.
+circular_buffer_stages = in_chunk_function(
+    repeat(down_arg(slide_to_circular_buffer(AddressSpace.GLOBAL)))
+)
+circular_buffer_stages.name = "circularBufferStages"
+
+
+#: sequential: implement remaining high-level maps/reduces inside the chunk
+#: with sequential loops.
+sequential = try_(
+    in_chunk_function(normalize(use_map_seq | use_reduce_seq))
+) >> try_(normalize(use_map_seq | use_reduce_seq))
+sequential.name = "sequential"
+
+
+#: unrollReductions: fully unroll the small (3- and 9-element) reductions.
+unroll_reductions = try_(normalize(unroll_reduce_seq | use_reduce_seq_unroll))
+unroll_reductions.name = "unrollReductions"
+
+
+def use_private_memory() -> Strategy:
+    """usePrivateMemory: keep rotation temporaries in private memory.
+
+    Ensures every ``rotateValues`` targets the PRIVATE address space, so
+    code generation keeps the rotating window in registers (materializing
+    it with ``toMem`` would turn the streamed vertical reductions into a
+    separate scalar pass, which is exactly what rotation avoids)."""
+    from repro.rise.expr import RotateValues
+
+    from repro.elevate.core import rule
+
+    @rule("privateRotation")
+    def mark(expr: Expr):
+        if isinstance(expr, RotateValues) and expr.addr is not AddressSpace.PRIVATE:
+            return RotateValues(addr=AddressSpace.PRIVATE, size=expr.size)
+        return None
+
+    strategy = try_(normalize(mark))
+    strategy.name = "usePrivateMemory"
+    return strategy
+
+
+def _is_vectorizable_data(dtype) -> bool:
+    if isinstance(dtype, ScalarType):
+        return True
+    if isinstance(dtype, PairType):
+        return _is_vectorizable_data(dtype.fst) and _is_vectorizable_data(dtype.snd)
+    return False
+
+
+def vectorize_reductions(width, type_env) -> Strategy:
+    """vectorizeReductions(vec) (listing 7): SIMD-vectorize every per-line
+    loop of the program.
+
+    The elementary rewrites of listing 7 (startVectorization,
+    vectorizeBeforeMap, vectorizeBeforeMapReduce) are implemented and
+    tested in :mod:`repro.rules.vectorize`; at whole-pipeline scale this
+    strategy introduces their packaged result directly: each line-level
+    ``map`` — a map over a *symbolic-length* array producing scalar (or
+    pair-of-scalar) elements — becomes the low-level ``mapSeqVec`` pattern,
+    a strip-mined SIMD loop.  Line lengths are rounded up to a multiple of
+    the vector width by the code generator, the option the paper also uses.
+
+    Type information decides applicability, so this is a typed strategy:
+    it infers types once per application (``type_env`` types the free
+    identifiers of the program being rewritten).
+    """
+    width = nat(width)
+    from repro.elevate.core import Failure, RewriteResult, Success
+    from repro.rise.typecheck import infer_types
+
+    def run(expr: Expr) -> RewriteResult:
+        typing = infer_types(expr, type_env, strict=False)
+        changed: list[bool] = []
+
+        def _line_result(result_type) -> bool:
+            if not isinstance(result_type, ArrayType):
+                return False
+            if result_type.size.is_constant():
+                return False  # window dimension, not a line
+            return _is_vectorizable_data(result_type.elem)
+
+        def should_vectorize(node: Expr) -> bool:
+            if not (isinstance(node, App) and isinstance(node.fun, App)):
+                return False
+            if type(node.fun.fun) is not Map:
+                return False
+            try:
+                result_type = typing.of(node)
+            except Exception:
+                return False
+            return _line_result(result_type)
+
+        def should_vectorize_partial(node: Expr) -> bool:
+            # map(f) used point-free (e.g. as the function of an outer map):
+            # its type is [n]s -> [n]t
+            from repro.rise.types import FunType
+
+            if not (isinstance(node, App) and type(node.fun) is Map):
+                return False
+            try:
+                result_type = typing.of(node)
+            except Exception:
+                return False
+            return isinstance(result_type, FunType) and _line_result(result_type.ret)
+
+        def go(node: Expr) -> Expr:
+            kids = children(node)
+            node2 = rebuild(node, [go(k) for k in kids]) if kids else node
+            # Applicability is decided on the *original* node (rebuilt nodes
+            # have no typing entry; rewrites below preserve the type).
+            if should_vectorize(node):
+                changed.append(True)
+                inner = node2.fun
+                return App(App(MapSeqVec(width=width), inner.arg), node2.arg)
+            if should_vectorize_partial(node):
+                changed.append(True)
+                return App(MapSeqVec(width=width), node2.arg)
+            return node2
+
+        rewritten = go(expr)
+        if not changed:
+            return Failure(strategy, "no line-level map to vectorize")
+        return Success(rewritten)
+
+    strategy = Strategy(run, f"vectorizeReductions({width!r})")
+    return strategy

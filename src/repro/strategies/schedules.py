@@ -1,0 +1,129 @@
+"""Complete optimization schedules (paper listings 5 and 9) plus the
+baseline lowerings used in the evaluation.
+
+A schedule is a named composition of the strategies of
+:mod:`repro.strategies.harris` that takes a high-level program to a
+low-level program ready for code generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.elevate.core import Strategy, StrategyError, normalize, try_
+from repro.rise.expr import Expr
+from repro.rise.types import Type
+from repro.rules.conv import rotate_values_consume, separate_conv_line, separate_conv_line_zip
+from repro.strategies.harris import (
+    circular_buffer_stages,
+    fuse_operators,
+    harris_ix_with_iy,
+    parallel,
+    sequential,
+    simplify,
+    split_pipeline,
+    unroll_reductions,
+    use_private_memory,
+    vectorize_reductions,
+)
+
+__all__ = ["Schedule", "cbuf_version", "cbuf_rrot_version", "naive_version", "DEFAULT_CHUNK", "DEFAULT_VEC"]
+
+DEFAULT_CHUNK = 32
+DEFAULT_VEC = 4
+
+
+@dataclass
+class Schedule:
+    """A named strategy pipeline from high-level to low-level RISE."""
+
+    name: str
+    steps: list[Strategy]
+
+    def apply(self, program: Expr) -> Expr:
+        for step in self.steps:
+            program = step.apply(program)
+        return program
+
+    def apply_traced(self, program: Expr) -> list[tuple[str, Expr]]:
+        """Apply, returning (step name, program after step) pairs."""
+        trace = [("input", program)]
+        for step in self.steps:
+            program = step.apply(program)
+            trace.append((step.name, program))
+        return trace
+
+
+def cbuf_version(
+    type_env: Mapping[str, Type],
+    chunk: int = DEFAULT_CHUNK,
+    vec: int = DEFAULT_VEC,
+) -> Schedule:
+    """Listing 5: the ELEVATE strategy reproducing the reference Halide
+    schedule — operator fusion, multi-threading over 32-line chunks,
+    vectorization, sobel sharing, circular buffering, sequential line
+    loops and unrolled reductions."""
+    return Schedule(
+        name="rise-cbuf",
+        steps=[
+            fuse_operators,
+            harris_ix_with_iy,
+            split_pipeline(chunk),
+            parallel,
+            simplify,
+            harris_ix_with_iy,
+            vectorize_reductions(vec, type_env),
+            harris_ix_with_iy,
+            circular_buffer_stages,
+            sequential,
+            use_private_memory(),
+            unroll_reductions,
+        ],
+    )
+
+
+def cbuf_rrot_version(
+    type_env: Mapping[str, Type],
+    chunk: int = DEFAULT_CHUNK,
+    vec: int = DEFAULT_VEC,
+) -> Schedule:
+    """Listing 9: listing 5 plus convolution separation and register
+    rotation — the optimizations beyond Halide."""
+    return Schedule(
+        name="rise-cbuf-rrot",
+        steps=[
+            fuse_operators,
+            harris_ix_with_iy,
+            split_pipeline(chunk),
+            parallel,
+            simplify,
+            harris_ix_with_iy,
+            try_(normalize(separate_conv_line | separate_conv_line_zip)),
+            vectorize_reductions(vec, type_env),
+            harris_ix_with_iy,
+            circular_buffer_stages,
+            try_(normalize(rotate_values_consume)),
+            sequential,
+            use_private_memory(),
+            unroll_reductions,
+        ],
+    )
+
+
+def naive_version(type_env: Mapping[str, Type] | None = None) -> Schedule:
+    """A deliberately unoptimized lowering: inline everything and implement
+    every pattern sequentially (no fusion control, no parallelism, no
+    vectorization, no buffering).  Used as a sanity baseline."""
+    from repro.rules.algorithmic import let_inline
+    from repro.rules.lowering import use_map_seq, use_reduce_seq
+    from repro.elevate.core import normalize
+
+    return Schedule(
+        name="rise-naive",
+        steps=[
+            normalize(let_inline),
+            simplify,
+            try_(normalize(use_map_seq | use_reduce_seq)),
+        ],
+    )

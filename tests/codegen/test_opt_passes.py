@@ -1,0 +1,119 @@
+"""Tests for the IR optimization passes: constant folding and block CSE."""
+
+from repro.codegen.ir import (
+    Assign,
+    BinOp,
+    Block,
+    Buffer,
+    DeclScalar,
+    DeclVec,
+    FConst,
+    For,
+    IConst,
+    ImpFunction,
+    ImpProgram,
+    Load,
+    Store,
+    UnOp,
+    Var,
+    VLoad,
+    walk_stmts,
+)
+from repro.codegen.opt import cse_program, fold_expr, fold_program
+from repro.nat import nat
+
+
+class TestFoldExpr:
+    def test_mul_zero(self):
+        assert fold_expr(BinOp("mul", FConst(0.0), Var("x"))) == FConst(0.0)
+
+    def test_mul_one(self):
+        assert fold_expr(BinOp("mul", FConst(1.0), Var("x"))) == Var("x")
+
+    def test_mul_minus_one_becomes_neg(self):
+        e = fold_expr(BinOp("mul", FConst(-1.0), Var("x")))
+        assert e == UnOp("neg", Var("x"))
+
+    def test_add_zero(self):
+        assert fold_expr(BinOp("add", FConst(0.0), Var("x"))) == Var("x")
+
+    def test_add_neg_becomes_sub(self):
+        e = fold_expr(BinOp("add", Var("a"), UnOp("neg", Var("b"))))
+        assert e == BinOp("sub", Var("a"), Var("b"))
+
+    def test_const_folding_is_float32(self):
+        e = fold_expr(BinOp("mul", FConst(0.1), FConst(3.0)))
+        assert isinstance(e, FConst)
+        import numpy as np
+
+        assert e.value == float(np.float32(0.1) * np.float32(3.0))
+
+    def test_double_negation(self):
+        e = fold_expr(UnOp("neg", UnOp("neg", Var("x"))))
+        assert e == Var("x")
+
+    def test_nested_folding(self):
+        # (0 * x) + (1 * y)  ->  y
+        e = BinOp("add", BinOp("mul", FConst(0.0), Var("x")), BinOp("mul", FConst(1.0), Var("y")))
+        assert fold_expr(e) == Var("y")
+
+
+def _program(stmts):
+    fn = ImpFunction("k", [Buffer("inp", nat(16), 8)], Buffer("out", nat(16), 8), [], Block(stmts))
+    p = ImpProgram("k", [fn], [])
+    p.size_constraints = []
+    p.vector_fallbacks = []
+    return p
+
+
+class TestCseProgram:
+    def test_shared_subexpression_extracted(self):
+        heavy = BinOp("mul", Load("inp", Var("i")), Load("inp", Var("i")))
+        stmts = [
+            Store("out", IConst(0), BinOp("add", heavy, FConst(1.0))),
+            Store("out", IConst(1), BinOp("add", heavy, FConst(2.0))),
+        ]
+        out = cse_program(_program(stmts))
+        decls = [s for s in walk_stmts(out.functions[0].body) if isinstance(s, DeclScalar)]
+        assert len(decls) >= 1
+
+    def test_store_barrier_respected(self):
+        # a load from 'out' after a store to 'out' must not be CSE'd across it
+        load_out = Load("out", IConst(0))
+        stmts = [
+            Store("out", IConst(0), load_out),
+            Store("out", IConst(1), load_out),
+        ]
+        out = cse_program(_program(stmts))
+        stores = [s for s in walk_stmts(out.functions[0].body) if isinstance(s, Store)]
+        assert all(isinstance(s.value, Load) for s in stores)
+
+    def test_index_expressions_untouched(self):
+        idx = BinOp("add", Var("i"), IConst(3))
+        stmts = [
+            Store("out", idx, Load("inp", idx)),
+            Store("out", BinOp("add", idx, IConst(1)), Load("inp", idx)),
+        ]
+        out = cse_program(_program(stmts))
+        # indices remain structural (no float temporaries for ints)
+        for s in walk_stmts(out.functions[0].body):
+            if isinstance(s, Store):
+                assert not isinstance(s.index, Var) or s.index == Var("i")
+
+    def test_loops_are_boundaries(self):
+        heavy = BinOp("mul", Load("inp", IConst(0)), Load("inp", IConst(0)))
+        stmts = [
+            Store("out", IConst(0), heavy),
+            For("i", IConst(4), Block([Store("out", Var("i"), heavy)])),
+        ]
+        out = cse_program(_program(stmts))
+        # each region CSEs independently; program still well formed
+        assert any(isinstance(s, For) for s in walk_stmts(out.functions[0].body))
+
+
+class TestFoldProgram:
+    def test_preserves_metadata(self):
+        p = _program([Store("out", IConst(0), FConst(1.0))])
+        p.size_constraints = [(nat("n"), nat(4))]
+        out = fold_program(p)
+        assert out.size_constraints == [(nat("n"), nat(4))]

@@ -1,0 +1,94 @@
+"""Tests for the scalar-expression vectorizer behind mapSeqVec."""
+
+import pytest
+
+from repro.codegen.ir import (
+    Assign,
+    BinOp,
+    Broadcast,
+    DeclScalar,
+    DeclVec,
+    FConst,
+    IConst,
+    Load,
+    Var,
+    VLoad,
+)
+from repro.codegen.vectorize import VectorizeError, affine_coefficient, vectorize_stmts
+from repro.codegen.views import idx_add, idx_mul
+
+
+class TestAffineCoefficient:
+    def test_var_itself(self):
+        assert affine_coefficient(Var("x"), "x") == (1, IConst(0))
+
+    def test_other_var(self):
+        coeff, rest = affine_coefficient(Var("y"), "x")
+        assert coeff == 0 and rest == Var("y")
+
+    def test_offset(self):
+        coeff, rest = affine_coefficient(idx_add(Var("x"), IConst(3)), "x")
+        assert coeff == 1 and rest == IConst(3)
+
+    def test_scaled(self):
+        coeff, _ = affine_coefficient(idx_mul(Var("x"), IConst(4)), "x")
+        assert coeff == 4
+
+    def test_sum_of_terms(self):
+        e = idx_add(idx_mul(Var("x"), IConst(2)), idx_add(Var("x"), Var("y")))
+        coeff, _ = affine_coefficient(e, "x")
+        assert coeff == 3
+
+    def test_nonlinear_rejected(self):
+        e = BinOp("mul", Var("x"), Var("x"))
+        assert affine_coefficient(e, "x") is None
+
+    def test_mod_of_var_rejected(self):
+        e = BinOp("mod", Var("x"), IConst(3))
+        assert affine_coefficient(e, "x") is None
+
+
+def _vec(stmts, exprs, width=4):
+    return vectorize_stmts(
+        stmts, exprs, "x", idx_mul(Var("s"), IConst(width)), width, lambda rest: rest == IConst(0)
+    )
+
+
+class TestVectorizeStmts:
+    def test_unit_stride_load_becomes_vload(self):
+        _, [e] = _vec([], [Load("buf", Var("x"))])
+        assert isinstance(e, VLoad)
+        assert e.aligned  # rest == 0
+
+    def test_offset_load_unaligned(self):
+        _, [e] = _vec([], [Load("buf", idx_add(Var("x"), IConst(1)))])
+        assert isinstance(e, VLoad) and not e.aligned
+
+    def test_invariant_load_broadcast_in_arith(self):
+        expr = BinOp("mul", Load("w", Var("k")), Load("buf", Var("x")))
+        _, [e] = _vec([], [expr])
+        assert isinstance(e, BinOp)
+        assert isinstance(e.a, Broadcast)
+
+    def test_strided_load_fails(self):
+        with pytest.raises(VectorizeError):
+            _vec([], [Load("buf", idx_mul(Var("x"), IConst(2)))])
+
+    def test_index_as_value_fails(self):
+        with pytest.raises(VectorizeError):
+            _vec([], [BinOp("add", Var("x"), FConst(1.0))])
+
+    def test_scalar_decl_becomes_vector_when_varying(self):
+        stmts = [DeclScalar("t", Load("buf", Var("x")))]
+        out_stmts, _ = _vec(stmts, [Var("t")])
+        assert isinstance(out_stmts[0], DeclVec)
+
+    def test_invariant_decl_stays_scalar(self):
+        stmts = [DeclScalar("t", Load("buf", Var("k")))]
+        out_stmts, [e] = _vec(stmts, [Var("t")])
+        assert isinstance(out_stmts[0], DeclScalar)
+        assert isinstance(e, Broadcast)
+
+    def test_scalar_result_broadcast(self):
+        _, [e] = _vec([], [FConst(2.0)])
+        assert isinstance(e, Broadcast)

@@ -1,0 +1,103 @@
+"""Tests for index folding, views, and the imperative IR utilities."""
+
+import pytest
+
+from repro.nat import nat
+from repro.codegen.ir import (
+    Assign,
+    BinOp,
+    Block,
+    Buffer,
+    DeclScalar,
+    FConst,
+    For,
+    IConst,
+    Load,
+    NatE,
+    Store,
+    Var,
+    walk_exprs,
+    walk_stmts,
+)
+from repro.codegen.views import (
+    ArrV,
+    CodegenError,
+    PairV,
+    ScalarV,
+    idx_add,
+    idx_div,
+    idx_mod,
+    idx_mul,
+    nat_expr,
+)
+
+
+class TestIndexFolding:
+    def test_add_zero(self):
+        v = Var("i")
+        assert idx_add(v, IConst(0)) is v
+        assert idx_add(IConst(0), v) is v
+
+    def test_add_consts(self):
+        assert idx_add(IConst(2), IConst(3)) == IConst(5)
+
+    def test_mul_identity_and_zero(self):
+        v = Var("i")
+        assert idx_mul(v, IConst(1)) is v
+        assert idx_mul(v, IConst(0)) == IConst(0)
+
+    def test_mul_consts(self):
+        assert idx_mul(IConst(4), IConst(5)) == IConst(20)
+
+    def test_nat_fusion(self):
+        n = nat("n")
+        e = idx_add(nat_expr(n), nat_expr(nat(4)))
+        assert e == NatE(n + 4) or isinstance(e, BinOp)
+
+    def test_div_mod_consts(self):
+        assert idx_div(IConst(7), IConst(3)) == IConst(2)
+        assert idx_mod(IConst(7), IConst(3)) == IConst(1)
+
+    def test_mod_one(self):
+        assert idx_mod(Var("i"), IConst(1)) == IConst(0)
+
+    def test_nat_expr_constant(self):
+        assert nat_expr(nat(5)) == IConst(5)
+        assert nat_expr(7) == IConst(7)
+
+    def test_nat_expr_symbolic(self):
+        assert isinstance(nat_expr(nat("n") + 1), NatE)
+
+
+class TestViews:
+    def test_arr_const_index(self):
+        view = ArrV(nat(3), lambda i: ScalarV(IConst(0)) if i == IConst(0) else ScalarV(i))
+        assert isinstance(view.at_const(0), ScalarV)
+
+    def test_pair_projection(self):
+        from repro.codegen.views import project
+
+        p = PairV(ScalarV(IConst(1)), PairV(ScalarV(IConst(2)), ScalarV(IConst(3))))
+        assert project(p, (1, 0)).expr == IConst(2)
+        with pytest.raises(CodegenError):
+            project(ScalarV(IConst(1)), (0,))
+
+
+class TestIR:
+    def test_buffer_alloc_size_includes_pad(self):
+        b = Buffer("b", nat(10), pad=8)
+        assert b.alloc_size() == nat(18)
+
+    def test_walk_stmts(self):
+        body = Block([DeclScalar("a", FConst(0.0)), For("i", IConst(4), Block([Assign("a", Var("a"))]))])
+        kinds = [type(s).__name__ for s in walk_stmts(body)]
+        assert "For" in kinds and "Assign" in kinds
+
+    def test_walk_exprs(self):
+        body = Block([Store("out", Var("i"), Load("inp", IConst(2)))])
+        exprs = list(walk_exprs(body))
+        assert any(isinstance(e, Load) for e in exprs)
+
+    def test_binop_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            BinOp("pow", IConst(1), IConst(2))

@@ -1,0 +1,119 @@
+"""Property tests for the algebraic laws of ELEVATE combinators.
+
+Strategy languages are algebraic structures (Hagedorn et al.); these laws
+are what make large compositions like listing 5 predictable.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.elevate import (
+    Failure,
+    Success,
+    fail,
+    id_,
+    lchoice,
+    repeat,
+    seq,
+    top_down,
+    try_,
+)
+from repro.elevate.core import Strategy, rule
+from repro.rise.dsl import fun, lit, map_, pipe
+from repro.rise.expr import App, Expr, Identifier, Literal
+
+
+def _bump(threshold: float) -> Strategy:
+    @rule(f"bump<{threshold}")
+    def run(e: Expr):
+        if isinstance(e, Literal) and e.value < threshold:
+            return Literal(e.value + 1.0)
+        return None
+
+    return run
+
+
+EXPRS = st.builds(lit, st.floats(0, 5).map(lambda v: round(v)))
+THRESHOLDS = st.floats(1, 4).map(lambda v: round(v))
+
+
+def _result_expr(result, original):
+    return result.expr if isinstance(result, Success) else original
+
+
+class TestLaws:
+    @given(EXPRS)
+    @settings(max_examples=30, deadline=None)
+    def test_id_is_seq_unit(self, e):
+        s = _bump(3)
+        left = seq(id_, s)(e)
+        right = seq(s, id_)(e)
+        plain = s(e)
+        assert type(left) is type(plain) is type(right)
+        if isinstance(plain, Success):
+            assert left.expr == plain.expr == right.expr
+
+    @given(EXPRS)
+    @settings(max_examples=30, deadline=None)
+    def test_fail_is_seq_zero(self, e):
+        s = _bump(3)
+        assert isinstance(seq(fail, s)(e), Failure)
+        assert isinstance(seq(s, fail)(e), Failure)
+
+    @given(EXPRS, THRESHOLDS, THRESHOLDS)
+    @settings(max_examples=30, deadline=None)
+    def test_lchoice_associative(self, e, t1, t2):
+        a, b, c = _bump(t1), _bump(t2), _bump(5)
+        left = lchoice(lchoice(a, b), c)(e)
+        right = lchoice(a, lchoice(b, c))(e)
+        assert type(left) is type(right)
+        if isinstance(left, Success):
+            assert left.expr == right.expr
+
+    @given(EXPRS)
+    @settings(max_examples=30, deadline=None)
+    def test_lchoice_fail_unit(self, e):
+        s = _bump(3)
+        left = lchoice(fail, s)(e)
+        right = lchoice(s, fail)(e)
+        plain = s(e)
+        assert type(left) is type(plain) is type(right)
+
+    @given(EXPRS)
+    @settings(max_examples=30, deadline=None)
+    def test_try_never_fails(self, e):
+        assert isinstance(try_(fail)(e), Success)
+        assert isinstance(try_(_bump(3))(e), Success)
+
+    @given(EXPRS)
+    @settings(max_examples=30, deadline=None)
+    def test_try_equals_lchoice_id(self, e):
+        s = _bump(3)
+        assert try_(s)(e).expr == lchoice(s, id_)(e).expr
+
+    @given(EXPRS)
+    @settings(max_examples=30, deadline=None)
+    def test_repeat_reaches_fixpoint(self, e):
+        s = _bump(3)
+        result = repeat(s)(e)
+        assert isinstance(result, Success)
+        # s no longer applies to the result
+        assert isinstance(s(result.expr), Failure)
+
+    @given(EXPRS)
+    @settings(max_examples=30, deadline=None)
+    def test_top_down_on_leaf_equals_s(self, e):
+        s = _bump(3)
+        assert type(top_down(s)(e)) is type(s(e))
+
+    @given(st.floats(0, 3).map(lambda v: round(v)))
+    @settings(max_examples=20, deadline=None)
+    def test_normalize_postcondition(self, v):
+        """After normalize(s), s applies nowhere (paper section II-C)."""
+        from repro.elevate import normalize
+
+        s = _bump(3)
+        prog = pipe(lit(v), map_(fun(lambda x: x + lit(v))))
+        result = normalize(s)(prog)
+        assert isinstance(result, Success)
+        assert isinstance(top_down(s)(result.expr), Failure)

@@ -1,0 +1,170 @@
+"""Tests for the ELEVATE strategy combinators and traversals."""
+
+import pytest
+
+from repro.elevate import (
+    Failure,
+    StrategyError,
+    Success,
+    all_,
+    apply_once,
+    bottom_up,
+    fail,
+    id_,
+    lchoice,
+    normalize,
+    one,
+    repeat,
+    rule,
+    seq,
+    some,
+    top_down,
+    try_,
+)
+from repro.rise import Identifier, Literal, alpha_equal
+from repro.rise.dsl import fun, lit, map_, pipe
+
+xs = Identifier("xs")
+
+
+@rule("incrementLiteral")
+def increment_literal(expr):
+    if isinstance(expr, Literal) and expr.value < 3.0:
+        return Literal(expr.value + 1.0)
+    return None
+
+
+@rule("zeroLiteral")
+def zero_literal(expr):
+    if isinstance(expr, Literal) and expr.value != 0.0:
+        return Literal(0.0)
+    return None
+
+
+class TestCombinators:
+    def test_id(self):
+        assert isinstance(id_(xs), Success)
+        assert id_(xs).expr is xs
+
+    def test_fail(self):
+        assert isinstance(fail(xs), Failure)
+
+    def test_rule_success(self):
+        result = increment_literal(lit(1.0))
+        assert isinstance(result, Success)
+        assert result.expr.value == 2.0
+
+    def test_rule_failure(self):
+        assert isinstance(increment_literal(xs), Failure)
+
+    def test_seq_both(self):
+        s = seq(increment_literal, increment_literal)
+        assert s(lit(0.0)).expr.value == 2.0
+
+    def test_seq_first_fails(self):
+        s = seq(fail, id_)
+        assert isinstance(s(xs), Failure)
+
+    def test_seq_second_fails(self):
+        s = seq(id_, fail)
+        assert isinstance(s(xs), Failure)
+
+    def test_seq_operator(self):
+        s = increment_literal >> increment_literal
+        assert s(lit(0.0)).expr.value == 2.0
+
+    def test_lchoice_first(self):
+        s = lchoice(increment_literal, zero_literal)
+        assert s(lit(1.0)).expr.value == 2.0
+
+    def test_lchoice_second(self):
+        s = lchoice(increment_literal, zero_literal)
+        # increment fails at >= 3
+        assert s(lit(5.0)).expr.value == 0.0
+
+    def test_lchoice_operator(self):
+        s = increment_literal | zero_literal
+        assert s(lit(5.0)).expr.value == 0.0
+
+    def test_try_success(self):
+        assert try_(increment_literal)(lit(1.0)).expr.value == 2.0
+
+    def test_try_failure_is_identity(self):
+        result = try_(increment_literal)(xs)
+        assert isinstance(result, Success)
+        assert result.expr is xs
+
+    def test_repeat_until_failure(self):
+        assert repeat(increment_literal)(lit(0.0)).expr.value == 3.0
+
+    def test_repeat_never_fails(self):
+        result = repeat(increment_literal)(xs)
+        assert isinstance(result, Success)
+        assert result.expr is xs
+
+    def test_apply_raises_on_failure(self):
+        with pytest.raises(StrategyError, match="failed"):
+            fail.apply(xs)
+
+
+class TestTraversals:
+    def test_one_first_child(self):
+        prog = lit(1.0) + lit(1.0)
+        result = one(one(increment_literal))(prog)
+        assert isinstance(result, Success)
+
+    def test_one_failure(self):
+        assert isinstance(one(increment_literal)(xs), Failure)
+
+    def test_all_requires_every_child(self):
+        # App(fun, arg): fun side contains no literal at depth 1
+        prog = lit(1.0) + lit(2.0)
+        assert isinstance(all_(increment_literal)(prog), Failure)
+
+    def test_all_on_leaf_succeeds_vacuously(self):
+        result = all_(fail)(xs)
+        assert isinstance(result, Success)
+
+    def test_some_any_child(self):
+        prog = lit(1.0) + lit(2.0)  # App(App(add, 1), 2); arg=2 is a literal child
+        result = some(increment_literal)(prog)
+        assert isinstance(result, Success)
+
+    def test_top_down_finds_nested(self):
+        prog = map_(fun(lambda x: x + lit(1.0)), xs)
+        result = top_down(increment_literal)(prog)
+        assert isinstance(result, Success)
+
+    def test_apply_once_rewrites_first_location_only(self):
+        prog = lit(1.0) + lit(1.0)
+        result = apply_once(increment_literal)(prog)
+        assert isinstance(result, Success)
+        # Exactly one of the two literals was incremented.
+        literals = sorted(
+            node.value
+            for node in _all_literals(result.expr)
+        )
+        assert literals == [1.0, 2.0]
+
+    def test_bottom_up(self):
+        prog = map_(fun(lambda x: x + lit(1.0)), xs)
+        result = bottom_up(increment_literal)(prog)
+        assert isinstance(result, Success)
+
+    def test_normalize_exhausts(self):
+        prog = lit(0.0) + lit(1.0)
+        result = normalize(increment_literal)(prog)
+        assert isinstance(result, Success)
+        literals = sorted(node.value for node in _all_literals(result.expr))
+        assert literals == [3.0, 3.0]
+
+    def test_normalize_after_no_location_applies(self):
+        prog = lit(0.0) + lit(1.0)
+        normalized = normalize(increment_literal)(prog).expr
+        assert isinstance(top_down(increment_literal)(normalized), Failure)
+
+
+def _all_literals(expr):
+    from repro.rise.traverse import subterms
+
+    return [node for node in subterms(expr) if isinstance(node, Literal)]

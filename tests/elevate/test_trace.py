@@ -1,0 +1,44 @@
+"""Tests for rewrite tracing — the tooling for inspecting derivations."""
+
+from repro.elevate import RewriteTrace, apply_once
+from repro.rise import Identifier
+from repro.rise.dsl import arr, dot
+from repro.rules.algorithmic import reduce_map_fusion
+from repro.strategies.schedules import Schedule, cbuf_version
+
+
+class TestRewriteTrace:
+    def test_records_successful_steps(self):
+        trace = RewriteTrace()
+        prog = dot(arr([1, 2, 3]))(Identifier("xs"))
+        wrapped = trace.wrap(apply_once(reduce_map_fusion))
+        wrapped(prog)
+        assert len(trace.steps) == 1
+        name, before, after = trace.steps[0]
+        assert "reduceMapFusion" in name
+        assert before is prog
+        assert "reduceSeq" in repr(after)
+
+    def test_failed_steps_not_recorded(self):
+        trace = RewriteTrace()
+        wrapped = trace.wrap(apply_once(reduce_map_fusion))
+        wrapped(Identifier("xs"))
+        assert trace.steps == []
+
+    def test_schedule_derivation_steps(self):
+        """apply_traced exposes the full listing-5 derivation: the program
+        after each named strategy, usable to write out the derivation."""
+        from repro.pipelines import harris, harris_input_type
+
+        senv = {"rgb": harris_input_type()}
+        schedule = cbuf_version(senv, chunk=4)
+        trace = schedule.apply_traced(harris(Identifier("rgb")))
+        names = [name for name, _ in trace]
+        assert names[0] == "input"
+        assert "fuseOperators" in names
+        assert "harrisIxWithIy" in names
+        # node counts change over the derivation
+        from repro.rise.traverse import count_nodes
+
+        sizes = [count_nodes(prog) for _, prog in trace]
+        assert len(set(sizes)) > 3

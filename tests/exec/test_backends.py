@@ -1,0 +1,94 @@
+"""Tests for the execution backends: Python source emission and (when a C
+compiler is available) the gcc/ctypes bridge."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import compile_program
+from repro.codegen.cprint import nat_to_c, program_to_c
+from repro.exec import program_to_python, run_program
+from repro.exec.cbridge import have_c_compiler, run_program_c
+from repro.nat import nat
+from repro.rise import Identifier, array, array2d, f32
+from repro.rise.dsl import fun, lit, map_seq, reduce_seq, slide
+
+xs = Identifier("xs")
+
+
+@pytest.fixture(scope="module")
+def double_prog():
+    prog = map_seq(fun(lambda v: v * lit(2.0)), xs)
+    # NB: not "double" — kernel names become C identifiers
+    return compile_program(prog, {"xs": array("n", f32)}, "dbl")
+
+
+class TestPythonBackend:
+    def test_source_is_valid_python(self, double_prog):
+        source = program_to_python(double_prog, {"n": 4})
+        compile(source, "<test>", "exec")
+        assert "def dbl(" in source
+
+    def test_run(self, double_prog):
+        out = run_program(double_prog, {"n": 4}, {"xs": np.arange(4.0)})
+        np.testing.assert_allclose(out, np.arange(4.0) * 2)
+
+    def test_input_shapes_flattened(self, double_prog):
+        out = run_program(double_prog, {"n": 4}, {"xs": np.arange(4.0).reshape(2, 2)})
+        assert out.shape == (4,)
+
+    def test_missing_input_raises(self, double_prog):
+        with pytest.raises(KeyError):
+            run_program(double_prog, {"n": 4}, {})
+
+    def test_float32_semantics(self):
+        # accumulation happens in float32, like the generated C
+        prog = reduce_seq(fun(lambda a, b: a + b), lit(0.0), xs)
+        from repro.rise.dsl import map_seq as ms
+
+        wrapped = ms(fun(lambda row: reduce_seq(fun(lambda a, b: a + b), lit(0.0), row)),
+                     Identifier("img"))
+        compiled = compile_program(wrapped, {"img": array2d(1, "m", f32)}, "k")
+        data = np.full(10_000, 0.1, dtype=np.float32).reshape(1, -1)
+        out = run_program(compiled, {"m": 10_000}, {"img": data})
+        expected = np.float32(0)
+        for _ in range(10_000):
+            expected = np.float32(expected + np.float32(0.1))
+        assert out[0] == expected
+
+
+class TestCPrinter:
+    def test_nat_to_c(self):
+        n = nat("n")
+        assert nat_to_c(n + 4) == "(4 + n)"
+        assert nat_to_c(n * 2) == "(2 * n)"
+        assert nat_to_c(nat(7)) == "7"
+        assert "/" in nat_to_c((n + 1) // 2)
+        assert "%" in nat_to_c((n + 1) % 2)
+
+    def test_program_compilable_structure(self, double_prog):
+        source = program_to_c(double_prog)
+        assert "void dbl(" in source
+        assert "restrict" in source
+        assert "#include" in source
+
+    def test_vector_helpers_present(self, double_prog):
+        source = program_to_c(double_prog)
+        assert "v4f_load" in source and "v4f_splat" in source
+
+
+@pytest.mark.skipif(not have_c_compiler(), reason="no C compiler")
+class TestCBridge:
+    def test_simple_program(self, double_prog):
+        out = run_program_c(double_prog, {"n": 6}, {"xs": np.arange(6.0)})
+        np.testing.assert_allclose(out, np.arange(6.0) * 2)
+
+    def test_agrees_with_python_backend(self):
+        prog_expr = map_seq(
+            fun(lambda w: reduce_seq(fun(lambda a, b: a + b), lit(0.0), w)),
+            slide(3, 1, xs),
+        )
+        prog = compile_program(prog_expr, {"xs": array("n", f32)}, "sums")
+        data = np.linspace(-2, 2, 9).astype(np.float32)
+        py = run_program(prog, {"n": 9}, {"xs": data})
+        c = run_program_c(prog, {"n": 9}, {"xs": data})
+        np.testing.assert_allclose(py, c, rtol=1e-6)

@@ -1,0 +1,129 @@
+"""Tests for the numpy reference implementations and PSNR/MSE metrics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.image import PAPER_IMAGE_LARGE, PAPER_IMAGE_SMALL, mse, psnr, synthetic_rgb
+from repro.image.metrics import PSNR_THRESHOLD_DB
+from repro.image.reference import (
+    GRAY_WEIGHTS,
+    SOBEL_X,
+    SOBEL_Y,
+    conv2d_valid,
+    coarsity,
+    grayscale,
+    harris,
+    sobel_x,
+    sobel_y,
+    sum3x3,
+)
+
+
+class TestReference:
+    def test_grayscale_weights(self):
+        rgb = np.zeros((3, 4, 5), dtype=np.float32)
+        rgb[0] = 1.0
+        assert np.allclose(grayscale(rgb), GRAY_WEIGHTS[0])
+
+    def test_grayscale_shape_check(self):
+        with pytest.raises(ValueError):
+            grayscale(np.zeros((4, 5), dtype=np.float32))
+
+    def test_conv_valid_shrinks(self):
+        img = np.ones((6, 8), dtype=np.float32)
+        out = conv2d_valid(img, SOBEL_X)
+        assert out.shape == (4, 6)
+
+    def test_sobel_of_constant_is_zero(self):
+        img = np.full((6, 8), 3.0, dtype=np.float32)
+        assert np.allclose(sobel_x(img), 0)
+        assert np.allclose(sobel_y(img), 0)
+
+    def test_sobel_of_ramp(self):
+        # horizontal ramp: sobel_x responds, sobel_y does not
+        img = np.tile(np.arange(8.0, dtype=np.float32), (6, 1))
+        assert np.allclose(sobel_x(img), 8.0)  # (1+2+1)*2 per unit step
+        assert np.allclose(sobel_y(img), 0.0)
+
+    def test_sum3x3(self):
+        img = np.ones((5, 5), dtype=np.float32)
+        assert np.allclose(sum3x3(img), 9.0)
+
+    def test_coarsity_formula(self):
+        sxx = np.array([[2.0]], dtype=np.float32)
+        sxy = np.array([[1.0]], dtype=np.float32)
+        syy = np.array([[3.0]], dtype=np.float32)
+        out = coarsity(sxx, sxy, syy, 0.04)
+        expected = 2 * 3 - 1 - 0.04 * (2 + 3) ** 2
+        assert np.allclose(out, expected)
+
+    def test_harris_output_shape(self):
+        img = synthetic_rgb(12, 16)
+        assert harris(img).shape == (8, 12)
+
+    def test_harris_flat_image_is_zero(self):
+        img = np.full((3, 10, 12), 0.5, dtype=np.float32)
+        assert np.allclose(harris(img), 0.0, atol=1e-6)
+
+    def test_harris_detects_corner(self):
+        # a bright quadrant produces a stronger response near its corner
+        img = np.zeros((3, 20, 20), dtype=np.float32)
+        img[:, 10:, 10:] = 1.0
+        response = harris(img)
+        corner_region = np.abs(response[6:10, 6:10]).max()
+        flat_region = np.abs(response[:3, :3]).max()
+        assert corner_region > flat_region
+
+
+class TestSyntheticImages:
+    def test_deterministic(self):
+        a = synthetic_rgb(16, 16, seed=3)
+        b = synthetic_rgb(16, 16, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_content(self):
+        assert not np.array_equal(synthetic_rgb(16, 16, 1), synthetic_rgb(16, 16, 2))
+
+    def test_range(self):
+        img = synthetic_rgb(32, 32)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_paper_specs(self):
+        assert (PAPER_IMAGE_SMALL.height, PAPER_IMAGE_SMALL.width) == (1536, 2560)
+        assert (PAPER_IMAGE_LARGE.height, PAPER_IMAGE_LARGE.width) == (4256, 2832)
+        assert PAPER_IMAGE_LARGE.pixels > PAPER_IMAGE_SMALL.pixels
+
+
+class TestMetrics:
+    def test_mse_zero_for_identical(self):
+        a = np.random.default_rng(0).random((8, 8))
+        assert mse(a, a) == 0.0
+
+    def test_psnr_inf_for_identical(self):
+        a = np.random.default_rng(0).random((8, 8))
+        assert math.isinf(psnr(a, a))
+
+    def test_psnr_decreases_with_noise(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((32, 32))
+        small = psnr(a, a + 1e-6 * rng.random((32, 32)))
+        large = psnr(a, a + 1e-3 * rng.random((32, 32)))
+        assert small > large > 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_threshold_constant_matches_paper(self):
+        assert PSNR_THRESHOLD_DB == 170.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(1e-8, 1e-2))
+    def test_psnr_monotone_in_error(self, eps):
+        a = np.linspace(0, 1, 64).reshape(8, 8)
+        p1 = psnr(a, a + eps)
+        p2 = psnr(a, a + 2 * eps)
+        assert p1 >= p2

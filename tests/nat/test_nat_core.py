@@ -1,0 +1,229 @@
+"""Unit and property tests for symbolic natural-number arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.nat import Nat, NatVar, ceil_div, nat, round_up
+from repro.nat.core import NatEvalError
+
+
+class TestConstruction:
+    def test_int(self):
+        assert nat(5).constant_value() == 5
+
+    def test_zero(self):
+        assert nat(0).is_zero()
+
+    def test_var(self):
+        assert nat("n").free_vars() == {"n"}
+
+    def test_atom(self):
+        assert nat(NatVar("k")) == nat("k")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            nat(True)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            nat(1.5)
+
+
+class TestArithmetic:
+    def test_add_sub_cancel(self):
+        n = nat("n")
+        assert (n + 4) - 4 == n
+
+    def test_sub_self_is_zero(self):
+        n = nat("n")
+        assert (n - n).is_zero()
+
+    def test_distribution(self):
+        n, m = nat("n"), nat("m")
+        assert (n + 1) * (m + 2) == n * m + 2 * n + m + 2
+
+    def test_binomial(self):
+        n = nat("n")
+        assert (n + 1) * (n - 1) == n * n - 1
+
+    def test_int_on_left(self):
+        n = nat("n")
+        assert 3 + n == n + 3
+        assert 3 * n == n * 3
+        assert 10 - n == (n - 10) * -1
+
+    def test_slide_size_algebra(self):
+        """The size algebra used by the slide type: sp*n + sz - sp."""
+        n = nat("n")
+        sz, sp = nat(3), nat(1)
+        assert sp * n + sz - sp == n + 2
+
+
+class TestDivision:
+    def test_exact_constant(self):
+        assert nat(12) // 4 == nat(3)
+
+    def test_exact_symbolic(self):
+        n = nat("n")
+        assert (4 * n + 8) // 4 == n + 2
+
+    def test_exact_monomial(self):
+        n, m = nat("n"), nat("m")
+        assert (n * m * 6) // (m * 2) == 3 * n
+
+    def test_inexact_constant_floor(self):
+        assert nat(13) // 4 == nat(3)
+
+    def test_inexact_symbolic_is_opaque(self):
+        n = nat("n")
+        e = (n + 1) // 2
+        assert e.evaluate({"n": 5}) == 3
+        assert e.evaluate({"n": 6}) == 3
+
+    def test_mod_exact_is_zero(self):
+        n = nat("n")
+        assert (4 * n) % 4 == nat(0)
+
+    def test_mod_constants(self):
+        assert nat(13) % 4 == nat(1)
+
+    def test_mod_symbolic_evaluates(self):
+        n = nat("n")
+        assert ((n + 1) % 3).evaluate({"n": 8}) == 0
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            nat("n") // 0
+
+    def test_ceil_div(self):
+        assert ceil_div(13, 4) == nat(4)
+        assert ceil_div(nat("n") * 4, 4) == nat("n")
+        assert ceil_div(nat("n"), 4).evaluate({"n": 9}) == 3
+
+    def test_round_up(self):
+        assert round_up(13, 4) == nat(16)
+        assert round_up(nat("n") * 4, 4) == nat("n") * 4
+        assert round_up(nat("n"), 4).evaluate({"n": 9}) == 12
+
+
+class TestSubstitutionEvaluation:
+    def test_substitute(self):
+        n, m = nat("n"), nat("m")
+        assert (n * m + 1).substitute({"n": nat(3)}) == 3 * m + 1
+
+    def test_substitute_with_expression(self):
+        n = nat("n")
+        assert (n * n).substitute({"n": nat("k") + 1}) == (nat("k") + 1) * (nat("k") + 1)
+
+    def test_substitute_inside_opaque_div(self):
+        n = nat("n")
+        e = (n + 1) // 2
+        assert e.substitute({"n": nat(5)}) == nat(3)
+
+    def test_evaluate_unbound_raises(self):
+        with pytest.raises(NatEvalError):
+            nat("n").evaluate({})
+
+    def test_evaluate_negative_raises(self):
+        with pytest.raises(NatEvalError):
+            (nat("n") - 5).evaluate({"n": 2})
+
+
+class TestSolving:
+    def test_simple(self):
+        n = nat("n")
+        assert (n + 2).solve_for("n", nat(34)) == nat(32)
+
+    def test_with_coefficient(self):
+        n = nat("n")
+        assert (2 * n + 2).solve_for("n", nat(10)) == nat(4)
+
+    def test_symbolic_rhs(self):
+        n, k = nat("n"), nat("k")
+        assert (n + 2).solve_for("n", k + 4) == k + 2
+
+    def test_inexact_coefficient(self):
+        n = nat("n")
+        assert (2 * n).solve_for("n", nat(7)) is None
+
+    def test_nonlinear(self):
+        n = nat("n")
+        assert (n * n).solve_for("n", nat(9)) is None
+
+    def test_var_on_both_sides(self):
+        n = nat("n")
+        assert (n + 1).solve_for("n", n * 2) is None
+
+    def test_two_vars(self):
+        n, m = nat("n"), nat("m")
+        solution = (n + m).solve_for("m", nat(10))
+        assert solution == 10 - n
+
+
+@st.composite
+def nat_exprs(draw, depth=3):
+    if depth == 0:
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return nat(draw(st.integers(0, 20)))
+        return nat(draw(st.sampled_from(["n", "m", "k"])))
+    a = draw(nat_exprs(depth=depth - 1))
+    b = draw(nat_exprs(depth=depth - 1))
+    op = draw(st.sampled_from(["add", "sub", "mul", "div", "mod"]))
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "mul":
+        return a * b
+    if op == "div":
+        return a // b if not b.is_zero() else a
+    return a % b if not b.is_zero() else a
+
+
+ENV = st.fixed_dictionaries(
+    {"n": st.integers(1, 50), "m": st.integers(1, 50), "k": st.integers(1, 50)}
+)
+
+
+class TestProperties:
+    @given(nat_exprs(), nat_exprs(), ENV)
+    def test_addition_models_integers(self, a, b, env):
+        try:
+            va, vb = a.evaluate(env), b.evaluate(env)
+            vsum = (a + b).evaluate(env)
+        except NatEvalError:
+            return
+        assert vsum == va + vb
+
+    @given(nat_exprs(), nat_exprs(), ENV)
+    def test_multiplication_models_integers(self, a, b, env):
+        try:
+            va, vb = a.evaluate(env), b.evaluate(env)
+            vmul = (a * b).evaluate(env)
+        except NatEvalError:
+            return
+        assert vmul == va * vb
+
+    @given(nat_exprs(), ENV)
+    def test_substitution_commutes_with_evaluation(self, a, env):
+        try:
+            direct = a.evaluate(env)
+        except NatEvalError:
+            return
+        substituted = a.substitute({k: nat(v) for k, v in env.items()})
+        assert substituted.evaluate({}) == direct
+
+    @given(nat_exprs(), nat_exprs())
+    def test_addition_commutes_structurally(self, a, b):
+        assert a + b == b + a
+
+    @given(nat_exprs(), nat_exprs(), nat_exprs())
+    def test_multiplication_distributes_structurally(self, a, b, c):
+        assert a * (b + c) == a * b + a * c
+
+    @given(nat_exprs())
+    def test_equality_is_hash_consistent(self, a):
+        b = a + 0
+        assert a == b
+        assert hash(a) == hash(b)

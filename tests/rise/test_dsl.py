@@ -1,0 +1,89 @@
+"""Tests for the builder DSL."""
+
+import pytest
+
+from repro.rise import App, Identifier, Lambda
+from repro.rise.dsl import (
+    arr,
+    compose,
+    dot,
+    fun,
+    id_fun,
+    let,
+    lit,
+    map_,
+    pipe,
+    slide,
+)
+from repro.rise.expr import Let, Literal, Slide
+from repro.nat import nat
+
+
+class TestFun:
+    def test_param_names_from_python(self):
+        lam = fun(lambda accumulator: accumulator)
+        assert lam.param.name.startswith("accumulator")
+
+    def test_multi_param_curry(self):
+        lam = fun(lambda a, b: a + b)
+        assert isinstance(lam, Lambda)
+        assert isinstance(lam.body, Lambda)
+
+    def test_fresh_names_unique(self):
+        a = fun(lambda x: x)
+        b = fun(lambda x: x)
+        assert a.param.name != b.param.name
+
+    def test_non_expr_body_rejected(self):
+        with pytest.raises(TypeError):
+            fun(lambda x: 42)
+
+
+class TestBuilders:
+    def test_pipe_order(self):
+        x = Identifier("x")
+        f, g = Identifier("f"), Identifier("g")
+        assert pipe(x, f, g) == App(g, App(f, x))
+
+    def test_compose_matches_pipe(self):
+        from repro.rise.traverse import alpha_equal
+
+        f, g = id_fun(), id_fun()
+        x = Identifier("x")
+        composed = App(compose(f, g), x)
+        from repro.rules.algorithmic import beta_reduction
+        from repro.elevate import normalize
+
+        assert alpha_equal(
+            normalize(beta_reduction).apply(composed),
+            normalize(beta_reduction).apply(pipe(x, f, g)),
+        )
+
+    def test_let_builds_node(self):
+        e = let(lit(1.0), lambda v: v, name="tmp")
+        assert isinstance(e, Let)
+        assert e.ident.name.startswith("tmp")
+
+    def test_arr_nested(self):
+        a = arr([[1, 2], [3, 4]])
+        assert a.shape() == (2, 2)
+
+    def test_arr_normalizes_to_float(self):
+        a = arr([1, 2])
+        assert all(isinstance(v, float) for v in a.values)
+
+    def test_slide_nat_params(self):
+        s = slide(3, 1)
+        assert isinstance(s, Slide)
+        assert s.size == nat(3)
+
+    def test_partial_vs_applied(self):
+        f = id_fun()
+        assert isinstance(map_(f), App)          # partial: map(f)
+        x = Identifier("x")
+        applied = map_(f, x)
+        assert isinstance(applied, App) and applied.arg is x
+
+    def test_dot_shape(self):
+        d = dot(arr([1, 2, 3]))
+        assert isinstance(d, Lambda)

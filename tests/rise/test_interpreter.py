@@ -1,0 +1,212 @@
+"""Tests for the RISE denotational interpreter (the semantic oracle)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rise import EvalError, Identifier, evaluate, from_numpy, to_numpy
+from repro.rise.dsl import (
+    arr,
+    as_scalar,
+    as_vector,
+    circular_buffer,
+    dot,
+    fst,
+    fun,
+    join,
+    let,
+    lit,
+    make_pair,
+    map_,
+    map_seq,
+    map_vec,
+    pipe,
+    reduce_,
+    reduce_seq,
+    rotate_values,
+    slide,
+    snd,
+    split,
+    transpose,
+    unzip_,
+    vector_from_scalar,
+    zip_,
+)
+from repro.rise.types import AddressSpace
+
+xs = Identifier("xs")
+ys = Identifier("ys")
+img = Identifier("img")
+
+
+def run(prog, **env):
+    value_env = {
+        k: from_numpy(v) if isinstance(v, np.ndarray) else v for k, v in env.items()
+    }
+    return evaluate(prog, value_env)
+
+
+def run_np(prog, **env):
+    return to_numpy(run(prog, **env))
+
+
+class TestScalars:
+    def test_literal(self):
+        assert float(run(lit(2.5))) == 2.5
+
+    def test_arithmetic_sugar(self):
+        assert float(run(lit(2.0) * lit(3.0) + lit(1.0))) == 7.0
+
+    def test_sub_div(self):
+        assert float(run((lit(7.0) - lit(1.0)) / lit(3.0))) == 2.0
+
+    def test_let(self):
+        assert float(run(let(lit(3.0), lambda v: v * v))) == 9.0
+
+    def test_unbound(self):
+        with pytest.raises(EvalError, match="unbound"):
+            run(Identifier("nope"))
+
+
+class TestPatterns:
+    def test_map(self):
+        out = run_np(map_(fun(lambda x: x * lit(2.0)), xs), xs=np.arange(4.0))
+        np.testing.assert_allclose(out, [0, 2, 4, 6])
+
+    def test_reduce(self):
+        out = run(
+            reduce_(fun(lambda a, b: a + b), lit(0.0), xs), xs=np.arange(5.0)
+        )
+        assert float(out) == 10.0
+
+    def test_reduce_order_matters(self):
+        # non-commutative op: reduce is a left fold
+        out = run(reduce_(fun(lambda a, b: a - b), lit(0.0), xs), xs=np.arange(4.0))
+        assert float(out) == -6.0
+
+    def test_zip_project(self):
+        prog = map_(fun(lambda p: fst(p) * snd(p)), zip_(xs, ys))
+        out = run_np(prog, xs=np.array([1.0, 2, 3]), ys=np.array([4.0, 5, 6]))
+        np.testing.assert_allclose(out, [4, 10, 18])
+
+    def test_zip_mismatch(self):
+        with pytest.raises(EvalError, match="mismatch"):
+            run(zip_(xs, ys), xs=np.arange(3.0), ys=np.arange(4.0))
+
+    def test_unzip(self):
+        prog = fst(unzip_(zip_(xs, ys)))
+        out = run_np(prog, xs=np.arange(3.0), ys=np.arange(3.0) + 10)
+        np.testing.assert_allclose(out, [0, 1, 2])
+
+    def test_transpose(self):
+        out = run_np(transpose(img), img=np.arange(6.0).reshape(2, 3))
+        np.testing.assert_allclose(out, np.arange(6.0).reshape(2, 3).T)
+
+    def test_slide(self):
+        out = run_np(slide(3, 1, xs), xs=np.arange(5.0))
+        np.testing.assert_allclose(out, [[0, 1, 2], [1, 2, 3], [2, 3, 4]])
+
+    def test_slide_step2(self):
+        out = run_np(slide(3, 2, xs), xs=np.arange(7.0))
+        np.testing.assert_allclose(out, [[0, 1, 2], [2, 3, 4], [4, 5, 6]])
+
+    def test_slide_mismatch(self):
+        with pytest.raises(EvalError, match="slide mismatch"):
+            run(slide(3, 2, xs), xs=np.arange(6.0))
+
+    def test_split_join(self):
+        out = run_np(join(split(2, xs)), xs=np.arange(6.0))
+        np.testing.assert_allclose(out, np.arange(6.0))
+
+    def test_split_shape(self):
+        out = run_np(split(3, xs), xs=np.arange(6.0))
+        assert out.shape == (2, 3)
+
+    def test_dot(self):
+        out = run(dot(arr([1, 2, 1]))(xs), xs=np.array([3.0, 4.0, 5.0]))
+        assert float(out) == 3 + 8 + 5
+
+
+class TestLowLevel:
+    def test_map_seq_equals_map(self):
+        f = fun(lambda x: x * x)
+        a = run_np(map_(f, xs), xs=np.arange(4.0))
+        b = run_np(map_seq(f, xs), xs=np.arange(4.0))
+        np.testing.assert_allclose(a, b)
+
+    def test_reduce_seq(self):
+        out = run(reduce_seq(fun(lambda a, b: a + b), lit(0.0), xs), xs=np.arange(4.0))
+        assert float(out) == 6.0
+
+    def test_vector_roundtrip(self):
+        prog = as_scalar(as_vector(4, xs))
+        out = run_np(prog, xs=np.arange(8.0))
+        np.testing.assert_allclose(out, np.arange(8.0))
+
+    def test_map_vec(self):
+        prog = as_scalar(map_(map_vec(fun(lambda x: x * lit(3.0))), as_vector(4, xs)))
+        out = run_np(prog, xs=np.arange(8.0))
+        np.testing.assert_allclose(out, np.arange(8.0) * 3)
+
+    def test_vector_from_scalar(self):
+        out = run(vector_from_scalar(4, lit(2.0)))
+        np.testing.assert_allclose(out, [2, 2, 2, 2])
+
+    def test_circular_buffer_matches_slide_of_map(self):
+        f = fun(lambda x: x * lit(10.0))
+        reference = run_np(slide(3, 1, map_(f, xs)), xs=np.arange(6.0))
+        buffered = run_np(
+            circular_buffer(AddressSpace.GLOBAL, 3, f, xs), xs=np.arange(6.0)
+        )
+        np.testing.assert_allclose(buffered, reference)
+
+    def test_rotate_values_matches_slide(self):
+        reference = run_np(slide(3, 1, xs), xs=np.arange(6.0))
+        rotated = run_np(rotate_values(AddressSpace.PRIVATE, 3, xs), xs=np.arange(6.0))
+        np.testing.assert_allclose(rotated, reference)
+
+
+class TestNumpyBridge:
+    def test_roundtrip_2d(self):
+        a = np.arange(12.0).reshape(3, 4)
+        np.testing.assert_allclose(to_numpy(from_numpy(a)), a)
+
+    def test_pairs_cannot_convert(self):
+        with pytest.raises(EvalError):
+            to_numpy(run(zip_(xs, ys), xs=np.arange(2.0), ys=np.arange(2.0)))
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(-10, 10), min_size=3, max_size=12))
+    def test_slide_windows_content(self, values):
+        data = np.asarray(values, dtype=np.float32)
+        out = run_np(slide(3, 1, xs), xs=data)
+        for i in range(len(values) - 2):
+            np.testing.assert_allclose(out[i], data[i : i + 3])
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(1, 4),
+        st.lists(st.floats(-10, 10), min_size=12, max_size=12),
+    )
+    def test_split_join_identity(self, chunk_pow, values):
+        chunk = [1, 2, 3, 4][chunk_pow - 1]
+        if 12 % chunk != 0:
+            chunk = 2
+        data = np.asarray(values, dtype=np.float32)
+        out = run_np(join(split(chunk, xs)), xs=data)
+        np.testing.assert_allclose(out, data)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=20))
+    def test_map_then_reduce_equals_numpy(self, values):
+        data = np.asarray(values, dtype=np.float32)
+        prog = reduce_(
+            fun(lambda a, b: a + b), lit(0.0), map_(fun(lambda x: x * x), xs)
+        )
+        out = run(prog, xs=data)
+        np.testing.assert_allclose(
+            float(out), float((data.astype(np.float32) ** 2).sum(dtype=np.float32)),
+            rtol=1e-4,
+        )

@@ -1,0 +1,44 @@
+"""Tests for the pretty-printer (used in examples and error messages)."""
+
+from repro.rise.dsl import arr, dot, fun, lit, map_, slide, zip_
+from repro.rise.expr import Identifier
+from repro.rise.pprint import pretty
+from repro.rise.types import AddressSpace
+
+
+class TestPretty:
+    def test_identifier(self):
+        assert pretty(Identifier("xs")) == "xs"
+
+    def test_literal(self):
+        assert pretty(lit(1.5)) == "1.5"
+        assert pretty(lit(2.0)) == "2"
+
+    def test_array_literal(self):
+        assert pretty(arr([1, 2, 1])) == "[1, 2, 1]"
+        assert pretty(arr([[1, 2], [3, 4]])) == "[[1, 2], [3, 4]]"
+
+    def test_arith_sugar(self):
+        e = lit(1.0) + lit(2.0) * lit(3.0)
+        assert pretty(e) == "(1 + (2 * 3))"
+
+    def test_slide_params_shown(self):
+        xs = Identifier("xs")
+        assert "slide(3,1)" in pretty(slide(3, 1, xs))
+
+    def test_application(self):
+        xs = Identifier("xs")
+        text = pretty(map_(fun(lambda v: v), xs))
+        assert text.startswith("map(")
+        assert text.endswith("xs)")
+
+    def test_circular_buffer_shows_addr(self):
+        from repro.rise.dsl import circular_buffer, id_fun
+
+        xs = Identifier("xs")
+        text = pretty(circular_buffer(AddressSpace.GLOBAL, 3, id_fun(), xs))
+        assert "circularBuffer(global,3)" in text
+
+    def test_repr_is_pretty(self):
+        xs = Identifier("xs")
+        assert repr(xs) == "xs"

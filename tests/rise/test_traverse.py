@@ -1,0 +1,122 @@
+"""Tests for AST traversal, substitution and alpha-equivalence."""
+
+from repro.rise.dsl import fst, fun, let, lit, map_, pipe, zip_
+from repro.rise.expr import App, Identifier, Lambda, Let, Map
+from repro.rise.traverse import (
+    alpha_equal,
+    app_spine,
+    children,
+    count_nodes,
+    free_identifiers,
+    from_spine,
+    rebuild,
+    substitute,
+    subterms,
+)
+
+x = Identifier("x")
+y = Identifier("y")
+
+
+class TestChildren:
+    def test_leaf_has_no_children(self):
+        assert children(x) == []
+        assert children(Map()) == []
+
+    def test_app_children(self):
+        e = App(x, y)
+        assert children(e) == [x, y]
+
+    def test_lambda_children_exclude_binder(self):
+        lam = Lambda(x, App(x, y))
+        assert children(lam) == [lam.body]
+
+    def test_let_children(self):
+        e = Let(x, y, App(x, x))
+        assert len(children(e)) == 2
+
+    def test_rebuild_identity_preserves_object(self):
+        e = App(x, y)
+        assert rebuild(e, [x, y]) is e
+
+    def test_rebuild_changes(self):
+        e = App(x, y)
+        e2 = rebuild(e, [y, y])
+        assert isinstance(e2, App) and e2.fun is y
+
+    def test_subterms_count(self):
+        e = App(App(x, y), x)
+        assert count_nodes(e) == 5
+        assert len(list(subterms(e))) == 5
+
+
+class TestFreeIdentifiers:
+    def test_identifier(self):
+        assert free_identifiers(x) == {"x"}
+
+    def test_lambda_binds(self):
+        assert free_identifiers(Lambda(x, App(x, y))) == {"y"}
+
+    def test_let_binds_body_only(self):
+        e = Let(x, App(x, y), x)
+        # the value's x is free (let is not recursive)
+        assert free_identifiers(e) == {"x", "y"}
+
+
+class TestSubstitution:
+    def test_basic(self):
+        e = substitute(App(x, y), "x", y)
+        assert e == App(y, y)
+
+    def test_shadowed(self):
+        lam = Lambda(x, x)
+        assert substitute(lam, "x", y) is lam
+
+    def test_capture_avoided(self):
+        # (fun y. x)[x := y]  must NOT capture
+        lam = Lambda(y, x)
+        result = substitute(lam, "x", y)
+        assert isinstance(result, Lambda)
+        assert result.param.name != "y"
+        assert free_identifiers(result) == {"y"}
+
+
+class TestAlphaEqual:
+    def test_renamed_lambdas(self):
+        a = fun(lambda v: v + lit(1.0))
+        b = fun(lambda w: w + lit(1.0))
+        assert a != b  # structurally different names
+        assert alpha_equal(a, b)
+
+    def test_different_bodies(self):
+        a = fun(lambda v: v + lit(1.0))
+        b = fun(lambda v: v + lit(2.0))
+        assert not alpha_equal(a, b)
+
+    def test_free_vars_must_match(self):
+        assert not alpha_equal(x, y)
+        assert alpha_equal(x, x)
+
+    def test_nested_lets(self):
+        a = let(lit(1.0), lambda v: v * v)
+        b = let(lit(1.0), lambda w: w * w)
+        assert alpha_equal(a, b)
+
+    def test_bound_vs_free_confusion(self):
+        # fun x. y  vs  fun y. y  are different
+        a = Lambda(x, y)
+        b = Lambda(y, y)
+        assert not alpha_equal(a, b)
+
+
+class TestSpine:
+    def test_roundtrip(self):
+        e = App(App(App(x, y), x), y)
+        head, args = app_spine(e)
+        assert head is x
+        assert len(args) == 3
+        assert from_spine(head, args) == e
+
+    def test_non_app(self):
+        head, args = app_spine(x)
+        assert head is x and args == []

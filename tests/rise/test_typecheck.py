@@ -1,0 +1,214 @@
+"""Tests for RISE type inference, including symbolic-size unification."""
+
+import pytest
+
+from repro.nat import nat
+from repro.rise import (
+    ArrayType,
+    FunType,
+    Identifier,
+    PairType,
+    TypeError_,
+    VectorType,
+    array,
+    array2d,
+    f32,
+    infer_types,
+    type_of,
+    well_typed,
+)
+from repro.rise.dsl import (
+    arr,
+    as_scalar,
+    as_vector,
+    circular_buffer,
+    dot,
+    fst,
+    fun,
+    join,
+    let,
+    lit,
+    make_pair,
+    map_,
+    map_seq,
+    map_vec,
+    pipe,
+    reduce_,
+    reduce_seq,
+    rotate_values,
+    slide,
+    snd,
+    split,
+    transpose,
+    unzip_,
+    vector_from_scalar,
+    zip_,
+)
+from repro.rise.types import AddressSpace
+
+xs = Identifier("xs")
+ys = Identifier("ys")
+img = Identifier("img")
+
+N = nat("n")
+M = nat("m")
+
+
+class TestBasics:
+    def test_literal(self):
+        assert type_of(lit(1.0)) == f32
+
+    def test_unbound_identifier(self):
+        with pytest.raises(TypeError_, match="unbound"):
+            type_of(Identifier("nope"))
+
+    def test_identifier_env(self):
+        assert type_of(xs, {"xs": array(4, f32)}) == array(4, f32)
+
+    def test_lambda_identity_applied(self):
+        prog = fun(lambda x: x)(lit(2.0))
+        assert type_of(prog) == f32
+
+    def test_array_literal(self):
+        assert type_of(arr([1, 2, 3])) == array(3, f32)
+        assert type_of(arr([[1, 2], [3, 4]])) == array2d(2, 2, f32)
+
+    def test_let(self):
+        prog = let(lit(1.0), lambda v: v + v)
+        assert type_of(prog) == f32
+
+    def test_applying_non_function(self):
+        with pytest.raises(TypeError_, match="non-function"):
+            type_of(lit(1.0)(lit(2.0)))
+
+
+class TestPatterns:
+    def test_map(self):
+        prog = map_(fun(lambda x: x * lit(2.0)), xs)
+        assert type_of(prog, {"xs": array(N, f32)}) == array(N, f32)
+
+    def test_map_partial(self):
+        prog = map_(fun(lambda x: x))
+        t = type_of(prog, {})
+        assert isinstance(t, FunType)
+
+    def test_reduce(self):
+        prog = reduce_(fun(lambda a, b: a + b), lit(0.0), xs)
+        assert type_of(prog, {"xs": array(N, f32)}) == f32
+
+    def test_zip(self):
+        prog = zip_(xs, ys)
+        t = type_of(prog, {"xs": array(N, f32), "ys": array(N, f32)})
+        assert t == array(N, PairType(f32, f32))
+
+    def test_zip_size_mismatch(self):
+        assert not well_typed(zip_(xs, ys), {"xs": array(3, f32), "ys": array(4, f32)})
+
+    def test_unzip(self):
+        prog = unzip_(zip_(xs, ys))
+        t = type_of(prog, {"xs": array(N, f32), "ys": array(N, f32)})
+        assert t == PairType(array(N, f32), array(N, f32))
+
+    def test_pair_projections(self):
+        assert type_of(fst(make_pair(lit(1.0), arr([1, 2])))) == f32
+        assert type_of(snd(make_pair(lit(1.0), arr([1, 2])))) == array(2, f32)
+
+    def test_transpose(self):
+        prog = transpose(img)
+        assert type_of(prog, {"img": array2d(N, M, f32)}) == array2d(M, N, f32)
+
+    def test_slide_concrete(self):
+        assert type_of(slide(3, 1, xs), {"xs": array(10, f32)}) == array2d(8, 3, f32)
+
+    def test_slide_symbolic(self):
+        t = type_of(slide(3, 1, xs), {"xs": array(N + 2, f32)})
+        assert t == array2d(N, 3, f32)
+
+    def test_slide_with_step(self):
+        # [n*2 + 1] with windows of 3, step 2 -> n windows
+        t = type_of(slide(3, 2, xs), {"xs": array(N * 2 + 1, f32)})
+        assert t == array2d(N, 3, f32)
+
+    def test_split_join_roundtrip(self):
+        prog = join(split(4, xs))
+        assert type_of(prog, {"xs": array(N * 4, f32)}) == array(N * 4, f32)
+
+    def test_split_indivisible(self):
+        assert not well_typed(split(4, xs), {"xs": array(10, f32)})
+
+    def test_dot(self):
+        prog = dot(arr([1, 2, 3]))(xs)
+        assert type_of(prog, {"xs": array(3, f32)}) == f32
+
+    def test_dot_size_mismatch(self):
+        assert not well_typed(dot(arr([1, 2, 3]))(xs), {"xs": array(4, f32)})
+
+
+class TestLowLevelPatterns:
+    def test_map_seq(self):
+        prog = map_seq(fun(lambda x: x), xs)
+        assert type_of(prog, {"xs": array(N, f32)}) == array(N, f32)
+
+    def test_reduce_seq(self):
+        prog = reduce_seq(fun(lambda a, b: a + b), lit(0.0), xs)
+        assert type_of(prog, {"xs": array(N, f32)}) == f32
+
+    def test_as_vector(self):
+        t = type_of(as_vector(4, xs), {"xs": array(N * 4, f32)})
+        assert t == ArrayType(N, VectorType(nat(4), f32))
+
+    def test_as_vector_indivisible(self):
+        assert not well_typed(as_vector(4, xs), {"xs": array(10, f32)})
+
+    def test_as_scalar_roundtrip(self):
+        prog = as_scalar(as_vector(4, xs))
+        assert type_of(prog, {"xs": array(N * 4, f32)}) == array(N * 4, f32)
+
+    def test_vector_from_scalar(self):
+        assert type_of(vector_from_scalar(4, lit(0.0))) == VectorType(nat(4), f32)
+
+    def test_map_vec(self):
+        prog = map_(map_vec(fun(lambda x: x + lit(1.0))), as_vector(4, xs))
+        t = type_of(prog, {"xs": array(N * 4, f32)})
+        assert t == ArrayType(N, VectorType(nat(4), f32))
+
+    def test_circular_buffer(self):
+        prog = circular_buffer(AddressSpace.GLOBAL, 3, fun(lambda x: x), xs)
+        t = type_of(prog, {"xs": array(N + 2, f32)})
+        assert t == array2d(N, 3, f32)
+
+    def test_circular_buffer_transforms_elements(self):
+        line = array(M, f32)
+        prog = circular_buffer(
+            AddressSpace.GLOBAL,
+            3,
+            fun(lambda row: map_(fun(lambda x: x * lit(2.0)), row)),
+            img,
+        )
+        t = type_of(prog, {"img": ArrayType(N + 2, line)})
+        assert t == ArrayType(N, ArrayType(nat(3), line))
+
+    def test_rotate_values(self):
+        prog = rotate_values(AddressSpace.PRIVATE, 3, xs)
+        assert type_of(prog, {"xs": array(N + 2, f32)}) == array2d(N, 3, f32)
+
+
+class TestPipelines:
+    def test_2d_stencil_shape(self):
+        """slide2d expansion: map(slide) |> slide |> map(transpose)."""
+        prog = pipe(
+            img,
+            map_(slide(3, 1)),
+            slide(3, 1),
+            map_(transpose()),
+        )
+        t = type_of(prog, {"img": array2d(N + 2, M + 2, f32)})
+        # [n][m][3][3] neighborhoods
+        assert t == ArrayType(N, ArrayType(M, array2d(3, 3, f32)))
+
+    def test_types_are_preserved_by_annotation(self):
+        prog = map_(fun(lambda x: x * lit(2.0)), xs)
+        typing = infer_types(prog, {"xs": array(8, f32)})
+        assert typing.root_type == array(8, f32)
+        # The lambda node exists in the typing.
+        lam = prog.fun.arg if hasattr(prog, "fun") else None

@@ -1,0 +1,77 @@
+"""Negative tests: the type checker rejects ill-formed programs with
+useful errors (the safety net under every rewrite)."""
+
+import pytest
+
+from repro.nat import nat
+from repro.rise import Identifier, TypeError_, array, array2d, f32, type_of, well_typed
+from repro.rise.dsl import (
+    as_vector,
+    fun,
+    join,
+    lit,
+    map_,
+    reduce_,
+    slide,
+    split,
+    transpose,
+    zip_,
+)
+
+xs = Identifier("xs")
+ys = Identifier("ys")
+
+
+class TestRejections:
+    def test_map_over_scalar(self):
+        assert not well_typed(map_(fun(lambda v: v), lit(1.0)))
+
+    def test_transpose_of_1d(self):
+        assert not well_typed(transpose(xs), {"xs": array(4, f32)})
+
+    def test_zip_mismatched_sizes(self):
+        assert not well_typed(
+            zip_(xs, ys), {"xs": array(3, f32), "ys": array(5, f32)}
+        )
+
+    def test_slide_window_larger_than_array(self):
+        assert not well_typed(slide(5, 1, xs), {"xs": array(3, f32)})
+
+    def test_split_indivisible_constant(self):
+        assert not well_typed(split(3, xs), {"xs": array(8, f32)})
+
+    def test_reduce_operator_arity(self):
+        # reduce with a unary operator cannot type
+        assert not well_typed(
+            reduce_(fun(lambda a: a), lit(0.0), xs), {"xs": array(4, f32)}
+        )
+
+    def test_vector_width_mismatch(self):
+        assert not well_typed(as_vector(4, xs), {"xs": array(9, f32)})
+
+    def test_error_message_mentions_sizes(self):
+        with pytest.raises(TypeError_, match="size|unify"):
+            type_of(zip_(xs, ys), {"xs": array(3, f32), "ys": array(4, f32)})
+
+    def test_rigid_user_sizes_not_unified(self):
+        # n and m are user names: zip([n], [m]) must not silently set n = m
+        assert not well_typed(
+            zip_(xs, ys), {"xs": array("n", f32), "ys": array("m", f32)}
+        )
+
+    def test_postponed_constraint_reported(self):
+        # join of unknown factorization that never resolves: 2d unknown
+        prog = join(xs)
+        t = type_of(prog, {"xs": array2d("n", "m", f32)})
+        assert repr(t) == "[m*n]f32" or repr(t) == "[n*m]f32"
+
+
+class TestAcceptances:
+    def test_symbolic_slide_chain(self):
+        prog = slide(3, 1, slide(3, 1, xs))
+        t = type_of(prog, {"xs": array(nat("n") + 4, f32)})
+        assert repr(t) == "[n][3][3]f32"
+
+    def test_split_of_symbolic_product(self):
+        t = type_of(split(8, xs), {"xs": array(nat("k") * 8, f32)})
+        assert repr(t) == "[k][8]f32"

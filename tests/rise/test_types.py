@@ -1,0 +1,93 @@
+"""Tests for the RISE type system."""
+
+import pytest
+
+from repro.nat import nat
+from repro.rise.types import (
+    AddressSpace,
+    ArrayType,
+    FunType,
+    PairType,
+    ScalarType,
+    TypeError_,
+    VectorType,
+    array,
+    array2d,
+    f32,
+    f64,
+    fun_type,
+    i32,
+    pair,
+    vec,
+)
+from repro.rise.types import array_dims, array_elem
+
+
+class TestConstruction:
+    def test_scalars_distinct(self):
+        assert f32 != f64 != i32
+        assert f32 == ScalarType("f32")
+
+    def test_array(self):
+        t = array(4, f32)
+        assert t.size == nat(4)
+        assert t.elem == f32
+
+    def test_array_symbolic(self):
+        t = array("n", f32)
+        assert t.free_nat_vars() == {"n"}
+
+    def test_array2d(self):
+        t = array2d("n", "m", f32)
+        assert t == ArrayType(nat("n"), ArrayType(nat("m"), f32))
+
+    def test_pair(self):
+        t = pair(f32, array(2, f32))
+        assert t.fst == f32
+        assert isinstance(t.snd, ArrayType)
+
+    def test_vector(self):
+        t = vec(4, f32)
+        assert t.size == nat(4)
+
+    def test_fun_type_right_assoc(self):
+        t = fun_type(f32, f32, f32)
+        assert t == FunType(f32, FunType(f32, f32))
+
+    def test_fun_type_empty(self):
+        with pytest.raises(TypeError_):
+            fun_type()
+
+    def test_address_spaces(self):
+        assert AddressSpace.PRIVATE is not AddressSpace.GLOBAL
+
+
+class TestStructure:
+    def test_equality_uses_nat_normal_form(self):
+        n = nat("n")
+        assert array(n + 2 - 1, f32) == array(n + 1, f32)
+
+    def test_free_nat_vars_nested(self):
+        t = array2d(nat("n") + 4, nat("m"), f32)
+        assert t.free_nat_vars() == {"n", "m"}
+
+    def test_free_type_vars(self):
+        from repro.rise.types import TypeVar
+
+        t = FunType(TypeVar("a"), array(2, TypeVar("b")))
+        assert t.free_type_vars() == {"a", "b"}
+
+    def test_array_dims(self):
+        t = array2d(3, 5, f32)
+        assert [d.constant_value() for d in array_dims(t)] == [3, 5]
+
+    def test_array_elem(self):
+        t = array2d(3, 5, f32)
+        assert array_elem(t, 2) == f32
+        with pytest.raises(TypeError_):
+            array_elem(t, 3)
+
+    def test_repr_readable(self):
+        assert repr(array2d("n", 3, f32)) == "[n][3]f32"
+        assert repr(vec(4, f32)) == "<4>f32"
+        assert repr(pair(f32, f32)) == "(f32 x f32)"

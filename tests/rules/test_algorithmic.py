@@ -1,0 +1,272 @@
+"""Semantic-preservation tests for the algorithmic rewrite rules.
+
+Every rule is applied to a program containing its left-hand side and the
+program is interpreted before and after (tests/helpers.py), mirroring the
+paper's output-equivalence validation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.elevate import Failure, apply_once, normalize
+from repro.nat import nat
+from repro.rise import Identifier, ReduceSeq, app_spine, array, array2d, f32
+from repro.rise.dsl import (
+    arr,
+    dot,
+    fst,
+    fun,
+    join,
+    let,
+    lit,
+    make_pair,
+    map_,
+    pipe,
+    reduce_,
+    slide,
+    snd,
+    split,
+    transpose,
+    zip_,
+)
+from repro.rules.algorithmic import (
+    beta_reduction,
+    eta_reduction,
+    fst_pair,
+    let_inline,
+    map_fusion,
+    map_of_identity,
+    map_outside_zip,
+    reduce_map_fusion,
+    slide_after_split,
+    slide_before_map,
+    slide_before_slide,
+    slide_outside_zip,
+    snd_pair,
+    split_join,
+    zip_same,
+)
+from tests.helpers import apply_ok, assert_semantics_preserved
+
+xs = Identifier("xs")
+ys = Identifier("ys")
+
+F_DOUBLE = fun(lambda x: x * lit(2.0))
+F_INC = fun(lambda x: x + lit(1.0))
+
+ARRAYS = st.lists(st.floats(-10, 10), min_size=8, max_size=8).map(
+    lambda v: np.asarray(v, dtype=np.float32)
+)
+
+
+class TestLambdaCalculus:
+    def test_beta(self):
+        prog = F_DOUBLE(lit(3.0))
+        out = assert_semantics_preserved(beta_reduction, prog, {})
+        assert float(out.value if hasattr(out, "value") else 6.0)
+
+    def test_beta_avoids_capture(self):
+        # (fun x. fun y. x)(y)  must NOT become  fun y. y
+        y = Identifier("y")
+        inner = fun(lambda a: a)  # placeholder to get fresh names
+        from repro.rise.expr import App, Lambda
+
+        x_id = Identifier("x")
+        y_id = Identifier("y_bound")
+        prog = App(Lambda(x_id, Lambda(Identifier("y_cap"), x_id)), Identifier("y_cap"))
+        reduced = apply_ok(beta_reduction, prog)
+        assert isinstance(reduced, Lambda)
+        from repro.rise.traverse import free_identifiers
+
+        assert "y_cap" in free_identifiers(reduced)
+
+    def test_eta(self):
+        prog = fun(lambda x: F_DOUBLE(x))
+        reduced = apply_ok(eta_reduction, prog)
+        # fun x. F(x) --> F
+        from repro.rise.traverse import alpha_equal
+
+        assert alpha_equal(reduced, F_DOUBLE)
+
+    def test_eta_blocked_when_captured(self):
+        from repro.rise.expr import App, Lambda
+
+        x = Identifier("x")
+        prog = Lambda(x, App(x, x))
+        assert isinstance(eta_reduction(prog), Failure)
+
+    def test_let_inline(self):
+        prog = let(lit(2.0), lambda v: v * v)
+        assert_semantics_preserved(let_inline, prog, {})
+
+    def test_pair_projections(self):
+        assert_semantics_preserved(fst_pair, fst(make_pair(lit(1.0), lit(2.0))), {})
+        assert_semantics_preserved(snd_pair, snd(make_pair(lit(1.0), lit(2.0))), {})
+
+
+class TestFusion:
+    @given(ARRAYS)
+    @settings(max_examples=15, deadline=None)
+    def test_map_fusion(self, data):
+        prog = map_(F_INC, map_(F_DOUBLE, xs))
+        assert_semantics_preserved(
+            map_fusion, prog, {"xs": data}, {"xs": array(8, f32)}
+        )
+
+    def test_map_fusion_does_not_fire_on_map_seq(self):
+        from repro.rise.dsl import map_seq
+
+        prog = map_seq(F_INC, map_seq(F_DOUBLE, xs))
+        assert isinstance(map_fusion(prog), Failure)
+
+    @given(ARRAYS)
+    @settings(max_examples=15, deadline=None)
+    def test_reduce_map_fusion(self, data):
+        prog = reduce_(
+            fun(lambda a, b: a + b), lit(0.0), map_(F_DOUBLE, xs)
+        )
+        rewritten = assert_semantics_preserved(
+            reduce_map_fusion, prog, {"xs": data}, {"xs": array(8, f32)}
+        )
+        head, _ = app_spine(rewritten)
+        assert isinstance(head, ReduceSeq)
+
+    def test_map_of_identity(self):
+        prog = map_(fun(lambda x: x), xs)
+        assert_semantics_preserved(
+            map_of_identity, prog, {"xs": np.arange(8.0)}, {"xs": array(8, f32)}
+        )
+
+
+class TestMultiThreadingRules:
+    """The rules of listing 6."""
+
+    @given(ARRAYS)
+    @settings(max_examples=15, deadline=None)
+    def test_split_join(self, data):
+        prog = map_(F_DOUBLE, xs)
+        assert_semantics_preserved(
+            split_join(4), prog, {"xs": data}, {"xs": array(8, f32)}
+        )
+
+    @given(ARRAYS)
+    @settings(max_examples=15, deadline=None)
+    def test_slide_after_split(self, data):
+        prog = split(3, slide(3, 1, xs))  # 8 -> 6 windows -> 2 chunks of 3
+        assert_semantics_preserved(
+            slide_after_split, prog, {"xs": data}, {"xs": array(8, f32)}
+        )
+
+    def test_slide_after_split_with_step(self):
+        # slide(3,2) over 13 elements -> 6 windows -> split(2) -> 3 chunks
+        data = np.arange(13.0, dtype=np.float32)
+        prog = split(2, slide(3, 2, xs))
+        assert_semantics_preserved(
+            slide_after_split, prog, {"xs": data}, {"xs": array(13, f32)}
+        )
+
+    @given(ARRAYS)
+    @settings(max_examples=15, deadline=None)
+    def test_slide_before_map(self, data):
+        prog = slide(3, 1, map_(F_DOUBLE, xs))
+        assert_semantics_preserved(
+            slide_before_map, prog, {"xs": data}, {"xs": array(8, f32)}
+        )
+
+    @given(ARRAYS)
+    @settings(max_examples=15, deadline=None)
+    def test_slide_before_slide(self, data):
+        prog = slide(2, 2, slide(3, 1, xs))
+        assert_semantics_preserved(
+            slide_before_slide, prog, {"xs": data}, {"xs": array(8, f32)}
+        )
+
+    def test_slide_before_slide_requires_unit_step(self):
+        prog = slide(2, 2, slide(3, 2, xs))
+        assert isinstance(slide_before_slide(prog), Failure)
+
+
+class TestZipRules:
+    @given(ARRAYS)
+    @settings(max_examples=15, deadline=None)
+    def test_map_outside_zip(self, data):
+        prog = zip_(map_(F_DOUBLE, xs), map_(F_INC, xs))
+        rewritten = apply_ok(map_outside_zip, prog)
+        from repro.rise.interpreter import evaluate, from_numpy
+
+        env = {"xs": from_numpy(data)}
+        before = evaluate(prog, env)
+        after = evaluate(rewritten, env)
+        assert [tuple(map(float, p)) for p in before] == [
+            tuple(map(float, p)) for p in after
+        ]
+
+    def test_map_outside_zip_asymmetric(self):
+        data = np.arange(8.0, dtype=np.float32)
+        from repro.rise.interpreter import evaluate, from_numpy
+
+        for prog in (zip_(xs, map_(F_INC, xs)), zip_(map_(F_INC, xs), xs)):
+            rewritten = apply_ok(map_outside_zip, prog)
+            env = {"xs": from_numpy(data)}
+            assert [tuple(map(float, p)) for p in evaluate(prog, env)] == [
+                tuple(map(float, p)) for p in evaluate(rewritten, env)
+            ]
+
+    def test_map_outside_zip_requires_same_source(self):
+        prog = zip_(map_(F_DOUBLE, xs), map_(F_INC, ys))
+        assert isinstance(map_outside_zip(prog), Failure)
+
+    def test_zip_same(self):
+        data = np.arange(8.0, dtype=np.float32)
+        prog = zip_(xs, xs)
+        rewritten = apply_ok(zip_same, prog)
+        from repro.rise.interpreter import evaluate, from_numpy
+
+        env = {"xs": from_numpy(data)}
+        assert [tuple(map(float, p)) for p in evaluate(prog, env)] == [
+            tuple(map(float, p)) for p in evaluate(rewritten, env)
+        ]
+
+    @given(ARRAYS, ARRAYS)
+    @settings(max_examples=15, deadline=None)
+    def test_slide_outside_zip(self, a, b):
+        prog = zip_(slide(3, 1, xs), slide(3, 1, ys))
+        rewritten = apply_ok(slide_outside_zip, prog)
+        from repro.rise.interpreter import evaluate, from_numpy
+
+        env = {"xs": from_numpy(a), "ys": from_numpy(b)}
+        before = evaluate(prog, env)
+        after = evaluate(rewritten, env)
+        # both: [n] pairs of ([3] windows)
+        for (wa1, wb1), (wa2, wb2) in zip(before, after):
+            assert list(map(float, wa1)) == list(map(float, wa2))
+            assert list(map(float, wb1)) == list(map(float, wb2))
+
+    def test_slide_outside_zip_requires_same_window(self):
+        prog = zip_(slide(3, 1, xs), slide(2, 1, ys))
+        assert isinstance(slide_outside_zip(prog), Failure)
+
+
+class TestDotExample:
+    """The paper's running example (section II-A): lowerDot."""
+
+    def test_lower_dot_produces_reduce_seq(self):
+        prog = dot(arr([1, 2, 3]))(xs)
+        lowered = apply_ok(apply_once(reduce_map_fusion), prog)
+        data = np.array([4.0, 5.0, 6.0], dtype=np.float32)
+        from repro.rise.interpreter import evaluate, from_numpy
+
+        before = evaluate(prog, {"xs": from_numpy(data)})
+        after = evaluate(lowered, {"xs": from_numpy(data)})
+        assert float(before) == float(after) == 32.0
+        assert any(
+            isinstance(node, ReduceSeq)
+            for node in _subterms(lowered)
+        )
+
+
+def _subterms(expr):
+    from repro.rise.traverse import subterms
+
+    return list(subterms(expr))

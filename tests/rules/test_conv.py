@@ -1,0 +1,147 @@
+"""Tests for convolution separation (paper section IV-B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.elevate import Failure, Success, normalize, top_down, try_
+from repro.image.reference import SOBEL_X, SOBEL_Y, SUM_3X3
+from repro.rise import Identifier, array2d, f32
+from repro.rise.dsl import arr, dot, fun, join, lit, map_, pipe, reduce_, slide, transpose
+from repro.rise.expr import RotateValues
+from repro.rise.traverse import subterms
+from repro.rules.conv import (
+    rotate_values_consume,
+    separate_conv_line,
+    separate_kernel,
+)
+from tests.helpers import apply_ok
+
+
+class TestSeparateKernel:
+    def test_sobel_x(self):
+        col, row = separate_kernel(SOBEL_X)
+        assert np.allclose(np.outer(col, row), SOBEL_X)
+
+    def test_sobel_y(self):
+        col, row = separate_kernel(SOBEL_Y)
+        assert np.allclose(np.outer(col, row), SOBEL_Y)
+
+    def test_box(self):
+        col, row = separate_kernel(SUM_3X3)
+        assert np.allclose(np.outer(col, row), SUM_3X3)
+
+    def test_identity_not_separable(self):
+        assert separate_kernel(np.eye(3, dtype=np.float32)) is None
+
+    def test_laplacian_not_separable(self):
+        lap = np.array([[0, 1, 0], [1, -4, 1], [0, 1, 0]], dtype=np.float32)
+        assert separate_kernel(lap) is None
+
+    def test_zero_kernel(self):
+        assert separate_kernel(np.zeros((3, 3), dtype=np.float32)) is None
+
+    def test_kernel_with_zero_row(self):
+        w = np.array([[1, 2, 1], [0, 0, 0], [2, 4, 2]], dtype=np.float32)
+        col, row = separate_kernel(w)
+        assert np.allclose(np.outer(col, row), w)
+
+    # well-conditioned factors: zero or of sane magnitude (a kernel built
+    # from denormals may be *refused*, which is always safe)
+    _factor = st.floats(-4, 4).map(lambda v: 0.0 if abs(v) < 1e-3 else v)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(_factor, min_size=3, max_size=3),
+        st.lists(_factor, min_size=3, max_size=3),
+    )
+    def test_outer_products_always_separable(self, col, row):
+        w = np.outer(np.float32(col), np.float32(row))
+        if not w.any():
+            return
+        result = separate_kernel(w)
+        assert result is not None
+        c, r = result
+        assert np.allclose(np.outer(c, r), w, rtol=1e-4, atol=1e-5)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2 **  9 - 1))
+    def test_separation_never_wrong(self, bits):
+        # random small-integer kernels: separate_kernel either refuses or
+        # returns an exact factorization
+        values = [(bits >> k) % 2 + (bits >> (k + 3)) % 3 for k in range(9)]
+        w = np.asarray(values, dtype=np.float32).reshape(3, 3)
+        result = separate_kernel(w)
+        if result is not None:
+            c, r = result
+            assert np.allclose(np.outer(c, r), w, rtol=1e-5, atol=1e-6)
+
+
+def _conv_line_site(weights):
+    """map(fun w. dot(join W, join w), transpose(map(slide(3,1), rows))),
+    beta-normalized as fuseOperators leaves it (the rule matches the
+    reduced form, not the dot redex)."""
+    from repro.elevate import normalize
+    from repro.rules.algorithmic import beta_reduction
+
+    rows = Identifier("rows")
+    w2d = arr([[float(x) for x in r] for r in weights])
+    f = fun(lambda w: dot(join(w2d))(join(w)))
+    prog = map_(f, transpose(map_(slide(3, 1), rows)))
+    return normalize(beta_reduction).apply(prog), rows
+
+
+class TestSeparateConvLine:
+    def test_fires_on_separable(self):
+        prog, _ = _conv_line_site(SOBEL_X)
+        assert isinstance(separate_conv_line(prog), Success)
+
+    def test_refuses_non_separable(self):
+        lap = [[0, 1, 0], [1, -4, 1], [0, 1, 0]]
+        prog, _ = _conv_line_site(lap)
+        assert isinstance(separate_conv_line(prog), Failure)
+
+    def test_semantics(self):
+        prog, rows_id = _conv_line_site(SOBEL_X)
+        rewritten = apply_ok(separate_conv_line, prog)
+        data = np.arange(15.0, dtype=np.float32).reshape(3, 5) * 0.25 + 1.0
+        from repro.rise.interpreter import evaluate, from_numpy
+
+        env = {"rows": from_numpy(data)}
+        before = [float(v) for v in evaluate(prog, env)]
+        after = [float(v) for v in evaluate(rewritten, env)]
+        np.testing.assert_allclose(before, after, rtol=1e-5)
+
+    def test_arithmetic_reduction(self):
+        """Separation shares vertical sums: fewer multiply nodes remain."""
+        prog, _ = _conv_line_site(SUM_3X3)
+        rewritten = apply_ok(separate_conv_line, prog)
+        # the separated form contains two 1-d dots instead of one 2-d dot
+        text = repr(rewritten)
+        assert "slide(3,1)" in text
+
+
+class TestRotateValuesConsume:
+    def test_fires_on_computed_windows(self):
+        xs = Identifier("xs")
+        prog = map_(fun(lambda w: reduce_(fun(lambda a, b: a + b), lit(0.0), w)),
+                    slide(3, 1, map_(fun(lambda v: v * lit(2.0)), xs)))
+        out = apply_ok(rotate_values_consume, prog)
+        assert any(isinstance(n, RotateValues) for n in subterms(out))
+
+    def test_skips_buffer_views(self):
+        xs = Identifier("xs")
+        prog = map_(fun(lambda w: w), slide(3, 1, xs))
+        assert isinstance(rotate_values_consume(prog), Failure)
+
+    def test_semantics(self):
+        xs = Identifier("xs")
+        prog = map_(fun(lambda w: reduce_(fun(lambda a, b: a + b), lit(0.0), w)),
+                    slide(3, 1, map_(fun(lambda v: v * lit(2.0)), xs)))
+        rewritten = apply_ok(rotate_values_consume, prog)
+        from repro.rise.interpreter import evaluate, from_numpy
+
+        env = {"xs": from_numpy(np.arange(8.0))}
+        before = [float(v) for v in evaluate(prog, env)]
+        after = [float(v) for v in evaluate(rewritten, env)]
+        assert before == after

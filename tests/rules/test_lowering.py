@@ -1,0 +1,135 @@
+"""Tests for the lowering rules (fig. 4 / listings 8 and 11)."""
+
+import numpy as np
+
+from repro.elevate import Failure, apply_once, normalize
+from repro.rise import Identifier, array, f32
+from repro.rise.dsl import fun, lit, map_, map_seq, reduce_, reduce_seq, slide
+from repro.rise.expr import (
+    CircularBuffer,
+    Map,
+    MapGlobal,
+    MapSeq,
+    MapSeqUnroll,
+    MapSeqVec,
+    Reduce,
+    ReduceSeq,
+    ReduceSeqUnroll,
+    RotateValues,
+)
+from repro.rise.types import AddressSpace
+from repro.rules.lowering import (
+    slide_to_circular_buffer,
+    slide_to_rotate_values,
+    unroll_map_seq,
+    unroll_reduce_seq,
+    use_map_global,
+    use_map_seq,
+    use_map_seq_unroll,
+    use_reduce_seq,
+    use_reduce_seq_unroll,
+)
+from tests.helpers import apply_ok, assert_semantics_preserved
+
+xs = Identifier("xs")
+F = fun(lambda v: v * lit(2.0))
+
+
+class TestMapLowering:
+    def test_use_map_seq(self):
+        assert isinstance(apply_ok(use_map_seq, Map()), MapSeq)
+
+    def test_use_map_global(self):
+        assert isinstance(apply_ok(use_map_global, Map()), MapGlobal)
+
+    def test_use_map_seq_unroll(self):
+        assert isinstance(apply_ok(use_map_seq_unroll, Map()), MapSeqUnroll)
+
+    def test_does_not_redo_lowered(self):
+        # lowering decisions are explicit: mapSeq is not re-lowered
+        assert isinstance(use_map_global(MapSeq()), Failure)
+        assert isinstance(use_map_seq(MapSeqVec()), Failure)
+
+    def test_unroll_map_seq(self):
+        assert isinstance(apply_ok(unroll_map_seq, MapSeq()), MapSeqUnroll)
+        assert isinstance(unroll_map_seq(Map()), Failure)
+
+    def test_semantics_unchanged(self):
+        prog = map_(F, xs)
+        assert_semantics_preserved(
+            apply_once(use_map_seq), prog, {"xs": np.arange(6.0)}, {"xs": array(6, f32)}
+        )
+
+
+class TestReduceLowering:
+    def test_use_reduce_seq(self):
+        assert isinstance(apply_ok(use_reduce_seq, Reduce()), ReduceSeq)
+
+    def test_use_reduce_seq_unroll(self):
+        assert isinstance(apply_ok(use_reduce_seq_unroll, Reduce()), ReduceSeqUnroll)
+
+    def test_unroll_reduce_seq(self):
+        assert isinstance(apply_ok(unroll_reduce_seq, ReduceSeq()), ReduceSeqUnroll)
+
+    def test_semantics(self):
+        prog = reduce_(fun(lambda a, b: a + b), lit(0.0), xs)
+        assert_semantics_preserved(
+            apply_once(use_reduce_seq), prog, {"xs": np.arange(5.0)}, {"xs": array(5, f32)}
+        )
+
+
+class TestCircularBuffer:
+    def test_fuses_producing_map(self):
+        prog = slide(3, 1, map_(F, xs))
+        out = apply_ok(slide_to_circular_buffer(AddressSpace.GLOBAL), prog)
+        from repro.rise.traverse import subterms
+
+        cbufs = [n for n in subterms(out) if isinstance(n, CircularBuffer)]
+        assert len(cbufs) == 1
+        assert cbufs[0].addr is AddressSpace.GLOBAL
+
+    def test_bare_slide_gets_identity_load(self):
+        prog = slide(3, 1, xs)
+        out = apply_ok(slide_to_circular_buffer(AddressSpace.GLOBAL), prog)
+        assert any(
+            isinstance(n, CircularBuffer) for n in _subterms(out)
+        )
+
+    def test_requires_unit_step(self):
+        prog = slide(3, 2, map_(F, xs))
+        assert isinstance(slide_to_circular_buffer(AddressSpace.GLOBAL)(prog), Failure)
+
+    def test_semantics(self):
+        prog = slide(3, 1, map_(F, xs))
+        assert_semantics_preserved(
+            slide_to_circular_buffer(AddressSpace.GLOBAL),
+            prog,
+            {"xs": np.arange(8.0)},
+            {"xs": array(8, f32)},
+        )
+
+
+class TestRotateValues:
+    def test_basic(self):
+        prog = slide(3, 1, xs)
+        out = apply_ok(slide_to_rotate_values(AddressSpace.PRIVATE), prog)
+        assert any(isinstance(n, RotateValues) for n in _subterms(out))
+
+    def test_requires_unit_step(self):
+        prog = slide(3, 2, xs)
+        assert isinstance(slide_to_rotate_values(AddressSpace.PRIVATE)(prog), Failure)
+
+    def test_semantics(self):
+        prog = slide(4, 1, xs)
+        assert_semantics_preserved(
+            slide_to_rotate_values(AddressSpace.PRIVATE),
+            prog,
+            {"xs": np.arange(9.0)},
+            {"xs": array(9, f32)},
+        )
+
+
+def _subterms(e):
+    from repro.rise.traverse import subterms
+
+    return list(subterms(e))

@@ -1,0 +1,187 @@
+"""Tests for the structural fusion rules (zip_of_maps, CSE, producer
+narrowing, sibling-map merging) behind fuseOperators and harrisIxWithIy."""
+
+import numpy as np
+import pytest
+
+from repro.elevate import Failure, Success, normalize, top_down
+from repro.rise import Identifier, alpha_equal, array, array2d, f32
+from repro.rise.dsl import (
+    fst,
+    fun,
+    lit,
+    make_pair,
+    map_,
+    pipe,
+    slide,
+    snd,
+    transpose,
+    zip_,
+)
+from repro.rise.expr import Lambda, Let, Map
+from repro.rise.traverse import count_nodes, subterms
+from repro.rules.structure import (
+    canonical_key,
+    cse_in_lambda,
+    merge_sibling_maps,
+    narrow_shared_pair_producer,
+    slide_before_map_view,
+    zip_of_maps,
+)
+from tests.helpers import apply_ok, assert_semantics_preserved
+
+xs = Identifier("xs")
+ys = Identifier("ys")
+F = fun(lambda v: v * lit(2.0))
+G = fun(lambda v: v + lit(1.0))
+
+
+class TestZipOfMaps:
+    def test_both_sides(self):
+        prog = zip_(map_(F, xs), map_(G, ys))
+        assert isinstance(zip_of_maps(prog), Success)
+
+    def test_one_sided_left(self):
+        prog = zip_(map_(F, xs), ys)
+        assert isinstance(zip_of_maps(prog), Success)
+
+    def test_one_sided_right(self):
+        prog = zip_(xs, map_(G, ys))
+        assert isinstance(zip_of_maps(prog), Success)
+
+    def test_no_maps_no_match(self):
+        assert isinstance(zip_of_maps(zip_(xs, ys)), Failure)
+
+    def test_semantics_different_sources(self):
+        prog = map_(fun(lambda p: fst(p) + snd(p)), zip_(map_(F, xs), map_(G, ys)))
+        rewritten = apply_ok(top_down(zip_of_maps), prog)
+        from repro.rise.interpreter import evaluate, from_numpy
+
+        env = {"xs": from_numpy(np.arange(5.0)), "ys": from_numpy(np.arange(5.0) * 3)}
+        before = [float(v) for v in evaluate(prog, env)]
+        after = [float(v) for v in evaluate(rewritten, env)]
+        assert before == after
+
+
+class TestSlideBeforeMapView:
+    def test_moves_view_map(self):
+        prog = slide(3, 1, map_(transpose(), xs))
+        assert isinstance(slide_before_map_view(prog), Success)
+
+    def test_refuses_compute_map(self):
+        prog = slide(3, 1, map_(F, xs))
+        assert isinstance(slide_before_map_view(prog), Failure)
+
+
+class TestCanonicalKey:
+    def test_alpha_equal_same_key(self):
+        a = fun(lambda v: v + lit(1.0))
+        b = fun(lambda w: w + lit(1.0))
+        assert canonical_key(a) == canonical_key(b)
+
+    def test_free_vars_distinguished(self):
+        assert canonical_key(xs) != canonical_key(ys)
+
+    def test_structure_distinguished(self):
+        assert canonical_key(map_(F, xs)) != canonical_key(map_(G, xs))
+
+
+class TestCseInLambda:
+    def test_factors_duplicates(self):
+        heavy = lambda a: pipe(a, map_(F), map_(G))
+        lam = fun(lambda a: zip_(heavy(a), heavy(a)))
+        out = apply_ok(cse_in_lambda(min_nodes=4), lam)
+        lets = [n for n in subterms(out) if isinstance(n, Let)]
+        assert len(lets) == 1
+        assert count_nodes(out) < count_nodes(lam)
+
+    def test_no_duplicates_no_match(self):
+        lam = fun(lambda a: map_(F, a))
+        assert isinstance(cse_in_lambda(min_nodes=4)(lam), Failure)
+
+    def test_skips_partial_applications(self):
+        # pair(x) partially applied twice at different types must not be shared
+        lam = fun(lambda a: make_pair(make_pair(a, a), make_pair(a, lit(1.0))))
+        result = cse_in_lambda(min_nodes=2)(lam)
+        if isinstance(result, Success):
+            from repro.rise.typecheck import well_typed
+
+            assert well_typed(result.expr, {})
+
+    def test_semantics(self):
+        heavy = lambda a: pipe(a, map_(F), map_(G))
+        lam = fun(lambda a: zip_(heavy(a), heavy(a)))
+        prog = map_(fun(lambda p: fst(p) + snd(p)), zip_(*[lam(xs)][0:1], lam(xs)))
+        # simpler: apply to data directly
+        prog = lam(xs)
+        rewritten = apply_ok(cse_in_lambda(min_nodes=4), lam)(0) if False else apply_ok(top_down(cse_in_lambda(min_nodes=4)), prog)
+        from repro.rise.interpreter import evaluate, from_numpy
+
+        env = {"xs": from_numpy(np.arange(5.0))}
+        before = evaluate(prog, env)
+        after = evaluate(rewritten, env)
+        for (b1, b2), (a1, a2) in zip(before, after):
+            assert float(b1) == float(a1) and float(b2) == float(a2)
+
+
+class TestNarrowSharedPairProducer:
+    def _producer(self):
+        # slide(3,1)(map(fun l. def t = map(F, l) in pair(t, pair(t, t)), xs2d))
+        def g(l):
+            from repro.rise.dsl import let
+
+            return let(map_(F, l), lambda t: make_pair(t, make_pair(t, t)))
+
+        return slide(3, 1, map_(fun(g), Identifier("img")))
+
+    def test_narrows(self):
+        out = apply_ok(narrow_shared_pair_producer, self._producer())
+        # the producing map now computes the single shared line
+        text = repr(out)
+        assert "pair" in text  # pair structure rebuilt as a view
+
+    def test_semantics(self):
+        img = np.arange(20.0).reshape(5, 4)
+        prog = self._producer()
+        rewritten = apply_ok(narrow_shared_pair_producer, prog)
+        from repro.rise.interpreter import evaluate, from_numpy
+
+        env = {"img": from_numpy(img)}
+
+        def flatten(v):
+            if isinstance(v, (list, tuple)):
+                return [x for sub in v for x in flatten(sub)]
+            return [float(v)]
+
+        assert flatten(evaluate(prog, env)) == flatten(evaluate(rewritten, env))
+
+
+class TestMergeSiblingMaps:
+    def test_merges_same_source(self):
+        prog = make_pair(map_(F, xs), make_pair(slide(3, 1, map_(G, xs)), map_(F, xs)))
+        out = apply_ok(merge_sibling_maps, prog)
+        assert isinstance(out, Let)
+
+    def test_different_sources_not_merged(self):
+        prog = make_pair(map_(F, xs), map_(G, ys))
+        assert isinstance(merge_sibling_maps(prog), Failure)
+
+    def test_idempotent(self):
+        prog = make_pair(map_(F, xs), make_pair(slide(3, 1, map_(G, xs)), map_(F, xs)))
+        out = apply_ok(merge_sibling_maps, prog)
+        # projections of the shared map are not re-merged
+        assert isinstance(merge_sibling_maps(out.body), Failure)
+
+    def test_semantics(self):
+        prog = make_pair(map_(F, xs), make_pair(slide(3, 1, map_(G, xs)), map_(F, xs)))
+        rewritten = apply_ok(merge_sibling_maps, prog)
+        from repro.rise.interpreter import evaluate, from_numpy
+
+        env = {"xs": from_numpy(np.arange(6.0))}
+
+        def flatten(v):
+            if isinstance(v, (list, tuple)):
+                return [x for sub in v for x in flatten(sub)]
+            return [float(v)]
+
+        assert flatten(evaluate(prog, env)) == flatten(evaluate(rewritten, env))

@@ -1,0 +1,96 @@
+"""Tests for the vectorization rewrite rules (paper listing 7)."""
+
+import numpy as np
+
+from repro.elevate import Failure, apply_once, normalize
+from repro.rise import Identifier, array, f32
+from repro.rise.dsl import as_vector, fun, lit, map_, reduce_, transpose
+from repro.rules.vectorize import (
+    start_vectorization,
+    vectorize_before_map,
+    vectorize_before_map_reduce,
+)
+from repro.rise.typecheck import infer_types, well_typed
+from tests.helpers import apply_ok, assert_semantics_preserved
+
+xs = Identifier("xs")
+rows = Identifier("rows")
+F = fun(lambda v: v * lit(3.0))
+
+
+class TestStartVectorization:
+    def test_wraps_with_roundtrip(self):
+        out = apply_ok(start_vectorization(4), xs)
+        # a |> asVector(4) |> asScalar
+        from repro.rise.expr import AsScalar, AsVector
+        from repro.rise.traverse import subterms
+
+        kinds = [type(n).__name__ for n in subterms(out)]
+        assert "AsScalar" in kinds and "AsVector" in kinds
+
+    def test_typecheck_enforces_divisibility(self):
+        out = apply_ok(start_vectorization(4), xs)
+        assert well_typed(out, {"xs": array(8, f32)})
+        assert not well_typed(out, {"xs": array(10, f32)})
+
+    def test_semantics(self):
+        out = apply_ok(start_vectorization(4), xs)
+        assert_semantics_preserved(
+            apply_once(start_vectorization(4)), xs, {"xs": np.arange(8.0)}, {"xs": array(8, f32)}
+        )
+
+
+class TestVectorizeBeforeMap:
+    def test_rewrites(self):
+        prog = as_vector(4, map_(F, xs))
+        out = apply_ok(vectorize_before_map, prog)
+        from repro.rise.expr import MapVec
+        from repro.rise.traverse import subterms
+
+        assert any(isinstance(n, MapVec) for n in subterms(out))
+
+    def test_semantics(self):
+        prog = as_vector(4, map_(F, xs))
+        assert_semantics_preserved(
+            vectorize_before_map, prog, {"xs": np.arange(8.0)}, {"xs": array(8, f32)}
+        )
+
+    def test_no_match_without_as_vector(self):
+        assert isinstance(vectorize_before_map(map_(F, xs)), Failure)
+
+
+class TestVectorizeBeforeMapReduce:
+    def _prog(self):
+        # map(reduce(+, 0)) |> asVector(4) over an [8][3] matrix
+        return as_vector(
+            4, map_(reduce_(fun(lambda a, b: a + b), lit(0.0)), rows)
+        )
+
+    def test_rewrites_with_transposes(self):
+        out = apply_ok(vectorize_before_map_reduce, self._prog())
+        from repro.rise.expr import Transpose, VectorFromScalar
+        from repro.rise.traverse import subterms
+
+        kinds = [type(n).__name__ for n in subterms(out)]
+        assert kinds.count("Transpose") >= 2
+        assert "VectorFromScalar" in kinds
+
+    def test_semantics(self):
+        data = np.arange(24.0).reshape(8, 3)
+        assert_semantics_preserved(
+            vectorize_before_map_reduce,
+            self._prog(),
+            {"rows": data},
+            {"rows": array(8, array(3, f32))},
+        )
+
+    def test_composed_strategy_listing7(self):
+        """The full vectorize strategy of listing 7 on the paper's shape."""
+        strategy = apply_once(start_vectorization(4)) >> normalize(
+            vectorize_before_map | vectorize_before_map_reduce
+        )
+        prog = map_(reduce_(fun(lambda a, b: a + b), lit(0.0)), rows)
+        data = np.arange(24.0).reshape(8, 3)
+        assert_semantics_preserved(
+            strategy, prog, {"rows": data}, {"rows": array(8, array(3, f32))}
+        )

@@ -1,0 +1,71 @@
+"""The paper claims its optimizations 'are generalizable and applicable to
+other such compositions' (section III).  These tests apply the *unchanged*
+Harris schedules to a different pipeline — a two-stage Gaussian blur chain
+with a pointwise tail — and check correctness and the expected low-level
+structure."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import compile_program
+from repro.exec import run_program
+from repro.image import synthetic_rgb, reference
+from repro.pipelines import blur_input_type, blur_pipeline
+from repro.rise import Identifier
+from repro.rise.traverse import subterms
+from repro.strategies import cbuf_rrot_version, cbuf_version
+
+SENV = {"img": blur_input_type()}
+
+
+def _reference(image: np.ndarray) -> np.ndarray:
+    g = np.array([[1, 2, 1], [2, 4, 2], [1, 2, 1]], dtype=np.float32) / 16
+    once = reference.conv2d_valid(image, g)
+    twice = reference.conv2d_valid(once, g)
+    return (twice * 2 - 0.5).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def blur_case():
+    image = synthetic_rgb(16, 20, seed=5)[0]
+    return image, _reference(image)
+
+
+class TestBlurGeneralization:
+    @pytest.mark.parametrize("make", [cbuf_version, cbuf_rrot_version])
+    def test_schedules_transfer_unchanged(self, blur_case, make):
+        image, expected = blur_case
+        schedule = make(SENV, chunk=4, vec=4)
+        low = schedule.apply(blur_pipeline(Identifier("img")))
+        prog = compile_program(low, SENV, "blur")
+        out = run_program(prog, {"n": 12, "m": 16}, {"img": image})
+        np.testing.assert_allclose(out.reshape(12, 16), expected, rtol=1e-3, atol=1e-4)
+
+    def test_cbuf_structure_transfers(self, blur_case):
+        from repro.rise.expr import CircularBuffer, MapGlobal
+
+        low = cbuf_version(SENV, chunk=4, vec=4).apply(blur_pipeline(Identifier("img")))
+        kinds = [type(n).__name__ for n in subterms(low)]
+        assert kinds.count("MapGlobal") == 1
+        assert kinds.count("CircularBuffer") >= 1  # blur stages buffered
+
+    def test_separation_fires_on_gaussian(self, blur_case):
+        """The Gaussian kernel is separable, so the rot schedule separates
+        and rotates it just like the sobel kernels."""
+        low = cbuf_rrot_version(SENV, chunk=4, vec=4).apply(blur_pipeline(Identifier("img")))
+        kinds = [type(n).__name__ for n in subterms(low)]
+        assert kinds.count("RotateValues") >= 1
+
+    def test_rot_costs_less_than_cbuf(self, blur_case):
+        from repro.perf import CORTEX_A53, estimate_runtime_ms
+
+        progs = {}
+        for make in (cbuf_version, cbuf_rrot_version):
+            sched = make(SENV, chunk=32, vec=4)
+            progs[sched.name] = compile_program(
+                sched.apply(blur_pipeline(Identifier("img"))), SENV, "blur"
+            )
+        sizes = {"n": 1536, "m": 2556}
+        cbuf = estimate_runtime_ms(progs["rise-cbuf"], sizes, CORTEX_A53, "opencl")
+        rot = estimate_runtime_ms(progs["rise-cbuf-rrot"], sizes, CORTEX_A53, "opencl")
+        assert rot.runtime_ms < cbuf.runtime_ms
