@@ -8,13 +8,30 @@
    the four ARM CPUs of the evaluation.
 
 Run:  python examples/harris_pipeline.py
+
+With ``--trace``, every rewrite is observed: each schedule prints its
+step-by-step derivation (the paper's listing 5-9 view) with node counts
+and a most-fired-rules summary, compiles under the phase profiler, and a
+JSON run report (derivation stats, per-phase codegen timings, PSNR) is
+written to ``--report`` (default: harris_report.json).
 """
+
+import argparse
 
 import numpy as np
 
 from repro.codegen import compile_program
 from repro.exec import run_program
 from repro.image import psnr, synthetic_rgb, reference
+from repro.observe import (
+    RunReport,
+    TraceCollector,
+    derivation_stats,
+    format_derivation,
+    observing,
+    profiling,
+    tracing,
+)
 from repro.perf import ALL_MACHINES, estimate_runtime_ms
 from repro.pipelines import harris, harris_input_type
 from repro.rise import Identifier
@@ -32,7 +49,7 @@ def ascii_corners(response: np.ndarray, width: int = 48) -> str:
     return "\n".join(rows)
 
 
-def main() -> None:
+def main(trace: bool = False, report_path: str = "harris_report.json") -> None:
     rgb = Identifier("rgb")
     senv = {"rgb": harris_input_type()}
     program = harris(rgb)
@@ -49,13 +66,44 @@ def main() -> None:
     ref = reference.harris(img)
     n, m = ref.shape
 
+    report = RunReport(name="harris-pipeline-example")
+    report.environment = {"chunk": 4, "vec": 4, "n": n, "m": m, "seed": 11}
+    profiles = None
+
     outputs = {}
     for label, schedule in schedules.items():
-        low = schedule.apply(program)
-        prog = compile_program(low, senv, schedule.name.replace("-", "_"))
-        out = run_program(prog, {"n": n, "m": m}, {"rgb": img}).reshape(n, m)
+        if trace:
+            # Observed run: derivation steps + rule trace + compile profile.
+            collector = TraceCollector()
+            with tracing(collector):
+                steps = schedule.apply_traced(program)
+            low = steps[-1][1]
+            print(f"\n=== derivation [{schedule.name}] "
+                  f"({label.split()[0]}) ===")
+            print(format_derivation(steps, collector))
+            report.derivation[schedule.name] = derivation_stats(steps, collector)
+            from repro.observe import ProfileCollector
+
+            profiles = profiles or ProfileCollector()
+            with profiling(profiles):
+                prog = compile_program(low, senv, schedule.name.replace("-", "_"))
+            with observing() as obs:
+                out = run_program(prog, {"n": n, "m": m}, {"rgb": img}).reshape(n, m)
+            report.execution[schedule.name] = {
+                "counters": dict(sorted(obs.counters.items())),
+                "kernel_ms": [
+                    round(s.duration_ms, 3)
+                    for s in obs.flat_spans()
+                    if s.name.startswith("run:")
+                ],
+            }
+        else:
+            low = schedule.apply(program)
+            prog = compile_program(low, senv, schedule.name.replace("-", "_"))
+            out = run_program(prog, {"n": n, "m": m}, {"rgb": img}).reshape(n, m)
         outputs[label] = (prog, out)
         quality = psnr(ref, out)
+        report.metrics[f"psnr_db.{schedule.name}"] = round(float(quality), 2)
         print(f"\n{label}")
         print(f"  output vs numpy reference: PSNR = {quality:.1f} dB")
         assert quality > 100
@@ -73,7 +121,30 @@ def main() -> None:
             for mach in ALL_MACHINES
         )
         print(f"  {short:10} {times}")
+        report.metrics[f"modeled_runtime_ms.{prog.name}"] = {
+            mach.name: round(
+                estimate_runtime_ms(prog, sizes, mach, "opencl").runtime_ms, 2
+            )
+            for mach in ALL_MACHINES
+        }
+
+    if trace:
+        report.compile = profiles.to_dict() if profiles is not None else []
+        report.save(report_path)
+        print(f"\nwrote run report: {report_path}")
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the step-by-step derivation and write a JSON run report",
+    )
+    parser.add_argument(
+        "--report",
+        default="harris_report.json",
+        help="run-report path (with --trace)",
+    )
+    args = parser.parse_args()
+    main(trace=args.trace, report_path=args.report)

@@ -276,8 +276,19 @@ def function_to_c(fn: ImpFunction) -> str:
 
 
 def program_to_c(prog: ImpProgram) -> str:
-    """The complete C translation unit for a compiled program."""
-    parts = [_PRELUDE.format()]
-    for fn in prog.functions:
-        parts.append(function_to_c(fn))
-    return "\n\n".join(parts) + "\n"
+    """The complete C translation unit for a compiled program.
+
+    Profiled as the ``cprint`` phase of the program's compile profile
+    when :func:`repro.observe.profiling` is active.
+    """
+    from repro.observe.profile import compile_profile, phase, profile_active
+
+    with compile_profile(prog.name):
+        with phase("cprint") as meta:
+            parts = [_PRELUDE.format()]
+            for fn in prog.functions:
+                parts.append(function_to_c(fn))
+            out = "\n\n".join(parts) + "\n"
+            if profile_active() is not None:
+                meta["chars"] = len(out)
+            return out

@@ -52,6 +52,8 @@ __all__ = [
     "ImpProgram",
     "walk_stmts",
     "walk_exprs",
+    "count_ir_nodes",
+    "op_histogram",
 ]
 
 
@@ -362,3 +364,42 @@ def walk_exprs(stmt: Stmt) -> Iterator[IExpr]:
         elif isinstance(s, VStore):
             yield from from_expr(s.index)
             yield from from_expr(s.value)
+
+
+def count_ir_nodes(obj: Union["ImpProgram", Stmt]) -> int:
+    """Total number of IR nodes (statements + expressions) in a program or
+    statement — the size metric the compile-phase profiler reports."""
+    if isinstance(obj, ImpProgram):
+        return sum(count_ir_nodes(f) for f in obj.functions)
+    stmts = sum(1 for _ in walk_stmts(obj))
+    exprs = sum(1 for _ in walk_exprs(obj))
+    return stmts + exprs
+
+
+def op_histogram(obj: Union["ImpProgram", Stmt]) -> dict[str, int]:
+    """Static operation counts by node kind (``BinOp:add``, ``Load``,
+    ``VStore``, ``For:parallel``, …) — the executor's op-count section."""
+    if isinstance(obj, ImpProgram):
+        out: dict[str, int] = {}
+        for fn in obj.functions:
+            for key, value in op_histogram(fn).items():
+                out[key] = out.get(key, 0) + value
+        return dict(sorted(out.items()))
+    counts: dict[str, int] = {}
+
+    def bump(key: str) -> None:
+        counts[key] = counts.get(key, 0) + 1
+
+    for s in walk_stmts(obj):
+        if isinstance(s, For):
+            bump(f"For:{s.kind.value}")
+        elif not isinstance(s, (Block, ImpFunction)):
+            bump(type(s).__name__)
+    for e in walk_exprs(obj):
+        if isinstance(e, BinOp):
+            bump(f"BinOp:{e.op}")
+        elif isinstance(e, UnOp):
+            bump(f"UnOp:{e.op}")
+        elif isinstance(e, (Load, VLoad, Broadcast, VShuffle, VPack, VLane)):
+            bump(type(e).__name__)
+    return dict(sorted(counts.items()))

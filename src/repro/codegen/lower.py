@@ -1345,54 +1345,74 @@ def compile_program(
 
     Free identifiers become input buffers (per scalar leaf); the program's
     result becomes the output buffer.  Sizes stay symbolic.
+
+    When :func:`repro.observe.profiling` is active, each compile records a
+    per-phase profile (``typecheck``, ``lower`` with nested ``vectorize``,
+    ``fold``, ``cse``) with wall times and node-count deltas under the
+    program's name.
     """
-    typing = infer_types(program, type_env, strict=False)
-    ctx = Ctx(typing)
+    from repro.observe.profile import compile_profile, phase
+    from repro.rise.traverse import count_nodes as count_rise_nodes
+    from repro.codegen.ir import count_ir_nodes
 
-    env: dict[str, View] = {}
-    inputs: list[Buffer] = []
-    for ident, itype in type_env.items():
-        if not isinstance(itype, DataType):
-            raise CodegenError(f"input {ident} must have a data type")
-        paths = scalar_leaf_paths(itype)
-        buffers = {}
-        offsets = {}
-        for p in paths:
-            suffix = "" if p == () else "_" + "".join(map(str, p))
-            bname = f"{ident}{suffix}"
-            size = _total_leaf_size(itype, p)
-            inputs.append(Buffer(bname, size, pad=BUFFER_PAD))
-            buffers[p] = bname
-            offsets[p] = IConst(0)
-        env[ident] = buffer_view(itype, buffers, offsets)
+    with compile_profile(name) as profile:
+        if profile is not None:
+            profile.meta["rise_nodes"] = count_rise_nodes(program)
 
-    out_type = typing.root_type
-    if not isinstance(out_type, DataType):
-        raise CodegenError(f"program result must be data, got {out_type!r}")
-    out_paths = scalar_leaf_paths(out_type)
-    if out_paths != [()]:
-        raise CodegenError("pair-typed outputs are not supported at top level")
-    out_buffer = Buffer("out", _total_leaf_size(out_type, ()), pad=BUFFER_PAD)
-    out_dest = dest_for_buffer(out_type, {(): "out"}, {(): IConst(0)})
+        with phase("typecheck"):
+            typing = infer_types(program, type_env, strict=False)
+        ctx = Ctx(typing)
 
-    gen_into(program, out_dest, env, ctx)
-    body = Block(ctx._blocks[0])
+        with phase("lower") as lower_meta:
+            env: dict[str, View] = {}
+            inputs: list[Buffer] = []
+            for ident, itype in type_env.items():
+                if not isinstance(itype, DataType):
+                    raise CodegenError(f"input {ident} must have a data type")
+                paths = scalar_leaf_paths(itype)
+                buffers = {}
+                offsets = {}
+                for p in paths:
+                    suffix = "" if p == () else "_" + "".join(map(str, p))
+                    bname = f"{ident}{suffix}"
+                    size = _total_leaf_size(itype, p)
+                    inputs.append(Buffer(bname, size, pad=BUFFER_PAD))
+                    buffers[p] = bname
+                    offsets[p] = IConst(0)
+                env[ident] = buffer_view(itype, buffers, offsets)
 
-    size_vars: set[str] = set()
-    for t in list(type_env.values()) + [out_type]:
-        size_vars |= t.free_nat_vars()
+            out_type = typing.root_type
+            if not isinstance(out_type, DataType):
+                raise CodegenError(f"program result must be data, got {out_type!r}")
+            out_paths = scalar_leaf_paths(out_type)
+            if out_paths != [()]:
+                raise CodegenError("pair-typed outputs are not supported at top level")
+            out_buffer = Buffer("out", _total_leaf_size(out_type, ()), pad=BUFFER_PAD)
+            out_dest = dest_for_buffer(out_type, {(): "out"}, {(): IConst(0)})
 
-    function = ImpFunction(
-        name=name,
-        inputs=inputs,
-        output=out_buffer,
-        size_vars=sorted(size_vars),
-        body=body,
-        temporaries=list(ctx.all_buffers),
-    )
-    program_out = ImpProgram(name=name, functions=[function], size_vars=sorted(size_vars))
-    program_out.vector_fallbacks = ctx.vector_fallbacks  # type: ignore[attr-defined]
-    program_out.size_constraints = typing.pending_sizes  # type: ignore[attr-defined]
-    from repro.codegen.opt import cse_program, fold_program
+            gen_into(program, out_dest, env, ctx)
+            body = Block(ctx._blocks[0])
 
-    return cse_program(fold_program(program_out))
+            size_vars: set[str] = set()
+            for t in list(type_env.values()) + [out_type]:
+                size_vars |= t.free_nat_vars()
+
+            function = ImpFunction(
+                name=name,
+                inputs=inputs,
+                output=out_buffer,
+                size_vars=sorted(size_vars),
+                body=body,
+                temporaries=list(ctx.all_buffers),
+            )
+            program_out = ImpProgram(
+                name=name, functions=[function], size_vars=sorted(size_vars)
+            )
+            program_out.vector_fallbacks = ctx.vector_fallbacks  # type: ignore[attr-defined]
+            program_out.size_constraints = typing.pending_sizes  # type: ignore[attr-defined]
+            if profile is not None:
+                lower_meta["ir_nodes"] = count_ir_nodes(program_out)
+
+        from repro.codegen.opt import cse_program, fold_program
+
+        return cse_program(fold_program(program_out))

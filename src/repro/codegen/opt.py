@@ -134,26 +134,33 @@ def _fold_stmt(s: Stmt) -> Stmt:
 
 def fold_program(prog: ImpProgram) -> ImpProgram:
     """Return a copy of the program with constant-folded expressions."""
-    functions = [
-        ImpFunction(
-            name=fn.name,
-            inputs=fn.inputs,
-            output=fn.output,
-            size_vars=fn.size_vars,
-            body=_fold_stmt(fn.body),
-            temporaries=fn.temporaries,
+    from repro.observe.profile import phase, profile_active
+    from repro.codegen.ir import count_ir_nodes
+
+    with phase("fold") as meta:
+        functions = [
+            ImpFunction(
+                name=fn.name,
+                inputs=fn.inputs,
+                output=fn.output,
+                size_vars=fn.size_vars,
+                body=_fold_stmt(fn.body),
+                temporaries=fn.temporaries,
+            )
+            for fn in prog.functions
+        ]
+        out = ImpProgram(
+            name=prog.name,
+            functions=functions,
+            size_vars=prog.size_vars,
+            launch_overheads=prog.launch_overheads,
         )
-        for fn in prog.functions
-    ]
-    out = ImpProgram(
-        name=prog.name,
-        functions=functions,
-        size_vars=prog.size_vars,
-        launch_overheads=prog.launch_overheads,
-    )
-    out.vector_fallbacks = getattr(prog, "vector_fallbacks", [])
-    out.size_constraints = getattr(prog, "size_constraints", [])
-    return out
+        out.vector_fallbacks = getattr(prog, "vector_fallbacks", [])
+        out.size_constraints = getattr(prog, "size_constraints", [])
+        if profile_active() is not None:
+            meta["nodes_in"] = count_ir_nodes(prog)
+            meta["nodes_out"] = count_ir_nodes(out)
+        return out
 
 
 # ---------------------------------------------------------------------------
@@ -331,24 +338,31 @@ def _rebuild_expr(e: IExpr, kids: list[IExpr]) -> IExpr:
 
 def cse_program(prog: ImpProgram) -> ImpProgram:
     """Apply block-level CSE to every kernel."""
-    state = _CseState()
-    functions = [
-        ImpFunction(
-            name=fn.name,
-            inputs=fn.inputs,
-            output=fn.output,
-            size_vars=fn.size_vars,
-            body=_cse_stmt(fn.body, state),
-            temporaries=fn.temporaries,
+    from repro.observe.profile import phase, profile_active
+    from repro.codegen.ir import count_ir_nodes
+
+    with phase("cse") as meta:
+        state = _CseState()
+        functions = [
+            ImpFunction(
+                name=fn.name,
+                inputs=fn.inputs,
+                output=fn.output,
+                size_vars=fn.size_vars,
+                body=_cse_stmt(fn.body, state),
+                temporaries=fn.temporaries,
+            )
+            for fn in prog.functions
+        ]
+        out = ImpProgram(
+            name=prog.name,
+            functions=functions,
+            size_vars=prog.size_vars,
+            launch_overheads=prog.launch_overheads,
         )
-        for fn in prog.functions
-    ]
-    out = ImpProgram(
-        name=prog.name,
-        functions=functions,
-        size_vars=prog.size_vars,
-        launch_overheads=prog.launch_overheads,
-    )
-    out.vector_fallbacks = getattr(prog, "vector_fallbacks", [])
-    out.size_constraints = getattr(prog, "size_constraints", [])
-    return out
+        out.vector_fallbacks = getattr(prog, "vector_fallbacks", [])
+        out.size_constraints = getattr(prog, "size_constraints", [])
+        if profile_active() is not None:
+            meta["nodes_in"] = count_ir_nodes(prog)
+            meta["nodes_out"] = count_ir_nodes(out)
+        return out

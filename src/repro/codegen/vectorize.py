@@ -120,12 +120,15 @@ def vectorize_stmts(
     Returns vectorized (statements, expressions); raises VectorizeError on
     any unvectorizable construct.
     """
-    ctx = _VecCtx(xi, base, width, set(), is_width_multiple)
-    out_stmts: list[Stmt] = []
-    for stmt in stmts:
-        out_stmts.append(_vec_stmt(stmt, ctx))
-    out_exprs = [_ensure_vector(_vec_expr(e, ctx), ctx) for e in exprs]
-    return out_stmts, out_exprs
+    from repro.observe.profile import phase
+
+    with phase("vectorize"):
+        ctx = _VecCtx(xi, base, width, set(), is_width_multiple)
+        out_stmts: list[Stmt] = []
+        for stmt in stmts:
+            out_stmts.append(_vec_stmt(stmt, ctx))
+        out_exprs = [_ensure_vector(_vec_expr(e, ctx), ctx) for e in exprs]
+        return out_stmts, out_exprs
 
 
 def _vec_stmt(stmt: Stmt, ctx: _VecCtx) -> Stmt:

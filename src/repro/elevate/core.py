@@ -23,11 +23,13 @@ Traversals control *where* a strategy applies:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
 from repro.rise.expr import Expr
-from repro.rise.traverse import children, rebuild
+from repro.rise.traverse import children, count_nodes, rebuild
+from repro.observe.trace import _TRACE
 
 __all__ = [
     "RewriteResult",
@@ -65,40 +67,104 @@ class StrategyError(Exception):
 
 @dataclass(frozen=True)
 class RewriteResult:
-    pass
+    """Base class of rewrite outcomes (:class:`Success` / :class:`Failure`)."""
 
 
 @dataclass(frozen=True)
 class Success(RewriteResult):
+    """A successful rewrite carrying the transformed expression."""
+
     expr: Expr
 
 
 @dataclass(frozen=True)
 class Failure(RewriteResult):
+    """A failed rewrite: which strategy failed, why, and — when the
+    failure was produced by a combinator — the inner :attr:`cause` it
+    wraps, forming a chain down to the rule that did not match."""
+
     strategy: "Strategy"
     reason: str = ""
+    cause: Optional["Failure"] = None
+
+    def chain(self) -> list["Failure"]:
+        """The failure and all its transitive causes, outermost first."""
+        out: list[Failure] = []
+        node: Optional[Failure] = self
+        while node is not None:
+            out.append(node)
+            node = node.cause
+        return out
+
+    def deepest(self) -> "Failure":
+        """The innermost failure — the actual point where rewriting
+        stopped (e.g. the rule whose pattern did not match)."""
+        return self.chain()[-1]
+
+    def reason_chain(self) -> str:
+        """A readable ``outer <- ... <- inner`` summary of the failure."""
+        parts = [
+            f"{f.strategy.name}: {f.reason}" for f in self.chain() if f.reason
+        ]
+        return " <- ".join(parts)
 
 
 class Strategy:
-    """A named rewrite strategy: ``Expr -> Success | Failure``."""
+    """A named rewrite strategy: ``Expr -> Success | Failure``.
 
-    def __init__(self, fn: Callable[[Expr], RewriteResult], name: str):
+    ``kind`` distinguishes leaf rewrite rules (``"rule"``, produced by the
+    :func:`rule` decorator) from compositions (``"strategy"``): tracing
+    records an event per rule attempt but only aggregate counters for
+    combinators.
+    """
+
+    def __init__(
+        self, fn: Callable[[Expr], RewriteResult], name: str, kind: str = "strategy"
+    ):
         self._fn = fn
         self.name = name
+        self.kind = kind
 
     def __call__(self, expr: Expr) -> RewriteResult:
-        return self._fn(expr)
+        """Run the strategy; reports into the active trace collector (one
+        context-variable read of overhead when tracing is off)."""
+        collector = _TRACE.get()
+        if collector is None:
+            return self._fn(expr)
+        start = time.perf_counter()
+        result = self._fn(expr)
+        wall_ms = (time.perf_counter() - start) * 1e3
+        succeeded = isinstance(result, Success)
+        before = after = None
+        reason = ""
+        if self.kind == "rule":
+            if succeeded:
+                before = count_nodes(expr)
+                after = count_nodes(result.expr)
+            else:
+                assert isinstance(result, Failure)
+                reason = result.reason
+        collector.record_call(
+            self.name, self.kind, succeeded, reason, wall_ms, before, after
+        )
+        return result
 
     def apply(self, expr: Expr) -> Expr:
-        """Apply, raising :class:`StrategyError` on failure."""
+        """Apply, raising :class:`StrategyError` on failure; the error
+        message surfaces the deepest failure reason in the cause chain."""
         result = self(expr)
         if isinstance(result, Success):
             return result.expr
         assert isinstance(result, Failure)
-        raise StrategyError(
-            f"strategy {self.name!r} failed"
-            + (f" ({result.reason})" if result.reason else "")
-        )
+        deepest = result.deepest()
+        if deepest.reason:
+            if deepest is result:
+                detail = f" ({deepest.reason})"
+            else:
+                detail = f" ({deepest.strategy.name}: {deepest.reason})"
+        else:
+            detail = ""
+        raise StrategyError(f"strategy {self.name!r} failed{detail}")
 
     # -- combinator sugar ------------------------------------------------
 
@@ -122,10 +188,25 @@ def rule(name: str):
                 return Failure(strategy, "pattern did not match")
             return Success(out)
 
-        strategy = Strategy(run, name)
+        strategy = Strategy(run, name, kind="rule")
         return strategy
 
     return decorator
+
+
+def _at(strategy: Strategy, child: Expr, step) -> RewriteResult:
+    """Apply ``strategy`` to a child expression, pushing the traversal
+    ``step`` (child index, or ``"body"``/``"fun"``/``"arg"``) onto the
+    active trace collector's path so rule events report *where* in the
+    expression they fired.  A plain call when tracing is off."""
+    collector = _TRACE.get()
+    if collector is None:
+        return strategy(child)
+    collector.push(step)
+    try:
+        return strategy(child)
+    finally:
+        collector.pop()
 
 
 # ---------------------------------------------------------------------------
@@ -137,16 +218,26 @@ fail = Strategy(lambda e: Failure(fail, "fail"), "fail")
 
 
 def seq(first: Strategy, second: Strategy) -> Strategy:
+    """``first ; second``: run ``second`` on the result of ``first``; fail
+    if either fails, keeping the failing step as the failure's cause."""
+
     def run(expr: Expr) -> RewriteResult:
         result = first(expr)
         if isinstance(result, Failure):
-            return result
-        return second(result.expr)
+            return Failure(wrapper, "first step failed", cause=result)
+        inner = second(result.expr)
+        if isinstance(inner, Failure):
+            return Failure(wrapper, "second step failed", cause=inner)
+        return inner
 
-    return Strategy(run, f"({first.name} ; {second.name})")
+    wrapper = Strategy(run, f"({first.name} ; {second.name})")
+    return wrapper
 
 
 def lchoice(first: Strategy, second: Strategy) -> Strategy:
+    """``first <+ second``: left-biased choice — try ``first``, fall back
+    to ``second`` on the original expression when it fails."""
+
     def run(expr: Expr) -> RewriteResult:
         result = first(expr)
         if isinstance(result, Success):
@@ -157,6 +248,7 @@ def lchoice(first: Strategy, second: Strategy) -> Strategy:
 
 
 def try_(strategy: Strategy) -> Strategy:
+    """Apply the strategy but succeed unchanged when it fails."""
     return Strategy(
         lambda e: lchoice(strategy, id_)(e),
         f"try({strategy.name})",
@@ -164,19 +256,36 @@ def try_(strategy: Strategy) -> Strategy:
 
 
 def repeat(strategy: Strategy) -> Strategy:
+    """Apply the strategy until it fails (or stops changing the term);
+    reports the iteration count to the active trace collector and raises
+    :class:`StrategyError` after ``_MAX_REPEAT`` runaway steps."""
+
     def run(expr: Expr) -> RewriteResult:
-        for _ in range(_MAX_REPEAT):
+        iterations = 0
+        for iterations in range(_MAX_REPEAT):
             result = strategy(expr)
             if isinstance(result, Failure):
+                _note_iterations(wrapper.name, iterations)
                 return Success(expr)
             if result.expr is expr:
                 # Strategy succeeded without changing the term; stop rather
                 # than loop forever.
+                _note_iterations(wrapper.name, iterations)
                 return Success(expr)
             expr = result.expr
+        _note_iterations(wrapper.name, _MAX_REPEAT)
         raise StrategyError(f"repeat({strategy.name}) exceeded {_MAX_REPEAT} steps")
 
-    return Strategy(run, f"repeat({strategy.name})")
+    wrapper = Strategy(run, f"repeat({strategy.name})")
+    return wrapper
+
+
+def _note_iterations(name: str, n: int) -> None:
+    """Report a completed ``repeat`` iteration count to the active trace
+    collector (no-op when tracing is off)."""
+    collector = _TRACE.get()
+    if collector is not None:
+        collector.note_iterations(name, n)
 
 
 # ---------------------------------------------------------------------------
@@ -189,13 +298,15 @@ def one(strategy: Strategy) -> Strategy:
 
     def run(expr: Expr) -> RewriteResult:
         kids = children(expr)
+        last_failure: Optional[Failure] = None
         for index, kid in enumerate(kids):
-            result = strategy(kid)
+            result = _at(strategy, kid, index)
             if isinstance(result, Success):
                 new_kids = list(kids)
                 new_kids[index] = result.expr
                 return Success(rebuild(expr, new_kids))
-        return Failure(wrapper, "no child matched")
+            last_failure = result
+        return Failure(wrapper, "no child matched", cause=last_failure)
 
     wrapper = Strategy(run, f"one({strategy.name})")
     return wrapper
@@ -207,10 +318,10 @@ def all_(strategy: Strategy) -> Strategy:
     def run(expr: Expr) -> RewriteResult:
         kids = children(expr)
         new_kids: list[Expr] = []
-        for kid in kids:
-            result = strategy(kid)
+        for index, kid in enumerate(kids):
+            result = _at(strategy, kid, index)
             if isinstance(result, Failure):
-                return Failure(wrapper, "a child failed")
+                return Failure(wrapper, f"child {index} failed", cause=result)
             new_kids.append(result.expr)
         return Success(rebuild(expr, new_kids))
 
@@ -225,15 +336,17 @@ def some(strategy: Strategy) -> Strategy:
         kids = children(expr)
         new_kids: list[Expr] = []
         succeeded = False
-        for kid in kids:
-            result = strategy(kid)
+        last_failure: Optional[Failure] = None
+        for index, kid in enumerate(kids):
+            result = _at(strategy, kid, index)
             if isinstance(result, Success):
                 succeeded = True
                 new_kids.append(result.expr)
             else:
+                last_failure = result
                 new_kids.append(kid)
         if not succeeded:
-            return Failure(wrapper, "no child matched")
+            return Failure(wrapper, "no child matched", cause=last_failure)
         return Success(rebuild(expr, new_kids))
 
     wrapper = Strategy(run, f"some({strategy.name})")
@@ -247,7 +360,13 @@ def top_down(strategy: Strategy) -> Strategy:
         result = strategy(expr)
         if isinstance(result, Success):
             return result
-        return one(wrapper)(expr)
+        inner = one(wrapper)(expr)
+        if isinstance(inner, Failure):
+            # keep the strategy's own failure (e.g. the rule's "pattern did
+            # not match") as the cause: it is the informative reason, not
+            # the traversal's "no child matched"
+            return Failure(wrapper, "no location matched", cause=result)
+        return inner
 
     wrapper = Strategy(run, f"topDown({strategy.name})")
     return wrapper
@@ -276,8 +395,8 @@ def all_top_down(strategy: Strategy) -> Strategy:
         kids = children(current)
         if kids:
             new_kids = []
-            for kid in kids:
-                kid_result = run(kid)
+            for index, kid in enumerate(kids):
+                kid_result = _at(run, kid, index)
                 assert isinstance(kid_result, Success)
                 new_kids.append(kid_result.expr)
             current = rebuild(current, new_kids)
@@ -290,10 +409,8 @@ def all_top_down(strategy: Strategy) -> Strategy:
 def normalize(strategy: Strategy) -> Strategy:
     """Apply everywhere, repeatedly, until no location matches (paper §II-C:
     after ``normalize(s)`` the strategy ``s`` applies nowhere)."""
-    return Strategy(
-        lambda e: repeat(top_down(strategy))(e),
-        f"normalize({strategy.name})",
-    )
+    inner = repeat(top_down(strategy))
+    return Strategy(inner, f"normalize({strategy.name})")
 
 
 def apply_once(strategy: Strategy) -> Strategy:
@@ -312,7 +429,7 @@ def body(strategy: Strategy) -> Strategy:
     def run(expr: Expr) -> RewriteResult:
         if not isinstance(expr, Lambda):
             return Failure(wrapper, "not a lambda")
-        result = strategy(expr.body)
+        result = _at(strategy, expr.body, "body")
         if isinstance(result, Failure):
             return result
         return Success(Lambda(expr.param, result.expr))
@@ -328,7 +445,7 @@ def function(strategy: Strategy) -> Strategy:
     def run(expr: Expr) -> RewriteResult:
         if not isinstance(expr, App):
             return Failure(wrapper, "not an application")
-        result = strategy(expr.fun)
+        result = _at(strategy, expr.fun, "fun")
         if isinstance(result, Failure):
             return result
         return Success(App(result.expr, expr.arg))
@@ -344,7 +461,7 @@ def argument(strategy: Strategy) -> Strategy:
     def run(expr: Expr) -> RewriteResult:
         if not isinstance(expr, App):
             return Failure(wrapper, "not an application")
-        result = strategy(expr.arg)
+        result = _at(strategy, expr.arg, "arg")
         if isinstance(result, Failure):
             return result
         return Success(App(expr.fun, result.expr))
@@ -354,15 +471,33 @@ def argument(strategy: Strategy) -> Strategy:
 
 
 class RewriteTrace:
-    """Records each successful top-level strategy application, for debugging
-    and for the examples that show the derivation steps."""
+    """Compatibility shim over :class:`repro.observe.trace.TraceCollector`.
+
+    Historically this class recorded top-level strategy successes into
+    ``steps``; it still does, but wrapped strategies now also run under
+    the ``repro.observe`` tracing layer, so the shim additionally exposes
+    per-rule events, counters and a top-K summary via :attr:`collector`.
+    Prefer ``with repro.observe.tracing() as t:`` in new code.
+    """
 
     def __init__(self) -> None:
+        from repro.observe.trace import TraceCollector
+
         self.steps: list[tuple[str, Expr, Expr]] = []
+        self.collector = TraceCollector()
 
     def wrap(self, strategy: Strategy) -> Strategy:
+        """Wrap a strategy so its successful applications append
+        ``(name, before, after)`` to :attr:`steps` and its full call tree
+        reports into :attr:`collector`."""
+        from repro.observe.trace import tracing
+
         def run(expr: Expr) -> RewriteResult:
-            result = strategy(expr)
+            if _TRACE.get() is self.collector:
+                result = strategy(expr)
+            else:
+                with tracing(self.collector):
+                    result = strategy(expr)
             if isinstance(result, Success) and result.expr is not expr:
                 self.steps.append((strategy.name, expr, result.expr))
             return result

@@ -189,9 +189,14 @@ def run_program(
     library/LIFT baselines).
 
     Returns the final output buffer (flat, unpadded length).
+
+    When :func:`repro.observe.observing` is active, each kernel records a
+    ``run:<name>`` span (with codegen/exec sub-spans and static op counts
+    from :func:`repro.codegen.ir.op_histogram`) and execution counters.
     """
     from repro.codegen.lower import BUFFER_PAD
     from repro.codegen.sizes import resolve_sizes
+    from repro.observe.core import active, count, span
 
     sizes = resolve_sizes(prog, sizes)
 
@@ -217,16 +222,28 @@ def run_program(
 
     result: np.ndarray | None = None
     for fn in prog.functions:
-        source = function_to_python(fn, sizes)
-        exec(compile(source, f"<{fn.name}>", "exec"), namespace)
-        args = []
-        for b in fn.inputs:
-            args.append(padded(b.name, int(b.size.evaluate(sizes))))
-        out_size = int(fn.output.size.evaluate(sizes))
-        out = np.zeros(out_size + BUFFER_PAD, dtype=np.float32)
-        namespace[fn.name](*args, out)
-        result = out[:out_size]
-        produced[fn.name] = result
-        produced[fn.output.name] = result
+        with span(f"run:{fn.name}", program=prog.name) as kernel_span:
+            count("exec.kernels")
+            with span("codegen-python"):
+                source = function_to_python(fn, sizes)
+                code = compile(source, f"<{fn.name}>", "exec")
+            exec(code, namespace)
+            args = []
+            for b in fn.inputs:
+                args.append(padded(b.name, int(b.size.evaluate(sizes))))
+            out_size = int(fn.output.size.evaluate(sizes))
+            out = np.zeros(out_size + BUFFER_PAD, dtype=np.float32)
+            with span("execute"):
+                namespace[fn.name](*args, out)
+            if active() is not None:
+                from repro.codegen.ir import op_histogram
+
+                kernel_span.meta["source_lines"] = source.count("\n") + 1
+                kernel_span.meta["output_elems"] = out_size
+                for key, value in op_histogram(fn).items():
+                    count(f"ops.{key}", value)
+            result = out[:out_size]
+            produced[fn.name] = result
+            produced[fn.output.name] = result
     assert result is not None
     return result

@@ -295,8 +295,25 @@ def compile_halide(
     """Lower a scheduled pipeline to a single-kernel imperative program.
 
     ``inputs`` maps image names to (param, rows, cols).  ``n``/``m`` are
-    the (symbolic) output sizes.
+    the (symbolic) output sizes.  Records a compile profile (``lower`` /
+    ``vectorize`` / ``fold`` / ``cse`` phases) under ``name`` when
+    :func:`repro.observe.profiling` is active.
     """
+    from repro.observe.profile import compile_profile, phase
+
+    with compile_profile(name):
+        with phase("lower"):
+            prog = _lower_halide(output, inputs, n, m, name)
+        return cse_program(fold_program(prog))
+
+
+def _lower_halide(
+    output: Func,
+    inputs: Mapping[str, tuple[ImageParam, Nat, Nat]],
+    n: Nat,
+    m: Nat,
+    name: str,
+) -> ImpProgram:
     ranges = _infer_bounds(output)
     producers = _topo_producers(output, ranges)
     gen = _Gen(dict(inputs), m)
@@ -414,4 +431,4 @@ def compile_halide(
     prog = ImpProgram(name=name, functions=[fn], size_vars=sorted((n * m).free_vars()))
     prog.size_constraints = []
     prog.vector_fallbacks = []
-    return cse_program(fold_program(prog))
+    return prog

@@ -1,0 +1,55 @@
+"""Observability: rewrite tracing, compile-phase profiling, run reports.
+
+The paper's thesis is that optimizations are *inspectable, user-defined
+rewrite sequences*; this package is the inspection half of that claim.
+It provides four cooperating layers, all off by default and activated
+with context managers (zero behavioural effect on rewriting, codegen or
+execution when disabled):
+
+* :mod:`repro.observe.core` — generic timed spans and counters
+  (:func:`observing`, :func:`span`, :func:`count`);
+* :mod:`repro.observe.trace` — per-rule rewrite tracing threaded through
+  ``Strategy.__call__`` (:func:`tracing`, :class:`TraceCollector`);
+* :mod:`repro.observe.profile` — per-phase codegen timers and node-count
+  deltas (:func:`profiling`, :func:`phase`, :func:`compile_profile`);
+* :mod:`repro.observe.report` / :mod:`repro.observe.derivation` — the
+  JSON run report and the paper-style derivation pretty-printer.
+"""
+
+from repro.observe.core import Observer, Span, active, count, observing, span
+from repro.observe.derivation import derivation_stats, format_derivation
+from repro.observe.profile import (
+    CompileProfile,
+    PhaseStat,
+    ProfileCollector,
+    compile_profile,
+    phase,
+    profile_active,
+    profiling,
+)
+from repro.observe.report import SCHEMA, RunReport
+from repro.observe.trace import RuleEvent, TraceCollector, trace_active, tracing
+
+__all__ = [
+    "Observer",
+    "Span",
+    "active",
+    "count",
+    "observing",
+    "span",
+    "RuleEvent",
+    "TraceCollector",
+    "trace_active",
+    "tracing",
+    "CompileProfile",
+    "PhaseStat",
+    "ProfileCollector",
+    "compile_profile",
+    "phase",
+    "profile_active",
+    "profiling",
+    "SCHEMA",
+    "RunReport",
+    "derivation_stats",
+    "format_derivation",
+]

@@ -1,0 +1,165 @@
+"""Spans and counters: the base layer of the observability subsystem.
+
+An :class:`Observer` collects a tree of timed *spans* and a flat table of
+named *counters*.  Activation is scoped with the :func:`observing` context
+manager; instrumented code calls the module-level :func:`span` and
+:func:`count` helpers, which are no-ops (one context-variable read) when
+no observer is active — so instrumentation can stay in hot paths
+permanently without a measurable cost when disabled.
+
+    with observing() as obs:
+        with span("compile", program="harris"):
+            ...
+            count("kernels")
+    print(obs.render_text())
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = ["Span", "Observer", "observing", "active", "span", "count"]
+
+_OBSERVER: ContextVar[Optional["Observer"]] = ContextVar("repro_observer", default=None)
+
+
+@dataclass
+class Span:
+    """One timed region: a name, a wall-clock duration, free-form metadata
+    and the spans that were opened while it was active."""
+
+    name: str
+    duration_ms: float = 0.0
+    meta: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (durations rounded to microseconds)."""
+        out: dict = {"name": self.name, "duration_ms": round(self.duration_ms, 3)}
+        if self.meta:
+            out["meta"] = dict(self.meta)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+
+class Observer:
+    """Collects spans (nested) and counters (flat) for one observed region."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.counters: dict[str, int] = {}
+        self._stack: list[Span] = []
+
+    # -- recording -------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment the named counter by ``n``."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    @contextmanager
+    def span(self, name: str, **meta) -> Iterator[Span]:
+        """Open a timed span; nested ``span`` calls become its children."""
+        entry = Span(name, meta=dict(meta))
+        parent = self._stack[-1] if self._stack else None
+        (parent.children if parent else self.spans).append(entry)
+        self._stack.append(entry)
+        start = time.perf_counter()
+        try:
+            yield entry
+        finally:
+            entry.duration_ms = (time.perf_counter() - start) * 1e3
+            self._stack.pop()
+
+    # -- reading ---------------------------------------------------------
+
+    def flat_spans(self) -> list[Span]:
+        """All spans in pre-order, flattened out of the tree."""
+        out: list[Span] = []
+
+        def visit(s: Span) -> None:
+            out.append(s)
+            for c in s.children:
+                visit(c)
+
+        for s in self.spans:
+            visit(s)
+        return out
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation of all spans and counters."""
+        return {
+            "spans": [s.to_dict() for s in self.spans],
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    def render_text(self) -> str:
+        """Human-readable span tree plus the counter table."""
+        lines: list[str] = []
+
+        def visit(s: Span, depth: int) -> None:
+            meta = (
+                "  " + " ".join(f"{k}={v}" for k, v in s.meta.items())
+                if s.meta
+                else ""
+            )
+            lines.append(f"{'  ' * depth}{s.name:<32} {s.duration_ms:9.3f} ms{meta}")
+            for c in s.children:
+                visit(c, depth + 1)
+
+        for s in self.spans:
+            visit(s, 0)
+        if self.counters:
+            lines.append("counters:")
+            for name, value in sorted(self.counters.items()):
+                lines.append(f"  {name:<34} {value}")
+        return "\n".join(lines)
+
+
+@contextmanager
+def observing(observer: Observer | None = None) -> Iterator[Observer]:
+    """Activate an observer for the dynamic extent of the ``with`` block."""
+    obs = observer if observer is not None else Observer()
+    token = _OBSERVER.set(obs)
+    try:
+        yield obs
+    finally:
+        _OBSERVER.reset(token)
+
+
+def active() -> Observer | None:
+    """The currently active observer, or ``None`` when observation is off."""
+    return _OBSERVER.get()
+
+
+class _NullSpan:
+    """Shared do-nothing span context used when no observer is active."""
+
+    def __enter__(self) -> Span:
+        return Span("<disabled>")
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, **meta):
+    """Module-level :meth:`Observer.span`; a no-op context manager when no
+    observer is active."""
+    obs = _OBSERVER.get()
+    if obs is None:
+        return _NULL_SPAN
+    return obs.span(name, **meta)
+
+
+def count(name: str, n: int = 1) -> None:
+    """Module-level :meth:`Observer.count`; a no-op when inactive."""
+    obs = _OBSERVER.get()
+    if obs is not None:
+        obs.count(name, n)

@@ -1,0 +1,82 @@
+"""Derivation pretty-printing: the paper's listing-style step-by-step view.
+
+Koehler & Steuwer present the Harris optimization as a numbered sequence
+of strategy applications (listings 5–9), each taking the program one step
+closer to low-level RISE.  :func:`format_derivation` reproduces that view
+from the ``(step name, program)`` pairs returned by
+``Schedule.apply_traced``, annotated with node counts and — when a
+:class:`~repro.observe.trace.TraceCollector` is supplied — the number of
+rule rewrites each step performed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.rise.expr import Expr
+from repro.rise.pprint import pretty
+from repro.rise.traverse import count_nodes
+
+from repro.observe.trace import TraceCollector
+
+__all__ = ["format_derivation", "derivation_stats"]
+
+
+def _truncate(text: str, width: int) -> str:
+    if len(text) <= width:
+        return text
+    return text[: width - 3] + "..."
+
+
+def format_derivation(
+    steps: Sequence[tuple[str, Expr]],
+    collector: Optional[TraceCollector] = None,
+    show_expr: bool = True,
+    width: int = 110,
+) -> str:
+    """Render a derivation as numbered steps.
+
+    ``steps`` is the list produced by ``Schedule.apply_traced`` (the first
+    entry is the input program).  Each line shows the strategy name, the
+    program's node count and its delta; with ``show_expr`` the (truncated)
+    pretty-printed program follows each step, mirroring the paper's
+    listings.
+    """
+    lines: list[str] = []
+    prev_nodes: Optional[int] = None
+    for index, (name, program) in enumerate(steps):
+        nodes = count_nodes(program)
+        delta = "" if prev_nodes is None else f"{nodes - prev_nodes:+6d}"
+        lines.append(f"{index:>3}  {name:<52} nodes={nodes:>6} {delta}")
+        if show_expr:
+            lines.append(f"     {_truncate(pretty(program), width)}")
+        prev_nodes = nodes
+    if collector is not None:
+        lines.append("")
+        lines.append(collector.summary_text())
+    return "\n".join(lines)
+
+
+def derivation_stats(
+    steps: Sequence[tuple[str, Expr]],
+    collector: Optional[TraceCollector] = None,
+) -> dict:
+    """JSON-ready digest of a derivation: per-step node counts plus (when
+    traced) the rule-application summary."""
+    rows = []
+    prev: Optional[int] = None
+    for index, (name, program) in enumerate(steps):
+        nodes = count_nodes(program)
+        rows.append(
+            {
+                "step": index,
+                "strategy": name,
+                "nodes": nodes,
+                "delta": None if prev is None else nodes - prev,
+            }
+        )
+        prev = nodes
+    out: dict = {"steps": rows}
+    if collector is not None:
+        out["rules"] = collector.summary()
+    return out

@@ -1,0 +1,231 @@
+"""Compile-phase profiling: per-program timers and node-count deltas.
+
+The code generator brackets its phases (``typecheck``, ``lower``,
+``vectorize``, ``fold``, ``cse``, ``cprint``) with :func:`phase`; a
+:class:`ProfileCollector` activated with :func:`profiling` groups them
+into one :class:`CompileProfile` per compiled program, so each schedule
+(``cbuf``, ``cbuf+rot``, …) yields a compile profile:
+
+    with profiling() as prof:
+        compile_program(low, senv, "rise_cbuf")
+    print(prof.render_text())
+
+Repeated phases with the same name (e.g. one ``vectorize`` per strip
+loop) accumulate wall time and a call count.  When no collector is
+active, :func:`phase` returns a shared no-op context manager.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = [
+    "PhaseStat",
+    "CompileProfile",
+    "ProfileCollector",
+    "profiling",
+    "profile_active",
+    "compile_profile",
+    "phase",
+]
+
+_PROFILE: ContextVar[Optional["ProfileCollector"]] = ContextVar(
+    "repro_profile", default=None
+)
+
+
+@dataclass
+class PhaseStat:
+    """Accumulated cost of one named compile phase within one program."""
+
+    name: str
+    wall_ms: float = 0.0
+    calls: int = 0
+    meta: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        out: dict = {
+            "name": self.name,
+            "wall_ms": round(self.wall_ms, 3),
+            "calls": self.calls,
+        }
+        out.update(self.meta)
+        return out
+
+
+class CompileProfile:
+    """All phase statistics for one compiled program, in first-seen order."""
+
+    def __init__(self, program: str) -> None:
+        self.program = program
+        self.phases: dict[str, PhaseStat] = {}
+        self.meta: dict = {}
+
+    def add(self, name: str, wall_ms: float, meta: dict) -> None:
+        """Fold one timed phase run into the accumulated statistics."""
+        stat = self.phases.get(name)
+        if stat is None:
+            stat = self.phases[name] = PhaseStat(name)
+        stat.wall_ms += wall_ms
+        stat.calls += 1
+        stat.meta.update(meta)
+
+    def total_ms(self) -> float:
+        """Total wall time across all phases (nested phases double-count:
+        ``vectorize`` runs inside ``lower``)."""
+        return sum(p.wall_ms for p in self.phases.values())
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        out: dict = {
+            "program": self.program,
+            "phases": [p.to_dict() for p in self.phases.values()],
+        }
+        out.update(self.meta)
+        return out
+
+
+class ProfileCollector:
+    """Groups :class:`CompileProfile` objects by program name."""
+
+    def __init__(self) -> None:
+        self.profiles: dict[str, CompileProfile] = {}
+        self._current: list[CompileProfile] = []
+
+    def profile(self, program: str) -> CompileProfile:
+        """Get or create the profile for ``program``."""
+        prof = self.profiles.get(program)
+        if prof is None:
+            prof = self.profiles[program] = CompileProfile(program)
+        return prof
+
+    def current(self) -> CompileProfile:
+        """The profile phases currently attach to (``"(unattributed)"``
+        when :func:`phase` runs outside any :func:`compile_profile`)."""
+        if self._current:
+            return self._current[-1]
+        return self.profile("(unattributed)")
+
+    def to_dict(self) -> list[dict]:
+        """JSON-ready list of all program profiles."""
+        return [p.to_dict() for p in self.profiles.values()]
+
+    def render_text(self) -> str:
+        """Human-readable table of phase timings per program."""
+        lines: list[str] = []
+        for prof in self.profiles.values():
+            lines.append(f"{prof.program}  (total {prof.total_ms():.1f} ms)")
+            for stat in prof.phases.values():
+                meta = (
+                    "  " + " ".join(f"{k}={v}" for k, v in stat.meta.items())
+                    if stat.meta
+                    else ""
+                )
+                lines.append(
+                    f"  {stat.name:<12} {stat.wall_ms:9.3f} ms"
+                    f"  x{stat.calls:<5}{meta}"
+                )
+        return "\n".join(lines)
+
+
+@contextmanager
+def profiling(collector: ProfileCollector | None = None) -> Iterator[ProfileCollector]:
+    """Activate compile-phase profiling; yields the collector."""
+    c = collector if collector is not None else ProfileCollector()
+    token = _PROFILE.set(c)
+    try:
+        yield c
+    finally:
+        _PROFILE.reset(token)
+
+
+def profile_active() -> ProfileCollector | None:
+    """The active profile collector, or ``None`` when profiling is off."""
+    return _PROFILE.get()
+
+
+class _NullPhase:
+    """Shared do-nothing context manager used when profiling is off."""
+
+    def __enter__(self) -> dict:
+        return {}
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class _Phase:
+    """Times one phase run and folds it into the current program profile;
+    the object yielded by ``with`` is a dict for extra metadata (node
+    counts before/after, emitted bytes, …)."""
+
+    def __init__(self, collector: ProfileCollector, name: str, meta: dict):
+        self._collector = collector
+        self._name = name
+        self._meta = meta
+
+    def __enter__(self) -> dict:
+        self._start = time.perf_counter()
+        return self._meta
+
+    def __exit__(self, *exc) -> bool:
+        wall_ms = (time.perf_counter() - self._start) * 1e3
+        self._collector.current().add(self._name, wall_ms, self._meta)
+        return False
+
+
+def phase(name: str, **meta):
+    """Bracket one compile phase; a no-op context manager when profiling
+    is inactive, otherwise yields a metadata dict merged on exit."""
+    c = _PROFILE.get()
+    if c is None:
+        return _NULL_PHASE
+    return _Phase(c, name, dict(meta))
+
+
+class _ProgramScope:
+    """Context manager pushing one program's profile as the target of
+    nested :func:`phase` calls."""
+
+    def __init__(self, collector: ProfileCollector, program: str):
+        self._collector = collector
+        self._program = program
+
+    def __enter__(self) -> CompileProfile:
+        prof = self._collector.profile(self._program)
+        self._collector._current.append(prof)
+        return prof
+
+    def __exit__(self, *exc) -> bool:
+        self._collector._current.pop()
+        return False
+
+
+class _NullScope:
+    """Shared do-nothing scope used when profiling is off."""
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SCOPE = _NullScope()
+
+
+def compile_profile(program: str):
+    """Attach nested :func:`phase` calls to ``program``'s profile (no-op
+    context manager when profiling is inactive)."""
+    c = _PROFILE.get()
+    if c is None:
+        return _NULL_SCOPE
+    return _ProgramScope(c, program)

@@ -1,0 +1,118 @@
+"""Structured run reports: one JSON document per compile-and-run.
+
+A :class:`RunReport` bundles everything the observability layer collects
+about one end-to-end run — derivation statistics, per-phase compile
+timings, execution counters and quality metrics — under a stable schema
+(:data:`SCHEMA`), with JSON and text renderers.  The bench harness and
+``examples/harris_pipeline.py --trace`` both emit it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["SCHEMA", "RunReport"]
+
+#: Schema identifier; bump the version when report keys change shape.
+SCHEMA = "repro.observe.report/v1"
+
+#: The fixed top-level keys of every report, in serialization order.
+TOP_LEVEL_KEYS = (
+    "schema",
+    "name",
+    "environment",
+    "derivation",
+    "compile",
+    "execution",
+    "metrics",
+)
+
+
+@dataclass
+class RunReport:
+    """One run's worth of observability data.
+
+    Sections:
+        environment: run parameters (image sizes, chunk/vec factors, …).
+        derivation: per-schedule rewrite statistics
+            (see :func:`repro.observe.derivation.derivation_stats`).
+        compile: per-program compile profiles
+            (see :class:`repro.observe.profile.ProfileCollector`).
+        execution: executor counters and kernel timings.
+        metrics: quality/performance numbers (PSNR, modeled runtimes).
+    """
+
+    name: str
+    environment: dict = field(default_factory=dict)
+    derivation: dict = field(default_factory=dict)
+    compile: list = field(default_factory=list)
+    execution: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """The full report as a JSON-ready dict with stable key order."""
+        return {
+            "schema": SCHEMA,
+            "name": self.name,
+            "environment": self.environment,
+            "derivation": self.derivation,
+            "compile": self.compile,
+            "execution": self.execution,
+            "metrics": self.metrics,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The full report serialized as JSON."""
+        return json.dumps(self.to_dict(), indent=indent, default=_jsonable)
+
+    def save(self, path) -> None:
+        """Write the JSON report to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+    def render_text(self) -> str:
+        """A compact human-readable summary of every populated section."""
+        lines = [f"run report: {self.name}   ({SCHEMA})"]
+        if self.environment:
+            lines.append("environment:")
+            for key, value in self.environment.items():
+                lines.append(f"  {key} = {value}")
+        for schedule, stats in self.derivation.items():
+            rules = stats.get("rules", {})
+            applications = rules.get("rule_applications")
+            suffix = f"  rule applications={applications}" if applications is not None else ""
+            lines.append(f"derivation [{schedule}]: {len(stats.get('steps', []))} steps{suffix}")
+            for row in rules.get("top_fired", [])[:5]:
+                lines.append(f"  fired {row['rule']:<44} {row['count']:>6}")
+        for profile in self.compile:
+            phases = profile.get("phases", [])
+            total = sum(p.get("wall_ms", 0.0) for p in phases)
+            lines.append(f"compile [{profile.get('program')}]: {total:.1f} ms")
+            for p in phases:
+                extra = " ".join(
+                    f"{k}={v}" for k, v in p.items()
+                    if k not in ("name", "wall_ms", "calls")
+                )
+                lines.append(
+                    f"  {p['name']:<12} {p['wall_ms']:9.3f} ms  x{p['calls']:<4} {extra}"
+                )
+        if self.execution:
+            lines.append("execution:")
+            for key, value in self.execution.items():
+                lines.append(f"  {key} = {value}")
+        if self.metrics:
+            lines.append("metrics:")
+            for key, value in self.metrics.items():
+                lines.append(f"  {key} = {value}")
+        return "\n".join(lines)
+
+
+def _jsonable(value: Any):
+    """Fallback serializer for numpy scalars and other oddballs."""
+    for attr in ("item",):
+        if hasattr(value, attr):
+            return value.item()
+    return str(value)

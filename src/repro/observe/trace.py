@@ -1,0 +1,212 @@
+"""Rewrite-derivation tracing for the ELEVATE strategy language.
+
+A :class:`TraceCollector` activated with :func:`tracing` receives one
+callback per :class:`~repro.elevate.core.Strategy` invocation: rule name,
+expression path, success/failure (with the failure reason), sub-expression
+sizes and wall time.  Leaf rewrite *rules* (built with the ``rule``
+decorator) additionally produce :class:`RuleEvent` records; combinator
+calls are aggregated into per-strategy counters so arbitrarily deep
+compositions stay cheap to trace.
+
+    with tracing() as t:
+        schedule.apply(program)
+    print(t.summary_text())
+
+Tracing is off by default: when no collector is active, the only overhead
+in ``Strategy.__call__`` is a single context-variable read, and rewrite
+results are bit-identical to untraced runs (asserted by the test suite).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = ["RuleEvent", "TraceCollector", "tracing", "trace_active"]
+
+_TRACE: ContextVar[Optional["TraceCollector"]] = ContextVar("repro_trace", default=None)
+
+#: Default cap on retained per-call events; counters keep counting beyond it.
+DEFAULT_MAX_EVENTS = 100_000
+
+
+@dataclass
+class RuleEvent:
+    """One attempted application of a leaf rewrite rule.
+
+    ``path`` locates the sub-expression the rule was tried on: a tuple of
+    traversal steps from the root, where an ``int`` is a child index and
+    the strings ``"body"``/``"fun"``/``"arg"`` are the position-restricted
+    traversals.  ``before_nodes``/``after_nodes`` are RISE node counts of
+    the rewritten sub-expression (``None`` for failed attempts, which are
+    not sized to keep failure-heavy traversals cheap).
+    """
+
+    rule: str
+    path: tuple
+    succeeded: bool
+    reason: str = ""
+    before_nodes: Optional[int] = None
+    after_nodes: Optional[int] = None
+    wall_ms: float = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "rule": self.rule,
+            "path": list(self.path),
+            "succeeded": self.succeeded,
+            "reason": self.reason,
+            "before_nodes": self.before_nodes,
+            "after_nodes": self.after_nodes,
+            "wall_ms": round(self.wall_ms, 4),
+        }
+
+
+class TraceCollector:
+    """Accumulates rewrite-trace data for one traced region.
+
+    Attributes:
+        events: retained :class:`RuleEvent` records (capped at
+            ``max_events``; counters keep counting past the cap).
+        rule_fired / rule_failed: per-rule success/failure counts.
+        strategy_calls: call counts for *every* strategy, combinators
+            included.
+        iterations: per-``repeat`` strategy, the list of iteration counts
+            observed (one entry per completed ``repeat`` invocation);
+            ``normalize`` shows up here through its inner ``repeat``.
+    """
+
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS) -> None:
+        self.events: list[RuleEvent] = []
+        self.rule_fired: dict[str, int] = {}
+        self.rule_failed: dict[str, int] = {}
+        self.strategy_calls: dict[str, int] = {}
+        self.iterations: dict[str, list[int]] = {}
+        self.max_events = max_events
+        self.dropped_events = 0
+        self.total_rule_wall_ms = 0.0
+        self._path: list = []
+
+    # -- recording (called from repro.elevate.core) ----------------------
+
+    def push(self, step) -> None:
+        """Enter a child position during a traversal (int index or one of
+        ``"body"``/``"fun"``/``"arg"``)."""
+        self._path.append(step)
+
+    def pop(self) -> None:
+        """Leave the most recently entered child position."""
+        self._path.pop()
+
+    def current_path(self) -> tuple:
+        """The traversal path from the root to the current sub-expression."""
+        return tuple(self._path)
+
+    def record_call(self, name: str, kind: str, succeeded: bool, reason: str,
+                    wall_ms: float, before_nodes: Optional[int],
+                    after_nodes: Optional[int]) -> None:
+        """Record one strategy invocation (rule calls also get an event)."""
+        self.strategy_calls[name] = self.strategy_calls.get(name, 0) + 1
+        if kind != "rule":
+            return
+        table = self.rule_fired if succeeded else self.rule_failed
+        table[name] = table.get(name, 0) + 1
+        self.total_rule_wall_ms += wall_ms
+        if len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self.events.append(
+            RuleEvent(
+                rule=name,
+                path=self.current_path(),
+                succeeded=succeeded,
+                reason=reason,
+                before_nodes=before_nodes,
+                after_nodes=after_nodes,
+                wall_ms=wall_ms,
+            )
+        )
+
+    def note_iterations(self, name: str, n: int) -> None:
+        """Record that a ``repeat``-style strategy ran ``n`` iterations."""
+        self.iterations.setdefault(name, []).append(n)
+
+    # -- reading ---------------------------------------------------------
+
+    def top_fired(self, k: int = 10) -> list[tuple[str, int]]:
+        """The ``k`` most often successfully applied rules."""
+        return sorted(self.rule_fired.items(), key=lambda kv: -kv[1])[:k]
+
+    def top_failed(self, k: int = 10) -> list[tuple[str, int]]:
+        """The ``k`` rules that failed to match most often."""
+        return sorted(self.rule_failed.items(), key=lambda kv: -kv[1])[:k]
+
+    def summary(self, k: int = 10) -> dict:
+        """A JSON-ready digest: totals, top-K fired/failed rules, repeat
+        iteration counts."""
+        return {
+            "rule_applications": sum(self.rule_fired.values()),
+            "rule_failures": sum(self.rule_failed.values()),
+            "strategy_invocations": sum(self.strategy_calls.values()),
+            "distinct_rules": len(set(self.rule_fired) | set(self.rule_failed)),
+            "rule_wall_ms": round(self.total_rule_wall_ms, 3),
+            "events_retained": len(self.events),
+            "events_dropped": self.dropped_events,
+            "top_fired": [{"rule": r, "count": c} for r, c in self.top_fired(k)],
+            "top_failed": [{"rule": r, "count": c} for r, c in self.top_failed(k)],
+            "iterations": {
+                name: {"calls": len(runs), "total": sum(runs), "max": max(runs)}
+                for name, runs in sorted(self.iterations.items())
+            },
+        }
+
+    def summary_text(self, k: int = 10) -> str:
+        """Human-readable version of :meth:`summary`."""
+        s = self.summary(k)
+        lines = [
+            f"rule applications: {s['rule_applications']}"
+            f"  (failures: {s['rule_failures']},"
+            f" strategies invoked: {s['strategy_invocations']})",
+        ]
+        if s["top_fired"]:
+            lines.append("most-fired rules:")
+            for row in s["top_fired"]:
+                lines.append(f"  {row['rule']:<40} {row['count']:>7}")
+        if s["top_failed"]:
+            lines.append("most-failed rules:")
+            for row in s["top_failed"]:
+                lines.append(f"  {row['rule']:<40} {row['count']:>7}")
+        if s["iterations"]:
+            lines.append("repeat/normalize iterations:")
+            for name, row in s["iterations"].items():
+                lines.append(
+                    f"  {name:<50} calls={row['calls']}"
+                    f" total={row['total']} max={row['max']}"
+                )
+        return "\n".join(lines)
+
+
+@contextmanager
+def tracing(collector: TraceCollector | None = None) -> Iterator[TraceCollector]:
+    """Activate rewrite tracing for the dynamic extent of the ``with``
+    block; yields the (new or given) :class:`TraceCollector`."""
+    t = collector if collector is not None else TraceCollector()
+    token = _TRACE.set(t)
+    try:
+        yield t
+    finally:
+        _TRACE.reset(token)
+
+
+def trace_active() -> TraceCollector | None:
+    """The active trace collector, or ``None`` when tracing is off."""
+    return _TRACE.get()
+
+
+def timed_ms() -> float:
+    """Monotonic wall clock in milliseconds (one place to swap clocks)."""
+    return time.perf_counter() * 1e3

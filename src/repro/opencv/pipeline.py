@@ -350,4 +350,7 @@ def compile_harris_opencv(vec: int = 4) -> ImpProgram:
     )
     prog.size_constraints = []
     prog.vector_fallbacks = []
-    return cse_program(fold_program(prog))
+    from repro.observe.profile import compile_profile
+
+    with compile_profile(prog.name):
+        return cse_program(fold_program(prog))

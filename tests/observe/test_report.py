@@ -1,0 +1,81 @@
+"""Run-report JSON schema stability and rendering."""
+
+import json
+
+import numpy as np
+
+from repro.observe import RunReport
+from repro.observe.report import SCHEMA, TOP_LEVEL_KEYS
+
+
+class TestRunReport:
+    def test_schema_and_key_order_are_stable(self):
+        report = RunReport(name="r")
+        d = report.to_dict()
+        # the schema identifier and the exact key order are a contract:
+        # downstream tooling parses these reports
+        assert d["schema"] == SCHEMA == "repro.observe.report/v1"
+        assert tuple(d) == TOP_LEVEL_KEYS == (
+            "schema", "name", "environment", "derivation",
+            "compile", "execution", "metrics",
+        )
+
+    def test_json_round_trip(self, tmp_path):
+        report = RunReport(name="r")
+        report.environment = {"chunk": 4}
+        report.metrics = {"psnr_db.cbuf": 142.4}
+        report.execution = {"cbuf": {"counters": {"exec.kernels": 2}}}
+        path = tmp_path / "report.json"
+        report.save(path)
+        loaded = json.loads(path.read_text())
+        assert loaded == report.to_dict()
+        assert tuple(loaded) == TOP_LEVEL_KEYS
+
+    def test_numpy_values_serialize(self):
+        report = RunReport(name="r")
+        report.metrics = {"psnr": np.float64(141.5), "n": np.int64(36)}
+        loaded = json.loads(report.to_json())
+        assert loaded["metrics"] == {"psnr": 141.5, "n": 36}
+
+    def test_render_text_covers_sections(self):
+        report = RunReport(name="demo")
+        report.environment = {"chunk": 4}
+        report.derivation = {
+            "cbuf": {
+                "steps": [{"rule": "fuse"}],
+                "rules": {
+                    "rule_applications": 12,
+                    "top_fired": [{"rule": "betaReduction", "count": 7}],
+                },
+            }
+        }
+        report.compile = [{
+            "program": "rise_cbuf",
+            "phases": [{"name": "lower", "wall_ms": 1.5, "calls": 1,
+                        "ir_nodes": 40}],
+        }]
+        report.metrics = {"psnr_db.cbuf": 142.4}
+        text = report.render_text()
+        for needle in ("demo", "cbuf", "betaReduction", "lower",
+                       "ir_nodes=40", "psnr_db.cbuf"):
+            assert needle in text
+
+
+class TestBenchHarnessReport:
+    def test_run_report_has_all_sections(self):
+        from repro.bench.harness import run_report
+
+        report = run_report(chunk=4, height=20, width=20)
+        d = report.to_dict()
+        assert tuple(d) == TOP_LEVEL_KEYS
+        assert d["derivation"], "expected per-schedule derivation stats"
+        for stats in d["derivation"].values():
+            assert stats["rules"]["rule_applications"] > 0
+        assert d["compile"], "expected compile profiles"
+        phase_names = {
+            p["name"] for prof in d["compile"] for p in prof["phases"]
+        }
+        assert {"lower", "fold", "cse"} <= phase_names
+        assert d["execution"]["counters"].get("exec.kernels", 0) > 0
+        assert d["metrics"]["psnr_db"], "expected per-implementation PSNR"
+        assert d["metrics"]["validation_passes"] is True

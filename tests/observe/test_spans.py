@@ -1,0 +1,81 @@
+"""Spans and counters: nesting, timing, activation scoping."""
+
+import time
+
+from repro.observe import Observer, active, count, observing, span
+
+
+class TestSpans:
+    def test_inactive_by_default(self):
+        assert active() is None
+        # module-level helpers are no-ops without an observer
+        with span("nothing") as s:
+            count("nothing")
+        assert s.name == "<disabled>"
+
+    def test_nested_spans(self):
+        with observing() as obs:
+            with span("outer") as outer:
+                with span("inner-a"):
+                    time.sleep(0.001)
+                with span("inner-b"):
+                    pass
+        assert [s.name for s in obs.spans] == ["outer"]
+        assert [c.name for c in outer.children] == ["inner-a", "inner-b"]
+        # parent wall time covers its children
+        assert outer.duration_ms >= outer.children[0].duration_ms
+        assert outer.children[0].duration_ms >= 1.0
+
+    def test_flat_spans_preorder(self):
+        with observing() as obs:
+            with span("a"):
+                with span("b"):
+                    pass
+            with span("c"):
+                pass
+        assert [s.name for s in obs.flat_spans()] == ["a", "b", "c"]
+
+    def test_counters(self):
+        with observing() as obs:
+            count("x")
+            count("x", 2)
+            count("y")
+        assert obs.counters == {"x": 3, "y": 1}
+
+    def test_activation_is_scoped(self):
+        with observing() as obs:
+            assert active() is obs
+        assert active() is None
+
+    def test_span_meta_and_serialization(self):
+        with observing() as obs:
+            with span("k", program="p") as s:
+                s.meta["extra"] = 1
+        d = obs.to_dict()
+        assert d["spans"][0]["name"] == "k"
+        assert d["spans"][0]["meta"] == {"program": "p", "extra": 1}
+        assert "counters" in d
+
+    def test_render_text(self):
+        with observing() as obs:
+            with span("phase-x"):
+                count("n.things", 4)
+        text = obs.render_text()
+        assert "phase-x" in text
+        assert "n.things" in text
+
+
+class TestInterpreterCounters:
+    def test_primitive_counts(self):
+        from repro.rise import evaluate
+        from repro.rise.dsl import arr, fun, lit, map_, reduce_
+
+        prog = reduce_(fun(lambda a, x: a + x), lit(0.0), map_(
+            fun(lambda x: x * lit(2.0)), arr([1, 2, 3])))
+        with observing() as obs:
+            result = evaluate(prog)
+        assert float(result) == 12.0
+        assert obs.counters.get("interp.Map") == 1
+        assert obs.counters.get("interp.Reduce") == 1
+        # scalar ops fire once per element / reduction step
+        assert obs.counters.get("interp.ScalarOp", 0) >= 2

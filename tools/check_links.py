@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repository docs.
+
+Scans README.md, docs/ and the other top-level markdown files for inline
+links and verifies that every *relative* target resolves to a file in the
+repository (anchors are checked for in-file existence of a matching
+heading).  External links (http/https/mailto) are not fetched — the check
+must work offline.
+
+Usage:  python tools/check_links.py [file-or-dir ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DEFAULT_TARGETS = ("README.md", "docs", "CHANGES.md", "ROADMAP.md")
+
+#: Inline markdown links: [text](target), skipping images is not needed —
+#: image targets must resolve too.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "#http")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a markdown heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_in(path: Path) -> set[str]:
+    """All heading anchors defined by a markdown file."""
+    out: set[str] = set()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.startswith("#"):
+            out.add(slugify(line.lstrip("#")))
+    return out
+
+
+def check_file(path: Path) -> list[str]:
+    """Return 'file: broken target' entries for one markdown file."""
+    errors: list[str] = []
+    try:
+        rel = path.relative_to(REPO_ROOT)
+    except ValueError:
+        rel = path
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_SCHEMES):
+            continue
+        target, _, anchor = target.partition("#")
+        if not target:  # pure in-file anchor: #section
+            if anchor and slugify(anchor) not in anchors_in(path):
+                errors.append(f"{rel}: missing anchor #{anchor}")
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            errors.append(f"{rel}: broken link {target}")
+        elif anchor and resolved.suffix == ".md":
+            if slugify(anchor) not in anchors_in(resolved):
+                errors.append(f"{rel}: missing anchor {target}#{anchor}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    targets = argv[1:] or [str(REPO_ROOT / t) for t in DEFAULT_TARGETS]
+    files: list[Path] = []
+    for t in targets:
+        p = Path(t)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.md")))
+        elif p.exists():
+            files.append(p)
+    errors: list[str] = []
+    for f in files:
+        errors.extend(check_file(f))
+    if errors:
+        print(f"broken links ({len(errors)}):")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"links OK: {len(files)} markdown files checked")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
