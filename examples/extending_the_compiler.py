@@ -14,9 +14,8 @@ Run:  python examples/extending_the_compiler.py
 
 import numpy as np
 
-from repro.codegen import compile_program
+import repro
 from repro.elevate import normalize, rule, try_
-from repro.exec import run_program
 from repro.image import synthetic_rgb, reference
 from repro.nat import nat
 from repro.pipelines.operators import conv3x3, map2d, sum3x3, zip2d
@@ -97,12 +96,14 @@ def main() -> None:
             unroll_reductions,
         ],
     )
-    low = schedule.apply(program)
-    prog = compile_program(low, senv, "unsharp")
+    pipeline = repro.compile(
+        program, strategy=schedule, type_env=senv, name="unsharp",
+        sizes={"n": 16, "m": 20},
+    )
 
     # --- 4. validate --------------------------------------------------------
     image = synthetic_rgb(18, 22, seed=3)[0]
-    out = run_program(prog, {"n": 16, "m": 20}, {"img": image}).reshape(16, 20)
+    out = pipeline.run(img=image).reshape(16, 20)
 
     blur = reference.sum3x3(image) / 9.0
     center = image[1:-1, 1:-1]

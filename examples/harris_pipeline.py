@@ -20,8 +20,8 @@ import argparse
 
 import numpy as np
 
-from repro.codegen import compile_program
-from repro.exec import run_program
+import repro
+from repro.engine import ENGINE_REPORT_SCHEMA, default_engine
 from repro.image import psnr, synthetic_rgb, reference
 from repro.observe import (
     RunReport,
@@ -86,9 +86,14 @@ def main(trace: bool = False, report_path: str = "harris_report.json") -> None:
 
             profiles = profiles or ProfileCollector()
             with profiling(profiles):
-                prog = compile_program(low, senv, schedule.name.replace("-", "_"))
+                pipeline = repro.compile(
+                    low,
+                    type_env=senv,
+                    name=schedule.name.replace("-", "_"),
+                    sizes={"n": n, "m": m},
+                )
             with observing() as obs:
-                out = run_program(prog, {"n": n, "m": m}, {"rgb": img}).reshape(n, m)
+                out = pipeline.run(rgb=img).reshape(n, m)
             report.execution[schedule.name] = {
                 "counters": dict(sorted(obs.counters.items())),
                 "kernel_ms": [
@@ -98,9 +103,16 @@ def main(trace: bool = False, report_path: str = "harris_report.json") -> None:
                 ],
             }
         else:
-            low = schedule.apply(program)
-            prog = compile_program(low, senv, schedule.name.replace("-", "_"))
-            out = run_program(prog, {"n": n, "m": m}, {"rgb": img}).reshape(n, m)
+            # The unified front door: rewrite + lower + cache in one call.
+            pipeline = repro.compile(
+                program,
+                strategy=schedule,
+                type_env=senv,
+                name=schedule.name.replace("-", "_"),
+                sizes={"n": n, "m": m},
+            )
+            out = pipeline.run(rgb=img).reshape(n, m)
+        prog = pipeline.program
         outputs[label] = (prog, out)
         quality = psnr(ref, out)
         report.metrics[f"psnr_db.{schedule.name}"] = round(float(quality), 2)
@@ -130,6 +142,10 @@ def main(trace: bool = False, report_path: str = "harris_report.json") -> None:
 
     if trace:
         report.compile = profiles.to_dict() if profiles is not None else []
+        report.engine = {
+            "schema": ENGINE_REPORT_SCHEMA,
+            "cache": default_engine().stats(),
+        }
         report.save(report_path)
         print(f"\nwrote run report: {report_path}")
 

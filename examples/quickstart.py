@@ -13,9 +13,8 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro.codegen import compile_program
+import repro
 from repro.codegen.cprint import program_to_c
-from repro.exec import run_program
 from repro.rise import Identifier, array, f32, type_of
 from repro.rise.dsl import fun, lit, map_, map_seq, pipe, reduce_, zip_
 from repro.rise.dsl import fst, snd
@@ -42,21 +41,34 @@ def main() -> None:
     print("\nafter lowerDot (reduceMapFusion):")
     print(" ", lowered)
 
-    # --- 3. code generation ------------------------------------------------
+    # --- 3. code generation through the unified front door -----------------
     # The scalar result is wrapped in a 1-element output for code generation.
+    # repro.compile returns a cached, runnable CompiledPipeline.
     wrapped = map_seq(fun(lambda unused: lowered), Identifier("one"))
-    prog = compile_program(
-        wrapped, {**env, "one": array(1, f32)}, "dotSeq"
+    pipeline = repro.compile(
+        wrapped,
+        type_env={**env, "one": array(1, f32)},
+        name="dotSeq",
+        sizes={"n": 8},
     )
     print("\ngenerated C (compare with the paper's dotSeq):")
-    print(program_to_c(prog).split("\n\n")[-1])
+    print(program_to_c(pipeline.program).split("\n\n")[-1])
 
     # --- 4. run it ----------------------------------------------------------
     va = np.arange(8.0, dtype=np.float32)
     vb = np.arange(8.0, dtype=np.float32) + 1
-    out = run_program(prog, {"n": 8}, {"a": va, "b": vb, "one": np.zeros(1)})
+    out = pipeline.run(a=va, b=vb, one=np.zeros(1))
     print("dot(a, b) =", float(out[0]), " (numpy:", float(va @ vb), ")")
     assert np.isclose(float(out[0]), float(va @ vb))
+
+    # A second compile of the same program is served from the compile cache.
+    again = repro.compile(
+        wrapped,
+        type_env={**env, "one": array(1, f32)},
+        name="dotSeq",
+        sizes={"n": 8},
+    )
+    print("recompile served from cache:", again.cache_status)
 
 
 if __name__ == "__main__":

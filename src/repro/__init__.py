@@ -10,3 +10,7 @@ benchmark harness regenerating the paper's figures.
 """
 
 __version__ = "1.0.0"
+
+from repro.engine import BatchResult, BatchRunner, CompiledPipeline, Engine, compile
+
+__all__ = ["compile", "CompiledPipeline", "Engine", "BatchRunner", "BatchResult"]

@@ -17,12 +17,9 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.codegen import compile_program
 from repro.codegen.ir import ImpProgram
-from repro.halide import compile_harris_halide
+from repro.engine import Engine, default_engine
 from repro.image import ImageSpec, PAPER_IMAGE_LARGE, PAPER_IMAGE_SMALL
-from repro.lift import compile_harris_lift
-from repro.opencv import compile_harris_opencv
 from repro.perf.cost import CostReport, estimate_runtime_ms
 from repro.perf.machines import ALL_MACHINES, Machine
 from repro.pipelines import harris, harris_input_type
@@ -54,22 +51,36 @@ DEFAULT_VEC = 4
 
 
 @lru_cache(maxsize=4)
-def compile_all(chunk: int = DEFAULT_CHUNK, vec: int = DEFAULT_VEC):
-    """Compile every implementation of the Harris operator (cached)."""
+def compile_all(
+    chunk: int = DEFAULT_CHUNK,
+    vec: int = DEFAULT_VEC,
+    engine: Engine | None = None,
+):
+    """Compile every implementation of the Harris operator through the
+    engine (content-addressed compile cache; ``lru_cache`` additionally
+    memoizes the assembled dict per parameter set)."""
+    eng = engine if engine is not None else default_engine()
     rgb = Identifier("rgb")
     senv = {"rgb": harris_input_type()}
+    high = harris(rgb)
     programs: dict[str, ImpProgram] = {}
-    programs["OpenCV"] = compile_harris_opencv(vec=vec)
-    programs["Lift"] = compile_harris_lift(vec=vec)
-    programs["Halide"] = compile_harris_halide(vec=vec, split=chunk)
-    programs["RISE (cbuf)"] = compile_program(
-        cbuf_version(senv, chunk=chunk, vec=vec).apply(harris(rgb)), senv, "rise_cbuf"
-    )
-    programs["RISE (cbuf+rot)"] = compile_program(
-        cbuf_rrot_version(senv, chunk=chunk, vec=vec).apply(harris(rgb)),
-        senv,
-        "rise_cbuf_rrot",
-    )
+    programs["OpenCV"] = eng.compile("harris-opencv", options={"vec": vec}).program
+    programs["Lift"] = eng.compile("harris-lift", options={"vec": vec}).program
+    programs["Halide"] = eng.compile(
+        "harris-halide", options={"vec": vec, "split": chunk}
+    ).program
+    programs["RISE (cbuf)"] = eng.compile(
+        high,
+        strategy=cbuf_version(senv, chunk=chunk, vec=vec),
+        type_env=senv,
+        name="rise_cbuf",
+    ).program
+    programs["RISE (cbuf+rot)"] = eng.compile(
+        high,
+        strategy=cbuf_rrot_version(senv, chunk=chunk, vec=vec),
+        type_env=senv,
+        name="rise_cbuf_rrot",
+    ).program
     return programs
 
 
@@ -172,17 +183,22 @@ def run_report(
     height: int = 36,
     width: int = 36,
     seed: int = 7,
+    batch_items: int = 8,
+    batch_workers: int = 2,
 ):
     """One observed compile-and-validate run as a structured
     :class:`~repro.observe.report.RunReport`.
 
     Collects, in one JSON-ready document: the traced derivations of both
     RISE schedules (rule-application counts, repeat/normalize iteration
-    counts), per-phase compile profiles for every implementation,
-    execution counters/kernel timings from the Python backend, and the
-    PSNR validation rows of section V-A.
+    counts), per-phase compile profiles for every implementation, the
+    engine section (cold/warm compile-cache accounting plus a parallel
+    batch run over ``batch_items`` inputs), execution counters/kernel
+    timings from the Python backend, and the PSNR validation rows of
+    section V-A.
     """
     from repro.bench.validation import validate_outputs
+    from repro.engine import ENGINE_REPORT_SCHEMA
     from repro.observe import (
         RunReport,
         TraceCollector,
@@ -212,9 +228,33 @@ def run_report(
             steps = schedule.apply_traced(high)
         report.derivation[schedule.name] = derivation_stats(steps, collector)
 
+    # A fresh, empty engine so the profile shows a genuinely cold compile.
+    eng = Engine()
     with profiling() as profiles:
-        compile_all.__wrapped__(chunk, vec)  # bypass the cache: profile a fresh compile
+        compile_all.__wrapped__(chunk, vec, eng)
     report.compile = profiles.to_dict()
+
+    # Warm pass: every implementation must now be served from the cache.
+    compile_all.__wrapped__(chunk, vec, eng)
+    n, m = height - 4, width - 4
+    pipeline = eng.compile(
+        high,
+        strategy=rrot(senv, chunk=chunk, vec=vec),
+        type_env=senv,
+        name="rise_cbuf_rrot",
+        sizes={"n": n, "m": m},
+    )
+    from repro.image import synthetic_rgb
+
+    batch = pipeline.run_batch(
+        [{"rgb": synthetic_rgb(height, width, seed=seed + i)} for i in range(batch_items)],
+        workers=batch_workers,
+    )
+    report.engine = {
+        "schema": ENGINE_REPORT_SCHEMA,
+        "cache": eng.stats(),
+        "batch": batch.to_dict(),
+    }
 
     with observing() as obs:
         rows = validate_outputs(height=height, width=width, chunk=chunk, vec=vec, seed=seed)

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bench.harness import compile_all, IMPLEMENTATIONS
-from repro.exec import run_program
+from repro.exec import execute_program
 from repro.image import psnr, mse, synthetic_rgb
 from repro.image import reference
 
@@ -56,7 +56,7 @@ def validate_outputs(
             inputs = {"rgb_hwc": np.ascontiguousarray(img.transpose(1, 2, 0))}
         else:
             inputs = {"rgb": img}
-        outputs[name] = run_program(prog, sizes, inputs).reshape(n, m)
+        outputs[name] = execute_program(prog, sizes, inputs).reshape(n, m)
 
     ref_halide = outputs["Halide"]
     ref_numpy = reference.harris(img)

@@ -1,0 +1,184 @@
+"""Parallel batch execution: fan a list of inputs across worker pools.
+
+A :class:`BatchRunner` executes one :class:`~repro.engine.pipeline.
+CompiledPipeline` over many input items concurrently.  The pool flavor
+follows the backend:
+
+* ``python`` (the numpy interpreter backend) uses a **process** pool —
+  the generated Python runs under the GIL, so threads would serialize;
+  the pickled :class:`~repro.codegen.ir.ImpProgram` ships to each worker
+  and results return as numpy arrays (bit-identical to a sequential run,
+  since the same generated code executes either way).
+* ``c`` (the ctypes bridge) uses a **thread** pool — ctypes releases the
+  GIL for the duration of each kernel call and every call allocates its
+  own buffers, so one loaded library serves all threads.
+
+Pool setup failures (restricted sandboxes without ``fork``) degrade to
+sequential execution rather than erroring; ``BatchResult.mode`` records
+what actually ran.  Throughput and worker counts are emitted as
+``engine.batch.*`` observe counters and land in the run report.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.codegen.ir import ImpProgram
+from repro.observe.core import count, span
+
+__all__ = ["BatchResult", "BatchRunner", "DEFAULT_MAX_WORKERS"]
+
+#: Upper bound on auto-selected pool sizes (small batches stay small).
+DEFAULT_MAX_WORKERS = 8
+
+
+def _run_item_python(
+    prog: ImpProgram, sizes: Mapping[str, int], inputs: Mapping[str, np.ndarray]
+) -> tuple[np.ndarray, float]:
+    """Process-pool worker: execute one item on the Python backend.
+
+    Module-level so it pickles under every multiprocessing start method.
+    """
+    from repro.exec.pyexec import execute_program
+
+    start = time.perf_counter()
+    out = execute_program(prog, sizes, inputs)
+    return out, (time.perf_counter() - start) * 1e3
+
+
+@dataclass
+class BatchResult:
+    """Per-item outputs plus aggregate timing for one batch run."""
+
+    outputs: list[np.ndarray]
+    item_wall_ms: list[float]
+    total_wall_ms: float
+    workers: int
+    mode: str  # "process" | "thread" | "sequential"
+    meta: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.outputs)
+
+    @property
+    def throughput_items_per_s(self) -> float:
+        """Completed items per wall-clock second."""
+        if self.total_wall_ms <= 0:
+            return float("inf")
+        return len(self.outputs) / (self.total_wall_ms / 1e3)
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (outputs omitted) for the run report."""
+        return {
+            "items": len(self.outputs),
+            "workers": self.workers,
+            "mode": self.mode,
+            "total_wall_ms": round(self.total_wall_ms, 3),
+            "mean_item_ms": round(
+                float(np.mean(self.item_wall_ms)) if self.item_wall_ms else 0.0, 3
+            ),
+            "throughput_items_per_s": round(self.throughput_items_per_s, 3),
+            **self.meta,
+        }
+
+
+class BatchRunner:
+    """Fans a list of input dicts across workers for one compiled pipeline.
+
+    ``mode`` forces a pool flavor (``"process"``, ``"thread"`` or
+    ``"sequential"``); by default it follows the pipeline's backend as
+    described in the module docstring.
+    """
+
+    def __init__(self, pipeline, workers: int | None = None, mode: str | None = None):
+        self.pipeline = pipeline
+        self.workers = workers
+        if mode not in (None, "process", "thread", "sequential"):
+            raise ValueError(f"unknown batch mode {mode!r}")
+        self.mode = mode
+
+    def _auto_mode(self) -> str:
+        return "thread" if self.pipeline.backend == "c" else "process"
+
+    def _pool_size(self, n_items: int) -> int:
+        if self.workers is not None:
+            return max(1, self.workers)
+        return max(1, min(n_items, os.cpu_count() or 1, DEFAULT_MAX_WORKERS))
+
+    def run(
+        self,
+        items: Sequence[Mapping[str, np.ndarray]],
+        sizes: Mapping[str, int] | None = None,
+    ) -> BatchResult:
+        """Execute every input dict in ``items``; order is preserved.
+
+        ``sizes`` overrides the pipeline's default size bindings for the
+        whole batch (items share one compiled artifact, hence one shape).
+        """
+        items = list(items)
+        sizes = self.pipeline.resolve_run_sizes(sizes)
+        mode = self.mode or self._auto_mode()
+        workers = self._pool_size(len(items))
+        if workers == 1 or len(items) <= 1:
+            mode = "sequential"
+        start = time.perf_counter()
+        with span(
+            "engine.batch", program=self.pipeline.program.name, mode=mode, workers=workers
+        ):
+            outputs, item_ms, mode, workers = self._execute(items, sizes, mode, workers)
+        total_ms = (time.perf_counter() - start) * 1e3
+        count("engine.batch.runs")
+        count("engine.batch.items", len(items))
+        return BatchResult(
+            outputs=outputs,
+            item_wall_ms=item_ms,
+            total_wall_ms=total_ms,
+            workers=workers,
+            mode=mode,
+        )
+
+    # -- execution flavors ----------------------------------------------
+
+    def _execute(self, items, sizes, mode: str, workers: int):
+        if mode == "process":
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    outputs, item_ms = self._map_python(pool, items, sizes)
+                return outputs, item_ms, mode, workers
+            except (OSError, PermissionError, BrokenPipeError):
+                mode = "sequential"  # no subprocess support here; degrade
+        if mode == "thread":
+            try:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    outputs, item_ms = self._map_inline(pool, items, sizes)
+                return outputs, item_ms, mode, workers
+            except (OSError, PermissionError):
+                mode = "sequential"
+        outputs: list[np.ndarray] = []
+        item_ms: list[float] = []
+        for inputs in items:
+            t0 = time.perf_counter()
+            outputs.append(self.pipeline.run(sizes=sizes, **inputs))
+            item_ms.append((time.perf_counter() - t0) * 1e3)
+        return outputs, item_ms, "sequential", 1
+
+    def _map_python(self, pool: Executor, items, sizes):
+        prog = self.pipeline.program
+        futures = [pool.submit(_run_item_python, prog, dict(sizes), item) for item in items]
+        results = [f.result() for f in futures]
+        return [out for out, _ in results], [ms for _, ms in results]
+
+    def _map_inline(self, pool: Executor, items, sizes):
+        def one(inputs):
+            t0 = time.perf_counter()
+            out = self.pipeline.run(sizes=sizes, **inputs)
+            return out, (time.perf_counter() - t0) * 1e3
+
+        results = list(pool.map(one, items))
+        return [out for out, _ in results], [ms for _, ms in results]

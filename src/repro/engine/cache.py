@@ -1,0 +1,219 @@
+"""The compile cache: an in-memory LRU in front of an on-disk artifact store.
+
+Artifacts are content-addressed by the keys of :mod:`repro.engine.hashing`.
+The memory tier holds live :class:`CacheEntry` objects (including loaded
+C libraries); the disk tier persists the pickled imperative program plus,
+for the C backend, the emitted source and the compiled ``.so`` — so a new
+process warm-starts without re-running a single compiler phase and the
+ctypes bridge stops recompiling into a fresh tempdir per call.
+
+Layout of one disk artifact (``<root>/<key[:2]>/<key>/``)::
+
+    meta.json     backend, program name, key provenance, artifact sizes
+    program.pkl   pickled ImpProgram (symbolic sizes intact)
+    kernel.c      emitted C source          (C backend only)
+    kernel.so     compiled shared library   (C backend only)
+
+Cache hits and misses are emitted as ``engine.cache.*`` counters through
+:mod:`repro.observe` and aggregated in :class:`CacheStats` for the run
+report's ``engine`` section.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.codegen.ir import ImpProgram
+from repro.observe.core import count, span
+
+__all__ = ["CacheEntry", "CacheStats", "ArtifactStore", "EngineCache", "default_cache_dir"]
+
+#: Environment variable selecting the on-disk artifact store location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Optional[Path]:
+    """The artifact-store root from ``$REPRO_CACHE_DIR``, or ``None``
+    (memory-only caching) when the variable is unset or empty."""
+    value = os.environ.get(CACHE_DIR_ENV, "").strip()
+    return Path(value) if value else None
+
+
+@dataclass
+class CacheEntry:
+    """One cached compilation: the program plus backend-specific artifacts."""
+
+    key: str
+    program: ImpProgram
+    backend: str
+    c_source: str | None = None
+    library: object | None = None  # a repro.exec.cbridge.CLibrary, C backend
+    meta: dict = field(default_factory=dict)
+
+
+@dataclass
+class CacheStats:
+    """Aggregate hit/miss accounting for one cache instance."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Total hits across both tiers."""
+        return self.memory_hits + self.disk_hits
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation for the run report."""
+        return {
+            "hits": self.hits,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }
+
+
+class ArtifactStore:
+    """Content-addressed on-disk artifacts under one root directory."""
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+
+    def _dir(self, key: str) -> Path:
+        return self.root / key[:2] / key
+
+    def contains(self, key: str) -> bool:
+        """Whether a complete artifact for ``key`` is on disk."""
+        return (self._dir(key) / "meta.json").is_file()
+
+    def save(self, entry: CacheEntry) -> dict:
+        """Persist ``entry``; returns the written meta document."""
+        adir = self._dir(entry.key)
+        adir.mkdir(parents=True, exist_ok=True)
+        program_path = adir / "program.pkl"
+        with open(program_path, "wb") as fh:
+            pickle.dump(entry.program, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        artifact_bytes = program_path.stat().st_size
+        if entry.c_source is not None:
+            (adir / "kernel.c").write_text(entry.c_source)
+            artifact_bytes += (adir / "kernel.c").stat().st_size
+        library = entry.library
+        if library is not None and getattr(library, "path", None) is not None:
+            so_bytes = Path(library.path).read_bytes()
+            (adir / "kernel.so").write_bytes(so_bytes)
+            artifact_bytes += len(so_bytes)
+        meta = {
+            "key": entry.key,
+            "backend": entry.backend,
+            "program": entry.program.name,
+            "artifact_bytes": artifact_bytes,
+            **entry.meta,
+        }
+        (adir / "meta.json").write_text(json.dumps(meta, indent=2, default=str))
+        count("engine.cache.disk_bytes", artifact_bytes)
+        return meta
+
+    def load(self, key: str) -> Optional[CacheEntry]:
+        """Reconstruct an entry from disk; ``None`` when absent/corrupt.
+
+        The shared library (if any) is *not* loaded here — the engine
+        attaches a live :class:`~repro.exec.cbridge.CLibrary` lazily from
+        :meth:`so_path`, keeping the store import-light.
+        """
+        adir = self._dir(key)
+        meta_path = adir / "meta.json"
+        if not meta_path.is_file():
+            return None
+        try:
+            meta = json.loads(meta_path.read_text())
+            with open(adir / "program.pkl", "rb") as fh:
+                program = pickle.load(fh)
+        except (OSError, ValueError, pickle.UnpicklingError):
+            return None
+        c_path = adir / "kernel.c"
+        return CacheEntry(
+            key=key,
+            program=program,
+            backend=meta.get("backend", "python"),
+            c_source=c_path.read_text() if c_path.is_file() else None,
+            meta=meta,
+        )
+
+    def so_path(self, key: str) -> Optional[Path]:
+        """Path of the stored shared library for ``key``, if present."""
+        path = self._dir(key) / "kernel.so"
+        return path if path.is_file() else None
+
+
+class EngineCache:
+    """LRU memory tier over an optional :class:`ArtifactStore` disk tier."""
+
+    def __init__(self, store: ArtifactStore | None = None, memory_slots: int = 64):
+        self.store = store
+        self.memory_slots = memory_slots
+        self.stats = CacheStats()
+        self._memory: OrderedDict[str, CacheEntry] = OrderedDict()
+
+    def get(self, key: str) -> tuple[Optional[CacheEntry], Optional[str]]:
+        """Look ``key`` up in memory, then on disk (promoting to memory).
+
+        Returns ``(entry, tier)`` where tier is ``"memory"``, ``"disk"``
+        or ``None`` on a miss.
+        """
+        entry = self._memory.get(key)
+        if entry is not None:
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+            count("engine.cache.hit")
+            count("engine.cache.hit_memory")
+            return entry, "memory"
+        if self.store is not None:
+            with span("engine.cache.disk-load", key=key):
+                entry = self.store.load(key)
+            if entry is not None:
+                self._remember(key, entry)
+                self.stats.disk_hits += 1
+                count("engine.cache.hit")
+                count("engine.cache.hit_disk")
+                return entry, "disk"
+        self.stats.misses += 1
+        count("engine.cache.miss")
+        return None, None
+
+    def put(self, entry: CacheEntry) -> None:
+        """Insert a freshly compiled entry into both tiers."""
+        self._remember(entry.key, entry)
+        self.stats.stores += 1
+        if self.store is not None:
+            with span("engine.cache.disk-store", key=entry.key):
+                entry.meta = self.store.save(entry)
+
+    def _remember(self, key: str, entry: CacheEntry) -> None:
+        self._memory[key] = entry
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_slots:
+            evicted_key, evicted = self._memory.popitem(last=False)
+            library = evicted.library
+            if library is not None and hasattr(library, "close"):
+                library.close()
+            count("engine.cache.evictions")
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def to_dict(self) -> dict:
+        """JSON-ready stats (plus tier configuration) for the run report."""
+        out = self.stats.to_dict()
+        out["memory_entries"] = len(self._memory)
+        out["memory_slots"] = self.memory_slots
+        out["disk_store"] = str(self.store.root) if self.store else None
+        return out

@@ -1,0 +1,410 @@
+"""The unified compile front door: ``repro.compile(...)`` -> :class:`CompiledPipeline`.
+
+One entry point replaces the five differently-shaped ones that grew with
+the reproduction (``codegen.compile_program``, ``compile_harris_halide``
+/ ``_opencv`` / ``_lift``, ``exec.run_program``, ``exec.cbridge.
+run_program_c``).  It accepts three kinds of source:
+
+* a high-level RISE :class:`~repro.rise.expr.Expr` plus an optional
+  optimization strategy/:class:`~repro.strategies.schedules.Schedule`;
+* an already-lowered :class:`~repro.codegen.ir.ImpProgram`;
+* the registered name of a baseline builder (``"harris-halide"``,
+  ``"harris-opencv"``, ``"harris-lift"``).
+
+Every compile is content-addressed (see :mod:`repro.engine.hashing`) and
+served through an :class:`~repro.engine.cache.EngineCache`: a warm call
+touches no rewrite, typecheck or lowering phase at all — the test suite
+asserts zero ``lower`` phases on the hit path.  The returned
+:class:`CompiledPipeline` runs single inputs (``.run``) or parallel
+batches (``.run_batch``), exposes the generated source and reports its
+own cache provenance.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import time
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.codegen.ir import ImpProgram
+from repro.engine.batch import BatchResult, BatchRunner
+from repro.engine.cache import CacheEntry, EngineCache, ArtifactStore, default_cache_dir
+from repro.engine.hashing import (
+    cache_key,
+    program_fingerprint,
+    size_signature,
+    strategy_identity,
+    structural_hash,
+    type_env_signature,
+)
+from repro.observe.core import count, span
+from repro.rise.expr import Expr
+
+__all__ = [
+    "CompiledPipeline",
+    "Engine",
+    "compile",
+    "default_engine",
+    "reset_default_engine",
+    "register_builder",
+    "BUILDER_REGISTRY",
+]
+
+#: Builder name -> (module, attribute) of a zero-setup program builder.
+#: Lazily imported so the engine has no import-time dependency on the
+#: baseline compiler packages (which themselves shim back onto the engine).
+BUILDER_REGISTRY: dict[str, tuple[str, str]] = {
+    "harris-halide": ("repro.halide.harris", "build_harris_halide_program"),
+    "harris-opencv": ("repro.opencv.pipeline", "build_harris_opencv_program"),
+    "harris-lift": ("repro.lift.compile", "build_harris_lift_program"),
+}
+
+
+def register_builder(name: str, module: str, attribute: str) -> None:
+    """Register a named program builder usable as ``repro.compile(name)``."""
+    BUILDER_REGISTRY[name] = (module, attribute)
+
+
+class CompiledPipeline:
+    """A compiled, cached, runnable pipeline — the engine's user-facing object.
+
+    Obtained from :func:`compile`; wraps one cache entry (the imperative
+    program plus backend artifacts) together with default size bindings.
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        entry: CacheEntry,
+        sizes: Mapping[str, int] | None,
+        cache_status: str,
+        compile_ms: float,
+    ):
+        self._engine = engine
+        self._entry = entry
+        self.sizes = dict(sizes) if sizes else {}
+        self.cache_status = cache_status
+        self.compile_ms = compile_ms
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def key(self) -> str:
+        """The content-address of the underlying artifact."""
+        return self._entry.key
+
+    @property
+    def program(self) -> ImpProgram:
+        """The compiled imperative program (symbolic sizes intact)."""
+        return self._entry.program
+
+    @property
+    def backend(self) -> str:
+        """Execution backend: ``"python"`` or ``"c"``."""
+        return self._entry.backend
+
+    @property
+    def source(self) -> str:
+        """The generated source: C for the C backend, Python otherwise.
+
+        The Python backend specializes generated code to concrete sizes,
+        so default ``sizes`` must be bound (pass ``sizes=`` to
+        :func:`compile` or use :meth:`bind`).
+        """
+        if self.backend == "c":
+            if self._entry.c_source is None:
+                from repro.codegen.cprint import program_to_c
+
+                self._entry.c_source = program_to_c(self.program)
+            return self._entry.c_source
+        from repro.exec.pyexec import program_to_python
+
+        return program_to_python(self.program, self.resolve_run_sizes(None))
+
+    @property
+    def report(self) -> dict:
+        """Provenance of this handle: cache status, key, timings, engine stats."""
+        return {
+            "key": self.key,
+            "program": self.program.name,
+            "backend": self.backend,
+            "cache": self.cache_status,
+            "compile_ms": round(self.compile_ms, 3),
+            "engine": self._engine.stats(),
+        }
+
+    def bind(self, sizes: Mapping[str, int]) -> "CompiledPipeline":
+        """A new handle over the same artifact with merged default sizes."""
+        merged = {**self.sizes, **dict(sizes)}
+        return CompiledPipeline(
+            self._engine, self._entry, merged, self.cache_status, self.compile_ms
+        )
+
+    def resolve_run_sizes(self, sizes: Mapping[str, int] | None) -> dict[str, int]:
+        """Default sizes merged with a per-call override, with the
+        program's leftover size constraints solved numerically (so
+        inference variables such as chunk counts are bound too)."""
+        from repro.codegen.sizes import resolve_sizes
+
+        merged = dict(self.sizes)
+        if sizes:
+            merged.update(sizes)
+        return resolve_sizes(self.program, merged)
+
+    # -- execution -------------------------------------------------------
+
+    def run(
+        self, sizes: Mapping[str, int] | None = None, **inputs: np.ndarray
+    ) -> np.ndarray:
+        """Execute once on the pipeline's backend; returns the flat output.
+
+        Input buffers are keyword arguments named after the program's
+        free identifiers (``pipeline.run(rgb=img)``).
+        """
+        bound = self.resolve_run_sizes(sizes)
+        with span("engine.run", program=self.program.name, backend=self.backend):
+            count("engine.runs")
+            if self.backend == "c":
+                from repro.exec.cbridge import execute_with_library
+
+                return execute_with_library(
+                    self._engine.library_for(self._entry), self.program, bound, inputs
+                )
+            from repro.exec.pyexec import execute_program
+
+            return execute_program(self.program, bound, inputs)
+
+    def run_batch(
+        self,
+        items: Sequence[Mapping[str, np.ndarray]],
+        workers: int | None = None,
+        mode: str | None = None,
+        sizes: Mapping[str, int] | None = None,
+    ) -> BatchResult:
+        """Execute every input dict in ``items`` across parallel workers.
+
+        See :class:`repro.engine.batch.BatchRunner` for pool semantics;
+        outputs are bit-identical to a sequential loop over :meth:`run`.
+        """
+        return BatchRunner(self, workers=workers, mode=mode).run(items, sizes=sizes)
+
+    def __repr__(self) -> str:
+        return (
+            f"<CompiledPipeline {self.program.name!r} backend={self.backend} "
+            f"cache={self.cache_status} key={self.key[:10]}>"
+        )
+
+
+class Engine:
+    """A compile cache plus the machinery to fill it.
+
+    Each engine owns one :class:`~repro.engine.cache.EngineCache`
+    (memory LRU + optional disk artifact store).  The process-wide
+    default engine (see :func:`default_engine`) reads its store location
+    from ``$REPRO_CACHE_DIR``; private engines take an explicit
+    ``cache_dir`` (tests use a tmpdir) or ``None`` for memory-only.
+    """
+
+    def __init__(
+        self,
+        cache_dir=None,
+        memory_slots: int = 64,
+        use_env_cache_dir: bool = False,
+    ):
+        if cache_dir is None and use_env_cache_dir:
+            cache_dir = default_cache_dir()
+        store = ArtifactStore(cache_dir) if cache_dir is not None else None
+        self.cache = EngineCache(store, memory_slots=memory_slots)
+
+    # -- the front door --------------------------------------------------
+
+    def compile(
+        self,
+        source: Expr | ImpProgram | str,
+        *,
+        strategy=None,
+        backend: str = "python",
+        sizes: Mapping[str, int] | None = None,
+        type_env: Mapping[str, Any] | None = None,
+        name: str | None = None,
+        options: Mapping[str, Any] | None = None,
+        cflags: tuple[str, ...] = ("-O2",),
+    ) -> CompiledPipeline:
+        """Compile (or fetch from cache) and return a runnable pipeline.
+
+        ``source`` is a RISE expression (give ``type_env``, and optionally
+        a ``strategy``/Schedule applied before lowering), an already
+        lowered :class:`~repro.codegen.ir.ImpProgram`, or a registered
+        builder name (``options`` are its keyword arguments).  ``sizes``
+        binds default run-time sizes; it never affects the cache key.
+        """
+        if backend not in ("python", "c"):
+            raise ValueError(f"unknown backend {backend!r}")
+        key = self._key_for(source, strategy, backend, type_env, options, cflags)
+        start = time.perf_counter()
+        with span("engine.compile", backend=backend) as compile_span:
+            entry, tier = self.cache.get(key)
+            if entry is not None:
+                status = f"hit-{tier}"
+                compile_span.meta["cache"] = status
+                compile_span.meta["key"] = key
+                return CompiledPipeline(
+                    self, entry, sizes, status, (time.perf_counter() - start) * 1e3
+                )
+            prog = self._build_program(source, strategy, type_env, name, options)
+            entry = CacheEntry(
+                key=key, program=prog, backend=backend, meta={"cflags": list(cflags)}
+            )
+            if backend == "c":
+                self._attach_library(entry, cflags)
+            self.cache.put(entry)
+            count("engine.compiles")
+            compile_span.meta["cache"] = "miss"
+            compile_span.meta["key"] = key
+        return CompiledPipeline(
+            self, entry, sizes, "miss", (time.perf_counter() - start) * 1e3
+        )
+
+    # -- internals -------------------------------------------------------
+
+    def _key_for(self, source, strategy, backend, type_env, options, cflags) -> str:
+        flags = ",".join(cflags) if backend == "c" else ""
+        if isinstance(source, ImpProgram):
+            return cache_key("program", program_fingerprint(source), backend, flags)
+        if isinstance(source, str):
+            opts = json.dumps(dict(options or {}), sort_keys=True, default=repr)
+            return cache_key("builder", source, opts, backend, flags)
+        if isinstance(source, Expr):
+            return cache_key(
+                "expr",
+                structural_hash(source),
+                strategy_identity(strategy),
+                type_env_signature(type_env),
+                size_signature(type_env),
+                backend,
+                flags,
+            )
+        raise TypeError(
+            f"cannot compile {type(source).__name__}: expected a RISE Expr, "
+            "an ImpProgram, or a registered builder name"
+        )
+
+    def _build_program(self, source, strategy, type_env, name, options) -> ImpProgram:
+        if isinstance(source, ImpProgram):
+            return source
+        if isinstance(source, str):
+            try:
+                module_name, attribute = BUILDER_REGISTRY[source]
+            except KeyError:
+                known = ", ".join(sorted(BUILDER_REGISTRY))
+                raise KeyError(f"no builder {source!r} (known: {known})") from None
+            builder = getattr(importlib.import_module(module_name), attribute)
+            with span("engine.build", builder=source):
+                return builder(**dict(options or {}))
+        program = source
+        if strategy is not None:
+            with span("engine.rewrite", strategy=strategy_identity(strategy)):
+                program = strategy.apply(program)
+        from repro.codegen.lower import compile_program
+
+        return compile_program(program, dict(type_env or {}), name or "pipeline")
+
+    def _attach_library(self, entry: CacheEntry, cflags: tuple[str, ...]) -> None:
+        from repro.codegen.cprint import program_to_c
+        from repro.exec.cbridge import compile_c_library, have_c_compiler
+
+        if not have_c_compiler():
+            raise RuntimeError("backend='c' requires a host C compiler (gcc/cc)")
+        entry.c_source = program_to_c(entry.program)
+        entry.library = compile_c_library(
+            entry.program, extra_flags=tuple(cflags), source=entry.c_source
+        )
+
+    def library_for(self, entry: CacheEntry):
+        """The live C library for ``entry``, loading or building on demand.
+
+        Warm disk hits reload the stored ``.so`` without recompiling;
+        memory-only engines rebuild once and keep the handle on the entry.
+        """
+        if entry.library is not None and not entry.library.closed:
+            return entry.library
+        from repro.exec.cbridge import compile_c_library, load_c_library
+
+        store = self.cache.store
+        so_path = store.so_path(entry.key) if store is not None else None
+        if so_path is not None:
+            entry.library = load_c_library(so_path)
+        else:
+            entry.library = compile_c_library(
+                entry.program,
+                extra_flags=tuple(entry.meta.get("cflags", ("-O2",))),
+                source=entry.c_source,
+            )
+        return entry.library
+
+    def stats(self) -> dict:
+        """JSON-ready cache statistics (the run report's ``engine.cache``)."""
+        return self.cache.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# Module-level default engine + the public compile() function
+# ---------------------------------------------------------------------------
+
+_DEFAULT_ENGINE: Engine | None = None
+
+
+def default_engine() -> Engine:
+    """The process-wide engine (created on first use; honors
+    ``$REPRO_CACHE_DIR`` for its disk tier)."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = Engine(use_env_cache_dir=True)
+    return _DEFAULT_ENGINE
+
+
+def reset_default_engine(cache_dir=None, memory_slots: int = 64) -> Engine:
+    """Replace the default engine (tests and CLIs use this to point the
+    artifact store at a fresh directory)."""
+    global _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = Engine(
+        cache_dir=cache_dir, memory_slots=memory_slots, use_env_cache_dir=cache_dir is None
+    )
+    return _DEFAULT_ENGINE
+
+
+def compile(
+    source: Expr | ImpProgram | str,
+    *,
+    strategy=None,
+    backend: str = "python",
+    sizes: Mapping[str, int] | None = None,
+    type_env: Mapping[str, Any] | None = None,
+    name: str | None = None,
+    options: Mapping[str, Any] | None = None,
+    cflags: tuple[str, ...] = ("-O2",),
+    engine: Engine | None = None,
+) -> CompiledPipeline:
+    """Compile through the default (or given) engine; see :meth:`Engine.compile`.
+
+    This is the single front door re-exported as ``repro.compile``::
+
+        pipeline = repro.compile(harris(rgb), strategy=cbuf_version(env),
+                                 type_env=env, sizes={"n": 32, "m": 64})
+        out = pipeline.run(rgb=img)
+        batch = pipeline.run_batch([{"rgb": img} for img in images])
+    """
+    eng = engine if engine is not None else default_engine()
+    return eng.compile(
+        source,
+        strategy=strategy,
+        backend=backend,
+        sizes=sizes,
+        type_env=type_env,
+        name=name,
+        options=options,
+        cflags=cflags,
+    )

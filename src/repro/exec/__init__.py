@@ -1,3 +1,3 @@
 """Execution backends for compiled imperative programs."""
 
-from repro.exec.pyexec import program_to_python, run_program
+from repro.exec.pyexec import execute_program, program_to_python, run_program

@@ -3,6 +3,16 @@
 This is the true end-to-end path: RISE -> rewriting -> imperative IR ->
 C source -> machine code -> execution on real buffers.  Used by the
 integration tests (skipped automatically when no C compiler is present).
+
+The shared-library lifecycle is explicit: :func:`compile_c_library`
+builds a ``.so`` (into a caller-supplied directory — normally the
+engine's artifact store — or a tempdir owned by the returned handle) and
+:class:`CLibrary` owns both the loaded ``ctypes.CDLL`` and the backing
+file, unloading and deleting them in :meth:`CLibrary.close`.  The legacy
+:func:`run_program_c` used to recompile into a fresh tempdir on every
+call and leak the loaded handle past the tempdir's lifetime; it is now a
+deprecated shim over :func:`repro.engine.compile`, which reuses one
+library per compiled program.
 """
 
 from __future__ import annotations
@@ -11,19 +21,32 @@ import ctypes
 import shutil
 import subprocess
 import tempfile
+import warnings
+import weakref
 from pathlib import Path
 from typing import Mapping
 
 import numpy as np
 
-from repro.codegen.cprint import _c_ident, _collect_size_vars, program_to_c
+from repro.codegen.cprint import _collect_size_vars, program_to_c
 from repro.codegen.ir import ImpProgram
 from repro.codegen.sizes import resolve_sizes
+from repro.observe.core import count, span
 
-__all__ = ["have_c_compiler", "run_program_c"]
+__all__ = [
+    "have_c_compiler",
+    "CLibrary",
+    "compile_c_library",
+    "load_c_library",
+    "execute_with_library",
+    "run_program_c",
+]
+
+DEFAULT_CFLAGS = ("-O2",)
 
 
 def have_c_compiler() -> bool:
+    """Whether a host C compiler (gcc or cc) is on PATH."""
     return shutil.which("gcc") is not None or shutil.which("cc") is not None
 
 
@@ -31,66 +54,177 @@ def _compiler() -> str:
     return shutil.which("gcc") or shutil.which("cc") or "gcc"
 
 
+class CLibrary:
+    """A loaded shared library with an explicitly owned lifecycle.
+
+    Owns the ``ctypes.CDLL`` handle, the ``.so`` path and (when built
+    into a tempdir rather than the artifact store) the directory itself.
+    :meth:`close` unloads the handle and removes owned files; a
+    ``weakref.finalize`` guarantees owned tempdirs are cleaned up even if
+    ``close`` is never called.
+    """
+
+    def __init__(self, path: Path, lib: ctypes.CDLL, owned_dir: Path | None = None):
+        self.path = Path(path)
+        self.lib: ctypes.CDLL | None = lib
+        self._owned_dir = owned_dir
+        self._finalizer = (
+            weakref.finalize(self, shutil.rmtree, str(owned_dir), True)
+            if owned_dir is not None
+            else None
+        )
+
+    @property
+    def closed(self) -> bool:
+        """Whether the library handle has been released."""
+        return self.lib is None
+
+    def function(self, name: str):
+        """The named exported kernel, raising if the library is closed."""
+        if self.lib is None:
+            raise RuntimeError(f"C library {self.path.name} is closed")
+        return getattr(self.lib, name)
+
+    def close(self) -> None:
+        """Unload the CDLL handle and delete owned on-disk artifacts."""
+        if self.lib is not None:
+            handle = self.lib._handle
+            self.lib = None
+            try:
+                import _ctypes
+
+                _ctypes.dlclose(handle)
+            except (ImportError, AttributeError, OSError):  # pragma: no cover
+                pass  # unloading is best-effort; dropping the ref suffices
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+
+    def __enter__(self) -> "CLibrary":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "loaded"
+        return f"<CLibrary {self.path.name} {state}>"
+
+
+def compile_c_library(
+    prog: ImpProgram,
+    out_dir: Path | str | None = None,
+    extra_flags: tuple[str, ...] = DEFAULT_CFLAGS,
+    source: str | None = None,
+) -> CLibrary:
+    """Emit C for ``prog``, compile it to a shared library and load it.
+
+    With ``out_dir`` the ``.so`` lands there (the artifact store's layout)
+    and the caller owns the files; without it a private tempdir is created
+    and owned by the returned :class:`CLibrary`.
+    """
+    source = source if source is not None else program_to_c(prog)
+    owned: Path | None = None
+    if out_dir is None:
+        owned = Path(tempfile.mkdtemp(prefix="repro_c_"))
+        out_dir = owned
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    c_path = out_dir / "kernel.c"
+    so_path = out_dir / "kernel.so"
+    c_path.write_text(source)
+    cmd = [
+        _compiler(),
+        "-shared",
+        "-fPIC",
+        "-std=c11",
+        *extra_flags,
+        "-o",
+        str(so_path),
+        str(c_path),
+        "-lm",
+    ]
+    with span("engine.cbuild", program=prog.name):
+        subprocess.run(cmd, check=True, capture_output=True)
+        count("engine.cbuild")
+    return CLibrary(so_path, ctypes.CDLL(str(so_path)), owned_dir=owned)
+
+
+def load_c_library(so_path: Path | str) -> CLibrary:
+    """Load an already-compiled shared library (a warm artifact-store hit);
+    the caller/store keeps owning the file."""
+    so_path = Path(so_path)
+    return CLibrary(so_path, ctypes.CDLL(str(so_path)))
+
+
+def execute_with_library(
+    library: CLibrary,
+    prog: ImpProgram,
+    sizes: Mapping[str, int],
+    inputs: Mapping[str, np.ndarray],
+) -> np.ndarray:
+    """Execute every kernel of ``prog`` in order through ``library`` and
+    return the final (unpadded) output buffer.
+
+    Each call allocates its own padded buffers, so one loaded library can
+    serve concurrent callers (the batch executor's thread pool): ctypes
+    releases the GIL for the duration of each kernel call.
+    """
+    from repro.codegen.lower import BUFFER_PAD
+
+    sizes = resolve_sizes(prog, sizes)
+    produced: dict[str, np.ndarray] = {}
+    result: np.ndarray | None = None
+    for fn in prog.functions:
+        cfn = library.function(fn.name)
+        size_vars = _collect_size_vars(fn)
+        argtypes = [ctypes.c_int] * len(size_vars)
+        call_args: list = [int(sizes[v]) for v in size_vars]
+        for b in fn.inputs:
+            size = int(b.size.evaluate(sizes))
+            if b.name in produced:
+                data = produced[b.name]
+            elif b.name in inputs:
+                data = np.asarray(inputs[b.name], dtype=np.float32).ravel()
+            else:
+                raise KeyError(f"no input for buffer {b.name!r}")
+            buf = np.zeros(size + BUFFER_PAD, dtype=np.float32)
+            buf[: min(len(data), size)] = data[:size]
+            argtypes.append(ctypes.POINTER(ctypes.c_float))
+            call_args.append(buf.ctypes.data_as(ctypes.POINTER(ctypes.c_float)))
+        out_size = int(fn.output.size.evaluate(sizes))
+        out = np.zeros(out_size + BUFFER_PAD, dtype=np.float32)
+        argtypes.append(ctypes.POINTER(ctypes.c_float))
+        call_args.append(out.ctypes.data_as(ctypes.POINTER(ctypes.c_float)))
+        cfn.argtypes = argtypes
+        cfn.restype = None
+        cfn(*call_args)
+        result = out[:out_size]
+        produced[fn.name] = result
+        produced[fn.output.name] = result
+    assert result is not None
+    return result
+
+
 def run_program_c(
     prog: ImpProgram,
     sizes: Mapping[str, int],
     inputs: Mapping[str, np.ndarray],
-    extra_flags: tuple[str, ...] = ("-O2",),
+    extra_flags: tuple[str, ...] = DEFAULT_CFLAGS,
 ) -> np.ndarray:
-    """Compile the program to a shared library, execute every kernel in
-    order, and return the final (unpadded) output buffer."""
-    from repro.codegen.lower import BUFFER_PAD
+    """Deprecated: compile-and-run in one shot through the engine.
 
-    sizes = resolve_sizes(prog, sizes)
-    source = program_to_c(prog)
-    with tempfile.TemporaryDirectory(prefix="repro_c_") as tmp:
-        c_path = Path(tmp) / "kernel.c"
-        so_path = Path(tmp) / "kernel.so"
-        c_path.write_text(source)
-        cmd = [
-            _compiler(),
-            "-shared",
-            "-fPIC",
-            "-std=c11",
-            *extra_flags,
-            "-o",
-            str(so_path),
-            str(c_path),
-            "-lm",
-        ]
-        subprocess.run(cmd, check=True, capture_output=True)
-        lib = ctypes.CDLL(str(so_path))
+    Use ``repro.compile(prog, backend="c").run(...)`` instead — the
+    engine caches the compiled library per program instead of rebuilding
+    into a fresh tempdir (and leaking the loaded handle) on every call.
+    """
+    warnings.warn(
+        "run_program_c is deprecated; use repro.compile(prog, backend='c').run(...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.engine import compile as engine_compile
 
-        produced: dict[str, np.ndarray] = {}
-        result: np.ndarray | None = None
-        for fn in prog.functions:
-            cfn = getattr(lib, fn.name)
-            size_vars = _collect_size_vars(fn)
-            argtypes = [ctypes.c_int] * len(size_vars)
-            call_args: list = [int(sizes[v]) for v in size_vars]
-            arrays: list[np.ndarray] = []
-            for b in fn.inputs:
-                size = int(b.size.evaluate(sizes))
-                if b.name in produced:
-                    data = produced[b.name]
-                elif b.name in inputs:
-                    data = np.asarray(inputs[b.name], dtype=np.float32).ravel()
-                else:
-                    raise KeyError(f"no input for buffer {b.name!r}")
-                buf = np.zeros(size + BUFFER_PAD, dtype=np.float32)
-                buf[: min(len(data), size)] = data[:size]
-                arrays.append(buf)
-                argtypes.append(ctypes.POINTER(ctypes.c_float))
-                call_args.append(buf.ctypes.data_as(ctypes.POINTER(ctypes.c_float)))
-            out_size = int(fn.output.size.evaluate(sizes))
-            out = np.zeros(out_size + BUFFER_PAD, dtype=np.float32)
-            argtypes.append(ctypes.POINTER(ctypes.c_float))
-            call_args.append(out.ctypes.data_as(ctypes.POINTER(ctypes.c_float)))
-            cfn.argtypes = argtypes
-            cfn.restype = None
-            cfn(*call_args)
-            result = out[:out_size]
-            produced[fn.name] = result
-            produced[fn.output.name] = result
-        assert result is not None
-        return result
+    pipeline = engine_compile(prog, backend="c", sizes=sizes, cflags=tuple(extra_flags))
+    return pipeline.run(**inputs)

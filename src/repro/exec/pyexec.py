@@ -12,6 +12,7 @@ rotating registers) the C backend emits.
 
 from __future__ import annotations
 
+import warnings
 from typing import Mapping
 
 import numpy as np
@@ -45,7 +46,7 @@ from repro.codegen.ir import (
     Var,
 )
 
-__all__ = ["run_program", "program_to_python"]
+__all__ = ["execute_program", "run_program", "program_to_python"]
 
 
 class _Emitter:
@@ -174,7 +175,7 @@ def program_to_python(prog: ImpProgram, sizes: Mapping[str, int]) -> str:
     return "\n\n".join(function_to_python(fn, sizes) for fn in prog.functions)
 
 
-def run_program(
+def execute_program(
     prog: ImpProgram,
     sizes: Mapping[str, int],
     inputs: Mapping[str, np.ndarray],
@@ -247,3 +248,26 @@ def run_program(
             produced[fn.output.name] = result
     assert result is not None
     return result
+
+
+def run_program(
+    prog: ImpProgram,
+    sizes: Mapping[str, int],
+    inputs: Mapping[str, np.ndarray],
+    intermediates: Mapping[str, tuple] | None = None,
+) -> np.ndarray:
+    """Deprecated: run a compiled program through the engine front door.
+
+    Use ``repro.compile(prog, backend="python").run(...)`` instead; the
+    engine wraps :func:`execute_program` with the compile cache and the
+    unified :class:`~repro.engine.pipeline.CompiledPipeline` API.
+    """
+    warnings.warn(
+        "run_program is deprecated; use repro.compile(prog).run(...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.engine import compile as engine_compile
+
+    pipeline = engine_compile(prog, backend="python", sizes=sizes)
+    return pipeline.run(**inputs)

@@ -16,13 +16,15 @@ the reference.
 
 from __future__ import annotations
 
+import warnings
+
 from repro.nat import Nat, nat
 from repro.codegen.ir import ImpProgram
 from repro.halide.hir import Func, HVar, ImageParam
 from repro.halide.lower import compile_halide
 from repro.image.reference import GRAY_WEIGHTS, HARRIS_KAPPA, SOBEL_X, SOBEL_Y
 
-__all__ = ["build_harris_funcs", "compile_harris_halide"]
+__all__ = ["build_harris_funcs", "build_harris_halide_program", "compile_harris_halide"]
 
 
 def build_harris_funcs(vec: int = 4, split: int = 32):
@@ -90,9 +92,13 @@ def build_harris_funcs(vec: int = 4, split: int = 32):
     return output, rgb
 
 
-def compile_harris_halide(vec: int = 4, split: int = 32) -> ImpProgram:
+def build_harris_halide_program(vec: int = 4, split: int = 32) -> ImpProgram:
     """The Halide baseline compiled to an imperative program with symbolic
-    output sizes n x m (input [3][n+4][m+4])."""
+    output sizes n x m (input [3][n+4][m+4]).
+
+    Registered with the engine as the ``"harris-halide"`` builder:
+    ``repro.compile("harris-halide", options={"vec": 4, "split": 32})``.
+    """
     output, rgb = build_harris_funcs(vec=vec, split=split)
     n, m = nat("n"), nat("m")
     return compile_halide(
@@ -102,3 +108,21 @@ def compile_harris_halide(vec: int = 4, split: int = 32) -> ImpProgram:
         m,
         name="halide_harris",
     )
+
+
+def compile_harris_halide(vec: int = 4, split: int = 32) -> ImpProgram:
+    """Deprecated: use ``repro.compile("harris-halide", options=...)``.
+
+    Kept as a thin shim over the engine so existing callers still get an
+    :class:`~repro.codegen.ir.ImpProgram` (now served from the compile
+    cache on repeat calls).
+    """
+    warnings.warn(
+        'compile_harris_halide is deprecated; use repro.compile("harris-halide", '
+        "options={'vec': ..., 'split': ...})",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.engine import compile as engine_compile
+
+    return engine_compile("harris-halide", options={"vec": vec, "split": split}).program

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from typing import Mapping
 
 from repro.elevate.core import apply_once, normalize, try_
@@ -14,7 +15,11 @@ from repro.codegen.ir import ImpProgram
 from repro.codegen.lower import compile_program
 from repro.strategies.harris import simplify, vectorize_reductions
 
-__all__ = ["compile_pipeline_per_operator", "compile_harris_lift"]
+__all__ = [
+    "compile_pipeline_per_operator",
+    "build_harris_lift_program",
+    "compile_harris_lift",
+]
 
 
 def compile_pipeline_per_operator(
@@ -87,11 +92,31 @@ def _lift_operator_schedule(value: Expr, type_env, vec: int) -> Expr:
     return lowered
 
 
-def compile_harris_lift(vec: int = 4) -> ImpProgram:
-    """The Harris pipeline compiled LIFT-style (multi-kernel)."""
+def build_harris_lift_program(vec: int = 4) -> ImpProgram:
+    """The Harris pipeline compiled LIFT-style (multi-kernel).
+
+    Registered with the engine as the ``"harris-lift"`` builder.
+    """
     from repro.pipelines import harris, harris_input_type
 
     rgb = Identifier("rgb")
     return compile_pipeline_per_operator(
         harris(rgb), {"rgb": harris_input_type()}, name="lift_harris", vec=vec
     )
+
+
+def compile_harris_lift(vec: int = 4) -> ImpProgram:
+    """Deprecated: use ``repro.compile("harris-lift", options=...)``.
+
+    Thin shim over the engine; repeat calls are served from the compile
+    cache instead of re-running the per-operator lowering.
+    """
+    warnings.warn(
+        'compile_harris_lift is deprecated; use repro.compile("harris-lift", '
+        "options={'vec': ...})",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.engine import compile as engine_compile
+
+    return engine_compile("harris-lift", options={"vec": vec}).program

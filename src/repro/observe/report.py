@@ -16,7 +16,9 @@ from typing import Any
 __all__ = ["SCHEMA", "RunReport"]
 
 #: Schema identifier; bump the version when report keys change shape.
-SCHEMA = "repro.observe.report/v1"
+#: v2 added the ``engine`` section (compile-cache and batch-execution
+#: statistics, itself schema-versioned as ``repro.engine.report/v1``).
+SCHEMA = "repro.observe.report/v2"
 
 #: The fixed top-level keys of every report, in serialization order.
 TOP_LEVEL_KEYS = (
@@ -25,6 +27,7 @@ TOP_LEVEL_KEYS = (
     "environment",
     "derivation",
     "compile",
+    "engine",
     "execution",
     "metrics",
 )
@@ -40,6 +43,8 @@ class RunReport:
             (see :func:`repro.observe.derivation.derivation_stats`).
         compile: per-program compile profiles
             (see :class:`repro.observe.profile.ProfileCollector`).
+        engine: compile-cache hit/miss accounting and batch-execution
+            throughput from :mod:`repro.engine` (schema-versioned).
         execution: executor counters and kernel timings.
         metrics: quality/performance numbers (PSNR, modeled runtimes).
     """
@@ -48,6 +53,7 @@ class RunReport:
     environment: dict = field(default_factory=dict)
     derivation: dict = field(default_factory=dict)
     compile: list = field(default_factory=list)
+    engine: dict = field(default_factory=dict)
     execution: dict = field(default_factory=dict)
     metrics: dict = field(default_factory=dict)
 
@@ -59,6 +65,7 @@ class RunReport:
             "environment": self.environment,
             "derivation": self.derivation,
             "compile": self.compile,
+            "engine": self.engine,
             "execution": self.execution,
             "metrics": self.metrics,
         }
@@ -98,6 +105,23 @@ class RunReport:
                 )
                 lines.append(
                     f"  {p['name']:<12} {p['wall_ms']:9.3f} ms  x{p['calls']:<4} {extra}"
+                )
+        if self.engine:
+            lines.append("engine:")
+            cache = self.engine.get("cache", {})
+            if cache:
+                lines.append(
+                    f"  cache: {cache.get('hits', 0)} hits"
+                    f" ({cache.get('memory_hits', 0)} memory,"
+                    f" {cache.get('disk_hits', 0)} disk),"
+                    f" {cache.get('misses', 0)} misses"
+                )
+            batch = self.engine.get("batch", {})
+            if batch:
+                lines.append(
+                    f"  batch: {batch.get('items', 0)} items x"
+                    f" {batch.get('workers', 0)} workers ({batch.get('mode', '?')}),"
+                    f" {batch.get('throughput_items_per_s', 0)} items/s"
                 )
         if self.execution:
             lines.append("execution:")

@@ -23,6 +23,8 @@ costed by exactly the same machinery as the compiled pipelines.
 
 from __future__ import annotations
 
+import warnings
+
 from repro.nat import Nat, nat
 from repro.codegen.ir import (
     Block,
@@ -46,7 +48,7 @@ from repro.codegen.opt import cse_program, fold_program
 from repro.codegen.views import idx_add, idx_mul, nat_expr
 from repro.image.reference import GRAY_WEIGHTS, HARRIS_KAPPA, SOBEL_X, SOBEL_Y
 
-__all__ = ["compile_harris_opencv"]
+__all__ = ["build_harris_opencv_program", "compile_harris_opencv"]
 
 _PAD = 8
 
@@ -66,8 +68,11 @@ def _idx2(y: IExpr, x: IExpr, width: Nat) -> IExpr:
     return idx_add(idx_mul(y, nat_expr(width)), x)
 
 
-def compile_harris_opencv(vec: int = 4) -> ImpProgram:
-    """cvtColor -> Sobel x2 -> cov (AoS) -> boxFilter(3ch) -> response."""
+def build_harris_opencv_program(vec: int = 4) -> ImpProgram:
+    """cvtColor -> Sobel x2 -> cov (AoS) -> boxFilter(3ch) -> response.
+
+    Registered with the engine as the ``"harris-opencv"`` builder.
+    """
     n, m = nat("n"), nat("m")
     rows, cols = n + 4, m + 4  # gray size
     srows, scols = n + 2, m + 2  # sobel output size
@@ -354,3 +359,20 @@ def compile_harris_opencv(vec: int = 4) -> ImpProgram:
 
     with compile_profile(prog.name):
         return cse_program(fold_program(prog))
+
+
+def compile_harris_opencv(vec: int = 4) -> ImpProgram:
+    """Deprecated: use ``repro.compile("harris-opencv", options=...)``.
+
+    Thin shim over the engine; repeat calls are served from the compile
+    cache instead of rebuilding the whole library pipeline.
+    """
+    warnings.warn(
+        'compile_harris_opencv is deprecated; use repro.compile("harris-opencv", '
+        "options={'vec': ...})",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.engine import compile as engine_compile
+
+    return engine_compile("harris-opencv", options={"vec": vec}).program

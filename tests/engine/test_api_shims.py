@@ -1,0 +1,77 @@
+"""The deprecated entry points survive as shims over ``repro.compile``:
+they must warn, and they must return exactly what the new API returns."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.codegen import compile_program
+from repro.exec import execute_program, run_program
+from repro.exec.cbridge import have_c_compiler, run_program_c
+from repro.image import synthetic_rgb
+from repro.pipelines import harris, harris_input_type
+from repro.rise import Identifier
+from repro.strategies import cbuf_version
+
+SENV = {"rgb": harris_input_type()}
+SIZES = {"n": 12, "m": 16}
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return compile_program(
+        cbuf_version(SENV, chunk=4).apply(harris(Identifier("rgb"))), SENV, "shim"
+    )
+
+
+@pytest.fixture(scope="module")
+def img():
+    return synthetic_rgb(16, 20, seed=9)
+
+
+class TestRunProgramShims:
+    def test_run_program_warns_and_matches(self, prog, img):
+        expected = execute_program(prog, SIZES, {"rgb": img})
+        with pytest.warns(DeprecationWarning, match="run_program is deprecated"):
+            out = run_program(prog, SIZES, {"rgb": img})
+        np.testing.assert_array_equal(out, expected)
+
+    @pytest.mark.skipif(not have_c_compiler(), reason="no C compiler")
+    def test_run_program_c_warns_and_matches(self, prog, img):
+        pipeline = repro.compile(prog, backend="c", sizes=SIZES)
+        expected = pipeline.run(rgb=img)
+        with pytest.warns(DeprecationWarning, match="run_program_c is deprecated"):
+            out = run_program_c(prog, SIZES, {"rgb": img})
+        np.testing.assert_array_equal(out, expected)
+
+
+class TestBaselineCompileShims:
+    @pytest.mark.parametrize(
+        "module, shim_name, builder_name, options",
+        [
+            ("repro.halide", "compile_harris_halide", "harris-halide",
+             {"vec": 4, "split": 4}),
+            ("repro.opencv", "compile_harris_opencv", "harris-opencv",
+             {"vec": 4}),
+            ("repro.lift", "compile_harris_lift", "harris-lift",
+             {"vec": 4}),
+        ],
+    )
+    def test_shim_warns_and_matches_engine(
+        self, module, shim_name, builder_name, options, img
+    ):
+        import importlib
+
+        shim = getattr(importlib.import_module(module), shim_name)
+        with pytest.warns(DeprecationWarning, match=shim_name):
+            prog = shim(**options)
+        pipeline = repro.compile(builder_name, options=options, sizes=SIZES)
+        # the engine cached the shim's compile, so both are one artifact
+        assert repr(prog) == repr(pipeline.program)
+        if builder_name == "harris-opencv":
+            inputs = {"rgb_hwc": np.ascontiguousarray(img.transpose(1, 2, 0))}
+        else:
+            inputs = {"rgb": img}
+        np.testing.assert_array_equal(
+            execute_program(prog, SIZES, inputs), pipeline.run(**inputs)
+        )

@@ -1,0 +1,120 @@
+"""Cache behavior: warm compiles must skip every compiler phase, and the
+disk tier must warm-start a brand-new engine without recompiling."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Engine
+from repro.image import synthetic_rgb, reference
+from repro.observe import ProfileCollector, profiling
+from repro.pipelines import harris, harris_input_type
+from repro.rise import Identifier
+from repro.strategies import cbuf_version
+
+SENV = {"rgb": harris_input_type()}
+SIZES = {"n": 12, "m": 16}
+
+
+def compile_harris(engine):
+    return engine.compile(
+        harris(Identifier("rgb")),
+        strategy=cbuf_version(SENV, chunk=4),
+        type_env=SENV,
+        sizes=SIZES,
+        name="harris_cbuf",
+    )
+
+
+class TestWarmPath:
+    def test_second_compile_hits_memory_without_any_compile_phase(self):
+        eng = Engine()
+        cold = compile_harris(eng)
+        assert cold.cache_status == "miss"
+
+        warm_profiles = ProfileCollector()
+        with profiling(warm_profiles):
+            warm = compile_harris(eng)
+        assert warm.cache_status == "hit-memory"
+        # acceptance criterion: zero lowering-phase spans on the hit path
+        phases = [
+            p.name
+            for prof in warm_profiles.profiles.values()
+            for p in prof.phases.values()
+        ]
+        assert "lower" not in phases
+        assert phases == []
+        # and at least 5x cheaper in wall time (observed: >1000x)
+        assert warm.compile_ms * 5 < cold.compile_ms
+        # same artifact either way
+        assert warm.key == cold.key
+        assert warm.program is cold.program
+
+    def test_hit_miss_accounting(self):
+        eng = Engine()
+        compile_harris(eng)
+        compile_harris(eng)
+        compile_harris(eng)
+        stats = eng.stats()
+        assert stats["misses"] == 1
+        assert stats["memory_hits"] == 2
+        assert stats["hits"] == 2
+        assert stats["stores"] == 1
+        assert stats["memory_entries"] == 1
+
+    def test_warm_output_matches_cold(self):
+        eng = Engine()
+        img = synthetic_rgb(16, 20, seed=5)
+        cold_out = compile_harris(eng).run(rgb=img)
+        warm_out = compile_harris(eng).run(rgb=img)
+        np.testing.assert_array_equal(cold_out, warm_out)
+        ref = reference.harris(img)
+        np.testing.assert_allclose(
+            cold_out.reshape(ref.shape), ref, rtol=1e-3, atol=1e-4
+        )
+
+
+class TestDiskTier:
+    def test_fresh_engine_warm_starts_from_disk(self, tmp_path):
+        first = Engine(cache_dir=tmp_path)
+        cold = compile_harris(first)
+        assert cold.cache_status == "miss"
+        assert first.stats()["disk_store"] == str(tmp_path)
+
+        # a brand-new engine (think: new process) finds the artifact on disk
+        second = Engine(cache_dir=tmp_path)
+        warm = compile_harris(second)
+        assert warm.cache_status == "hit-disk"
+        assert warm.key == cold.key
+        stats = second.stats()
+        assert stats["disk_hits"] == 1 and stats["misses"] == 0
+
+        img = synthetic_rgb(16, 20, seed=5)
+        np.testing.assert_array_equal(cold.run(rgb=img), warm.run(rgb=img))
+
+    def test_disk_artifact_layout(self, tmp_path):
+        eng = Engine(cache_dir=tmp_path)
+        pipeline = compile_harris(eng)
+        adir = tmp_path / pipeline.key[:2] / pipeline.key
+        assert (adir / "meta.json").is_file()
+        assert (adir / "program.pkl").is_file()
+        meta = (adir / "meta.json").read_text()
+        assert pipeline.key in meta and "artifact_bytes" in meta
+
+
+class TestEviction:
+    def test_lru_respects_memory_slots(self):
+        eng = Engine(memory_slots=1)
+        a = eng.compile("harris-halide", options={"vec": 4, "split": 4})
+        b = eng.compile("harris-opencv", options={"vec": 4})
+        assert a.key != b.key
+        assert eng.stats()["memory_entries"] == 1
+        # the evicted builder recompiles: a second miss, not a hit
+        eng.compile("harris-halide", options={"vec": 4, "split": 4})
+        assert eng.stats()["misses"] == 3
+
+    def test_unknown_builder_and_backend_are_rejected(self):
+        eng = Engine()
+        with pytest.raises(KeyError, match="harris-halide"):
+            eng.compile("no-such-builder")
+        with pytest.raises(ValueError, match="backend"):
+            eng.compile("harris-halide", backend="cuda")

@@ -1,0 +1,99 @@
+"""Content-addressing: structural hashes must be alpha-invariant and
+stable across interpreter processes, or the disk cache could never hit."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.engine import (
+    ENGINE_VERSION,
+    cache_key,
+    program_fingerprint,
+    strategy_identity,
+    structural_hash,
+)
+from repro.codegen import compile_program
+from repro.pipelines import harris, harris_input_type
+from repro.rise import Identifier
+from repro.rise.dsl import fst, fun, lit, map_, pipe, reduce_, snd, zip_
+from repro.strategies import cbuf_rrot_version, cbuf_version
+
+SENV = {"rgb": harris_input_type()}
+
+
+def dot(op):
+    """The paper's running example; every call generates fresh binder names."""
+    a, b = Identifier("a"), Identifier("b")
+    return pipe(
+        zip_(a, b),
+        map_(fun(lambda p: op(fst(p), snd(p)))),
+        reduce_(fun(lambda acc, x: acc + x), lit(0.0)),
+    )
+
+
+class TestStructuralHash:
+    def test_alpha_renamed_expressions_hash_equal(self):
+        # two independent DSL constructions differ only in gensym'd binder
+        # names -- exactly the case the de Bruijn serialization must equate
+        first = dot(lambda x, y: x * y)
+        second = dot(lambda x, y: x * y)
+        assert repr(first) != repr(second) or first is not second
+        assert structural_hash(first) == structural_hash(second)
+
+    def test_different_expressions_hash_differently(self):
+        assert structural_hash(dot(lambda x, y: x * y)) != structural_hash(
+            dot(lambda x, y: x + y)
+        )
+
+    def test_free_identifiers_keep_their_names(self):
+        # free (input) identifiers are part of the program's interface, so
+        # renaming them MUST change the hash
+        assert structural_hash(Identifier("rgb")) != structural_hash(
+            Identifier("img")
+        )
+
+    def test_harris_hash_is_stable_across_processes(self):
+        # the property the on-disk store depends on: a new interpreter
+        # (fresh PYTHONHASHSEED) computes the same digest
+        local = structural_hash(harris(Identifier("rgb")))
+        script = (
+            "from repro.engine import structural_hash\n"
+            "from repro.pipelines import harris\n"
+            "from repro.rise import Identifier\n"
+            "print(structural_hash(harris(Identifier('rgb'))))\n"
+        )
+        src = Path(__file__).resolve().parents[2] / "src"
+        env = {**os.environ, "PYTHONPATH": str(src), "PYTHONHASHSEED": "12345"}
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        assert out.stdout.strip() == local
+
+
+class TestKeyComponents:
+    def test_strategy_identity_distinguishes_parameters(self):
+        # schedule names collide (both are "cbuf"); the step list carries
+        # the chunk/vec parameters and must keep the keys apart
+        a = strategy_identity(cbuf_version(SENV, chunk=4))
+        b = strategy_identity(cbuf_version(SENV, chunk=2))
+        c = strategy_identity(cbuf_rrot_version(SENV, chunk=4))
+        assert len({a, b, c}) == 3
+        assert strategy_identity(None) == "none"
+
+    def test_program_fingerprint_separates_schedules(self):
+        expr = harris(Identifier("rgb"))
+        cbuf = compile_program(cbuf_version(SENV, chunk=4).apply(expr), SENV, "p")
+        rrot = compile_program(
+            cbuf_rrot_version(SENV, chunk=4).apply(expr), SENV, "p"
+        )
+        assert program_fingerprint(cbuf) == program_fingerprint(cbuf)
+        assert program_fingerprint(cbuf) != program_fingerprint(rrot)
+
+    def test_cache_key_is_versioned_and_part_sensitive(self):
+        assert cache_key("a", "b") == cache_key("a", "b")
+        assert cache_key("a", "b") != cache_key("a", "c")
+        # separator-injection: ("ab","") must not equal ("a","b")
+        assert cache_key("ab", "") != cache_key("a", "b")
+        assert ENGINE_VERSION.startswith("repro.engine/")

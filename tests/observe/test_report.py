@@ -14,10 +14,10 @@ class TestRunReport:
         d = report.to_dict()
         # the schema identifier and the exact key order are a contract:
         # downstream tooling parses these reports
-        assert d["schema"] == SCHEMA == "repro.observe.report/v1"
+        assert d["schema"] == SCHEMA == "repro.observe.report/v2"
         assert tuple(d) == TOP_LEVEL_KEYS == (
             "schema", "name", "environment", "derivation",
-            "compile", "execution", "metrics",
+            "compile", "engine", "execution", "metrics",
         )
 
     def test_json_round_trip(self, tmp_path):

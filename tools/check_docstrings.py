@@ -21,6 +21,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 CHECKED_PACKAGES = (
     REPO_ROOT / "src" / "repro" / "observe",
     REPO_ROOT / "src" / "repro" / "elevate",
+    REPO_ROOT / "src" / "repro" / "engine",
 )
 
 

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""CI guard for the compile cache: cold pass misses, warm pass hits.
+
+Compiles the Harris ``cbuf`` pipeline through a :class:`repro.engine.Engine`
+backed by an on-disk artifact store, runs it once on a synthetic image,
+and checks the cache statistics against the expectation:
+
+* ``--expect cold`` — a fresh store: every compile must be a miss;
+* ``--expect warm`` — a pre-populated store (a previous ``cold`` run,
+  typically in a *separate process*): at least one hit and zero misses,
+  which proves structural hashes are stable across interpreter runs.
+
+Exits non-zero (printing the offending statistics) when the expectation
+is violated — in particular when a warm pass reports 0 hits.
+
+Usage:  python tools/engine_cache_check.py --cache-dir .cache --expect cold
+        python tools/engine_cache_check.py --cache-dir .cache --expect warm
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+
+def main() -> int:
+    """Run one compile+execute pass and validate the cache statistics."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--cache-dir", required=True, help="artifact-store root directory"
+    )
+    parser.add_argument(
+        "--expect", choices=("cold", "warm"), required=True,
+        help="cold: all misses (fresh store); warm: hits and no misses",
+    )
+    args = parser.parse_args()
+
+    from repro.engine import Engine
+    from repro.image import synthetic_rgb
+    from repro.pipelines import harris, harris_input_type
+    from repro.rise import Identifier
+    from repro.strategies import cbuf_version
+
+    senv = {"rgb": harris_input_type()}
+    engine = Engine(cache_dir=args.cache_dir)
+    start = time.perf_counter()
+    pipeline = engine.compile(
+        harris(Identifier("rgb")),
+        strategy=cbuf_version(senv, chunk=4),
+        type_env=senv,
+        sizes={"n": 12, "m": 16},
+        name="harris_cbuf",
+    )
+    compile_ms = (time.perf_counter() - start) * 1e3
+    pipeline.run(rgb=synthetic_rgb(16, 20, seed=3))
+
+    stats = engine.stats()
+    print(f"cache pass [{args.expect}]: {pipeline.cache_status} "
+          f"in {compile_ms:.1f} ms")
+    print(json.dumps(stats, indent=2))
+
+    if args.expect == "cold":
+        ok = stats["misses"] > 0 and stats["hits"] == 0
+        why = "expected a fresh store: misses > 0 and hits == 0"
+    else:
+        ok = stats["hits"] > 0 and stats["misses"] == 0
+        why = "expected a warm store: hits > 0 and misses == 0"
+    if not ok:
+        print(f"FAIL: {why}", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
