@@ -14,6 +14,12 @@ step-by-step derivation (the paper's listing 5-9 view) with node counts
 and a most-fired-rules summary, compiles under the phase profiler, and a
 JSON run report (derivation stats, per-phase codegen timings, PSNR) is
 written to ``--report`` (default: harris_report.json).
+
+With ``--trace-out FILE``, the executed kernels (and a parallel batch
+run over the synthetic image) are additionally exported as Chrome
+trace-event JSON — drop the file on https://ui.perfetto.dev or
+``chrome://tracing`` to see the span timeline, one track per worker
+thread.
 """
 
 import argparse
@@ -24,12 +30,14 @@ import repro
 from repro.engine import ENGINE_REPORT_SCHEMA, default_engine
 from repro.image import psnr, synthetic_rgb, reference
 from repro.observe import (
+    Observer,
     RunReport,
     TraceCollector,
     derivation_stats,
     format_derivation,
     observing,
     profiling,
+    save_trace,
     tracing,
 )
 from repro.perf import ALL_MACHINES, estimate_runtime_ms
@@ -49,7 +57,14 @@ def ascii_corners(response: np.ndarray, width: int = 48) -> str:
     return "\n".join(rows)
 
 
-def main(trace: bool = False, report_path: str = "harris_report.json") -> None:
+def main(
+    trace: bool = False,
+    report_path: str = "harris_report.json",
+    trace_out: str | None = None,
+) -> None:
+    # With --trace-out, one shared observer collects every executed
+    # kernel span across the whole run for the Chrome trace export.
+    trace_obs = Observer() if trace_out else None
     rgb = Identifier("rgb")
     senv = {"rgb": harris_input_type()}
     program = harris(rgb)
@@ -120,6 +135,20 @@ def main(trace: bool = False, report_path: str = "harris_report.json") -> None:
         print(f"  output vs numpy reference: PSNR = {quality:.1f} dB")
         assert quality > 100
 
+    if trace_obs is not None:
+        # A parallel batch run under the shared observer: the exported
+        # Chrome trace shows one track per worker thread.
+        with observing(trace_obs):
+            batch = pipeline.run_batch(
+                [{"rgb": synthetic_rgb(36, 68, seed=11 + i)} for i in range(8)],
+                workers=2,
+                mode="thread",
+            )
+        path = save_trace(trace_obs, trace_out)
+        print(f"\nbatch: {len(batch)} items ({batch.mode}, "
+              f"{batch.throughput_items_per_s:.1f} items/s)")
+        print(f"wrote Chrome trace: {path}  (open in https://ui.perfetto.dev)")
+
     print("\ndetected corners (synthetic checkerboard-ish image):")
     print(ascii_corners(ref))
 
@@ -162,5 +191,11 @@ if __name__ == "__main__":
         default="harris_report.json",
         help="run-report path (with --trace)",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="export executed kernels + a parallel batch run as Chrome "
+        "trace-event JSON (Perfetto-loadable)",
+    )
     args = parser.parse_args()
-    main(trace=args.trace, report_path=args.report)
+    main(trace=args.trace, report_path=args.report, trace_out=args.trace_out)

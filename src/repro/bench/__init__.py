@@ -4,5 +4,9 @@ from repro.bench.harness import (
     IMPLEMENTATIONS, Fig8Cell, claims, compile_all, fig1_normalized,
     fig8_grid, format_fig8, padded_sizes,
 )
+from repro.bench.regress import (
+    DEFAULT_TRAJECTORY, Regression, append_sample, collect_sample,
+    compare_trajectory, load_trajectory,
+)
 from repro.bench.validation import ValidationRow, validate_outputs
 from repro.bench.ablation import AblationRow, ablation_variants, run_ablation

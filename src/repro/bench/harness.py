@@ -185,6 +185,7 @@ def run_report(
     seed: int = 7,
     batch_items: int = 8,
     batch_workers: int = 2,
+    trace_out: str | None = None,
 ):
     """One observed compile-and-validate run as a structured
     :class:`~repro.observe.report.RunReport`.
@@ -194,22 +195,32 @@ def run_report(
     counts), per-phase compile profiles for every implementation, the
     engine section (cold/warm compile-cache accounting plus a parallel
     batch run over ``batch_items`` inputs), execution counters/kernel
-    timings from the Python backend, and the PSNR validation rows of
-    section V-A.
+    timings from the Python backend, the PSNR validation rows of section
+    V-A and a snapshot of the process-wide metrics registry (reset at
+    the start of the run so the snapshot covers exactly this run).
+
+    With ``trace_out``, the batch-and-validate execution phase is
+    additionally exported as Chrome trace-event JSON (Perfetto-loadable;
+    batch workers appear as separate thread tracks).
     """
     from repro.bench.validation import validate_outputs
     from repro.engine import ENGINE_REPORT_SCHEMA
     from repro.observe import (
+        Observer,
         RunReport,
         TraceCollector,
         derivation_stats,
+        metrics_registry,
         observing,
         profiling,
+        reset_registry,
+        save_trace,
         tracing,
     )
     from repro.strategies.schedules import cbuf_rrot_version as rrot
     from repro.strategies.schedules import cbuf_version as cbuf
 
+    reset_registry()
     report = RunReport(name="harris-bench")
     report.environment = {
         "chunk": chunk,
@@ -246,17 +257,21 @@ def run_report(
     )
     from repro.image import synthetic_rgb
 
-    batch = pipeline.run_batch(
-        [{"rgb": synthetic_rgb(height, width, seed=seed + i)} for i in range(batch_items)],
-        workers=batch_workers,
-    )
+    # One observer spans the whole execution phase (batch + validation),
+    # so worker counters/spans land in the report and the Chrome trace.
+    obs = Observer()
+    with observing(obs):
+        batch = pipeline.run_batch(
+            [{"rgb": synthetic_rgb(height, width, seed=seed + i)} for i in range(batch_items)],
+            workers=batch_workers,
+        )
     report.engine = {
         "schema": ENGINE_REPORT_SCHEMA,
         "cache": eng.stats(),
         "batch": batch.to_dict(),
     }
 
-    with observing() as obs:
+    with observing(obs):
         rows = validate_outputs(height=height, width=width, chunk=chunk, vec=vec, seed=seed)
     report.execution = {
         "counters": dict(sorted(obs.counters.items())),
@@ -266,6 +281,8 @@ def run_report(
             if s.name.startswith("run:")
         ],
     }
+    if trace_out:
+        save_trace(obs, trace_out)
     report.metrics = {
         "psnr_db": {
             row.implementation: {
@@ -278,6 +295,7 @@ def run_report(
         # legitimately reorders float arithmetic, so the paper's 170 dB
         # exact-schedule bar does not apply to it.
         "validation_passes": all(row.passes(threshold_db=100.0) for row in rows),
+        "registry": metrics_registry().snapshot(),
     }
     return report
 
@@ -303,20 +321,86 @@ def format_fig8(cells: list[Fig8Cell]) -> str:
 
 
 def _main() -> None:
-    """CLI entry: compile, validate and emit one observed run report."""
+    """CLI entry: observed run reports, figures and regression tracking.
+
+    Commands (``run_report`` is the default, so the historical
+    ``python -m repro.bench.harness --report x.json`` form still works):
+
+    * ``run_report`` — one observed compile-and-validate run: writes the
+      JSON run report, appends a min-of-k sample to the benchmark
+      trajectory (``BENCH_trajectory.json``; disable with
+      ``--no-trajectory``) and optionally exports the execution phase as
+      Chrome trace JSON (``--trace-out``);
+    * ``fig8`` — print the paper's fig. 8 runtime grid.
+    """
     import argparse
+
+    from repro.bench.regress import DEFAULT_TRAJECTORY, append_sample, collect_sample
 
     parser = argparse.ArgumentParser(
         description="Run the harness once and emit a JSON observability report."
     )
+    parser.add_argument(
+        "command",
+        nargs="?",
+        default="run_report",
+        choices=("run_report", "fig8"),
+        help="what to run (default: %(default)s)",
+    )
     parser.add_argument("--report", default="bench_report.json", help="output JSON path")
     parser.add_argument("--chunk", type=int, default=DEFAULT_CHUNK)
     parser.add_argument("--vec", type=int, default=DEFAULT_VEC)
+    parser.add_argument("--height", type=int, default=36, help="validation image height")
+    parser.add_argument("--width", type=int, default=36, help="validation image width")
+    parser.add_argument(
+        "--k", type=int, default=3, help="min-of-k repeats per trajectory cell"
+    )
+    parser.add_argument(
+        "--trajectory",
+        default=DEFAULT_TRAJECTORY,
+        help="benchmark trajectory ledger to append to (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-trajectory",
+        action="store_true",
+        help="do not append a sample to the trajectory ledger",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="also export the execution phase as Chrome trace-event JSON",
+    )
     args = parser.parse_args()
-    report = run_report(chunk=args.chunk, vec=args.vec)
+
+    if args.command == "fig8":
+        print(format_fig8(fig8_grid(chunk=args.chunk, vec=args.vec)))
+        return
+
+    report = run_report(
+        chunk=args.chunk,
+        vec=args.vec,
+        height=args.height,
+        width=args.width,
+        trace_out=args.trace_out,
+    )
     print(report.render_text())
     report.save(args.report)
     print(f"\nwrote {args.report}")
+    if args.trace_out:
+        print(f"wrote {args.trace_out}")
+    if not args.no_trajectory:
+        sample = collect_sample(
+            chunk=args.chunk,
+            vec=args.vec,
+            k=args.k,
+            metrics=report.metrics.get("registry", {}),
+            extra={"batch": report.engine.get("batch", {})},
+        )
+        doc = append_sample(args.trajectory, sample)
+        print(
+            f"appended sample {sample['git_sha']} to {args.trajectory} "
+            f"({len(doc['samples'])} sample(s))"
+        )
 
 
 if __name__ == "__main__":

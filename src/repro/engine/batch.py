@@ -15,12 +15,23 @@ follows the backend:
 
 Pool setup failures (restricted sandboxes without ``fork``) degrade to
 sequential execution rather than erroring; ``BatchResult.mode`` records
-what actually ran.  Throughput and worker counts are emitted as
-``engine.batch.*`` observe counters and land in the run report.
+what actually ran.
+
+Observability: thread-pool work items are submitted through
+``contextvars.copy_context()``, so the active :class:`~repro.observe.
+core.Observer` *and* the open ``engine.batch`` span propagate into the
+workers — each item records its own ``engine.batch.item`` span (with the
+worker's thread id) and counter.  Process-pool workers run in another
+interpreter; their measured wall times are aggregated back into the
+parent observer as pre-timed spans, so the count of ``engine.batch.item``
+events always equals the batch size regardless of pool flavor.  Item
+latencies and batch throughput also land in the process-wide metrics
+registry (``engine.batch.*``, see :mod:`repro.observe.metrics`).
 """
 
 from __future__ import annotations
 
+import contextvars
 import os
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
@@ -30,7 +41,8 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.codegen.ir import ImpProgram
-from repro.observe.core import count, span
+from repro.observe.core import Span, active, count, span
+from repro.observe.metrics import inc, observe_value, set_gauge
 
 __all__ = ["BatchResult", "BatchRunner", "DEFAULT_MAX_WORKERS"]
 
@@ -135,13 +147,20 @@ class BatchRunner:
         total_ms = (time.perf_counter() - start) * 1e3
         count("engine.batch.runs")
         count("engine.batch.items", len(items))
-        return BatchResult(
+        result = BatchResult(
             outputs=outputs,
             item_wall_ms=item_ms,
             total_wall_ms=total_ms,
             workers=workers,
             mode=mode,
         )
+        inc("engine.batch.runs", mode=mode)
+        inc("engine.batch.items", len(items), mode=mode)
+        for ms in item_ms:
+            observe_value("engine.batch.item_ms", ms, mode=mode)
+        set_gauge("engine.batch.last_throughput_items_per_s", result.throughput_items_per_s)
+        set_gauge("engine.batch.last_workers", workers)
+        return result
 
     # -- execution flavors ----------------------------------------------
 
@@ -162,9 +181,11 @@ class BatchRunner:
                 mode = "sequential"
         outputs: list[np.ndarray] = []
         item_ms: list[float] = []
-        for inputs in items:
+        for index, inputs in enumerate(items):
             t0 = time.perf_counter()
-            outputs.append(self.pipeline.run(sizes=sizes, **inputs))
+            with span("engine.batch.item", index=index, mode="sequential"):
+                outputs.append(self.pipeline.run(sizes=sizes, **inputs))
+            count("engine.batch.item")
             item_ms.append((time.perf_counter() - t0) * 1e3)
         return outputs, item_ms, "sequential", 1
 
@@ -172,13 +193,35 @@ class BatchRunner:
         prog = self.pipeline.program
         futures = [pool.submit(_run_item_python, prog, dict(sizes), item) for item in items]
         results = [f.result() for f in futures]
+        obs = active()
+        for index, (_, ms) in enumerate(results):
+            # The worker lives in another process: re-materialize its
+            # measured wall time as a pre-timed span on the parent.
+            count("engine.batch.item")
+            if obs is not None:
+                obs.attach(
+                    Span(
+                        "engine.batch.item",
+                        duration_ms=ms,
+                        meta={"index": index, "mode": "process"},
+                    )
+                )
         return [out for out, _ in results], [ms for _, ms in results]
 
     def _map_inline(self, pool: Executor, items, sizes):
-        def one(inputs):
+        def one(index, inputs):
             t0 = time.perf_counter()
-            out = self.pipeline.run(sizes=sizes, **inputs)
+            with span("engine.batch.item", index=index, mode="thread"):
+                out = self.pipeline.run(sizes=sizes, **inputs)
+            count("engine.batch.item")
             return out, (time.perf_counter() - t0) * 1e3
 
-        results = list(pool.map(one, items))
+        # copy_context() per item carries the active observer and the
+        # open engine.batch span into the pool thread (satellite fix for
+        # the silent drop of engine.batch.* counters in workers).
+        futures = [
+            pool.submit(contextvars.copy_context().run, one, index, inputs)
+            for index, inputs in enumerate(items)
+        ]
+        results = [f.result() for f in futures]
         return [out for out, _ in results], [ms for _, ms in results]

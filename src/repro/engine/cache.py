@@ -31,6 +31,7 @@ from typing import Optional
 
 from repro.codegen.ir import ImpProgram
 from repro.observe.core import count, span
+from repro.observe.metrics import inc, set_gauge
 
 __all__ = ["CacheEntry", "CacheStats", "ArtifactStore", "EngineCache", "default_cache_dir"]
 
@@ -120,6 +121,7 @@ class ArtifactStore:
         }
         (adir / "meta.json").write_text(json.dumps(meta, indent=2, default=str))
         count("engine.cache.disk_bytes", artifact_bytes)
+        inc("engine.cache.disk_bytes", artifact_bytes)
         return meta
 
     def load(self, key: str) -> Optional[CacheEntry]:
@@ -175,6 +177,7 @@ class EngineCache:
             self.stats.memory_hits += 1
             count("engine.cache.hit")
             count("engine.cache.hit_memory")
+            inc("engine.cache.hits", tier="memory")
             return entry, "memory"
         if self.store is not None:
             with span("engine.cache.disk-load", key=key):
@@ -184,15 +187,18 @@ class EngineCache:
                 self.stats.disk_hits += 1
                 count("engine.cache.hit")
                 count("engine.cache.hit_disk")
+                inc("engine.cache.hits", tier="disk")
                 return entry, "disk"
         self.stats.misses += 1
         count("engine.cache.miss")
+        inc("engine.cache.misses")
         return None, None
 
     def put(self, entry: CacheEntry) -> None:
         """Insert a freshly compiled entry into both tiers."""
         self._remember(entry.key, entry)
         self.stats.stores += 1
+        inc("engine.cache.stores")
         if self.store is not None:
             with span("engine.cache.disk-store", key=entry.key):
                 entry.meta = self.store.save(entry)
@@ -206,6 +212,8 @@ class EngineCache:
             if library is not None and hasattr(library, "close"):
                 library.close()
             count("engine.cache.evictions")
+            inc("engine.cache.evictions")
+        set_gauge("engine.cache.memory_entries", len(self._memory))
 
     def __len__(self) -> int:
         return len(self._memory)

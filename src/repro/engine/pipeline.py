@@ -41,6 +41,7 @@ from repro.engine.hashing import (
     type_env_signature,
 )
 from repro.observe.core import count, span
+from repro.observe.metrics import inc, observe_value
 from repro.rise.expr import Expr
 
 __all__ = [
@@ -165,17 +166,27 @@ class CompiledPipeline:
         free identifiers (``pipeline.run(rgb=img)``).
         """
         bound = self.resolve_run_sizes(sizes)
+        start = time.perf_counter()
         with span("engine.run", program=self.program.name, backend=self.backend):
             count("engine.runs")
             if self.backend == "c":
                 from repro.exec.cbridge import execute_with_library
 
-                return execute_with_library(
+                out = execute_with_library(
                     self._engine.library_for(self._entry), self.program, bound, inputs
                 )
-            from repro.exec.pyexec import execute_program
+            else:
+                from repro.exec.pyexec import execute_program
 
-            return execute_program(self.program, bound, inputs)
+                out = execute_program(self.program, bound, inputs)
+        inc("engine.runs", backend=self.backend)
+        observe_value(
+            "engine.run.latency_ms",
+            (time.perf_counter() - start) * 1e3,
+            pipeline=self.key[:12],
+            backend=self.backend,
+        )
+        return out
 
     def run_batch(
         self,
@@ -251,9 +262,9 @@ class Engine:
                 status = f"hit-{tier}"
                 compile_span.meta["cache"] = status
                 compile_span.meta["key"] = key
-                return CompiledPipeline(
-                    self, entry, sizes, status, (time.perf_counter() - start) * 1e3
-                )
+                elapsed_ms = (time.perf_counter() - start) * 1e3
+                observe_value("engine.compile.latency_ms", elapsed_ms, cache=status)
+                return CompiledPipeline(self, entry, sizes, status, elapsed_ms)
             prog = self._build_program(source, strategy, type_env, name, options)
             entry = CacheEntry(
                 key=key, program=prog, backend=backend, meta={"cflags": list(cflags)}
@@ -264,9 +275,10 @@ class Engine:
             count("engine.compiles")
             compile_span.meta["cache"] = "miss"
             compile_span.meta["key"] = key
-        return CompiledPipeline(
-            self, entry, sizes, "miss", (time.perf_counter() - start) * 1e3
-        )
+        elapsed_ms = (time.perf_counter() - start) * 1e3
+        inc("engine.compiles", backend=backend)
+        observe_value("engine.compile.latency_ms", elapsed_ms, cache="miss")
+        return CompiledPipeline(self, entry, sizes, "miss", elapsed_ms)
 
     # -- internals -------------------------------------------------------
 

@@ -21,6 +21,7 @@ import ctypes
 import shutil
 import subprocess
 import tempfile
+import time
 import warnings
 import weakref
 from pathlib import Path
@@ -32,6 +33,7 @@ from repro.codegen.cprint import _collect_size_vars, program_to_c
 from repro.codegen.ir import ImpProgram
 from repro.codegen.sizes import resolve_sizes
 from repro.observe.core import count, span
+from repro.observe.metrics import inc, observe_value
 
 __all__ = [
     "have_c_compiler",
@@ -145,9 +147,12 @@ def compile_c_library(
         str(c_path),
         "-lm",
     ]
+    t0 = time.perf_counter()
     with span("engine.cbuild", program=prog.name):
         subprocess.run(cmd, check=True, capture_output=True)
         count("engine.cbuild")
+    inc("engine.cbuild")
+    observe_value("engine.cbuild_ms", (time.perf_counter() - t0) * 1e3)
     return CLibrary(so_path, ctypes.CDLL(str(so_path)), owned_dir=owned)
 
 
@@ -199,7 +204,13 @@ def execute_with_library(
         call_args.append(out.ctypes.data_as(ctypes.POINTER(ctypes.c_float)))
         cfn.argtypes = argtypes
         cfn.restype = None
-        cfn(*call_args)
+        t0 = time.perf_counter()
+        with span(f"run:{fn.name}", program=prog.name, backend="c"):
+            cfn(*call_args)
+        kernel_ms = (time.perf_counter() - t0) * 1e3
+        count("exec.c.kernels")
+        inc("exec.c.kernels", kernel=fn.name)
+        observe_value("exec.c.kernel_ms", kernel_ms, kernel=fn.name)
         result = out[:out_size]
         produced[fn.name] = result
         produced[fn.output.name] = result

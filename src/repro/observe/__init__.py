@@ -13,10 +13,27 @@ execution when disabled):
 * :mod:`repro.observe.profile` — per-phase codegen timers and node-count
   deltas (:func:`profiling`, :func:`phase`, :func:`compile_profile`);
 * :mod:`repro.observe.report` / :mod:`repro.observe.derivation` — the
-  JSON run report and the paper-style derivation pretty-printer.
+  JSON run report and the paper-style derivation pretty-printer;
+* :mod:`repro.observe.metrics` — the always-on process-wide metrics
+  registry (counters, gauges, quantile histograms) with JSON and
+  Prometheus exporters (:func:`metrics_registry`, :func:`inc`, ...);
+* :mod:`repro.observe.traceevent` — Chrome trace-event export of any
+  observer's span tree (:func:`save_trace`), loadable in Perfetto.
 """
 
 from repro.observe.core import Observer, Span, active, count, observing, span
+from repro.observe.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    inc,
+    observe_value,
+    registry as metrics_registry,
+    reset_registry,
+    set_gauge,
+)
+from repro.observe.traceevent import save_trace, to_chrome_trace, trace_events
 from repro.observe.derivation import derivation_stats, format_derivation
 from repro.observe.profile import (
     CompileProfile,
@@ -52,4 +69,16 @@ __all__ = [
     "RunReport",
     "derivation_stats",
     "format_derivation",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics_registry",
+    "reset_registry",
+    "inc",
+    "set_gauge",
+    "observe_value",
+    "save_trace",
+    "to_chrome_trace",
+    "trace_events",
 ]

@@ -12,10 +12,22 @@ permanently without a measurable cost when disabled.
             ...
             count("kernels")
     print(obs.render_text())
+
+Both the active observer *and* the current span position live in
+:mod:`contextvars` context variables, so concurrent recording is safe by
+construction: a thread pool that submits work through
+``contextvars.copy_context()`` (as :class:`repro.engine.batch.
+BatchRunner` does) hands every worker the observer and the span it
+should attach under, each worker nests its own spans independently, and
+an instance lock serializes the actual tree/counter mutations.  Spans
+record their start time (one shared monotonic clock) and recording
+thread id, which is what lets :mod:`repro.observe.traceevent` lay them
+out on a multi-thread timeline.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
@@ -26,16 +38,33 @@ __all__ = ["Span", "Observer", "observing", "active", "span", "count"]
 
 _OBSERVER: ContextVar[Optional["Observer"]] = ContextVar("repro_observer", default=None)
 
+#: The innermost open span of the current context, tagged with the
+#: observer that owns it (so nested ``observing()`` blocks never attach
+#: spans to an outer observer's tree).  Copied by ``copy_context`` —
+#: that is how pool workers inherit their parent span.
+_CURRENT_SPAN: ContextVar[Optional[tuple["Observer", "Span"]]] = ContextVar(
+    "repro_current_span", default=None
+)
+
 
 @dataclass
 class Span:
     """One timed region: a name, a wall-clock duration, free-form metadata
-    and the spans that were opened while it was active."""
+    and the spans that were opened while it was active.
+
+    ``t0`` is the opening timestamp on the shared ``perf_counter`` clock
+    (0.0 for synthesized spans with no measured start) and ``tid`` the
+    recording thread's identifier — both feed the Chrome trace exporter
+    and neither appears in :meth:`to_dict`, keeping the report schema
+    unchanged.
+    """
 
     name: str
     duration_ms: float = 0.0
     meta: dict = field(default_factory=dict)
     children: list["Span"] = field(default_factory=list)
+    t0: float = 0.0
+    tid: int = 0
 
     def to_dict(self) -> dict:
         """JSON-ready representation (durations rounded to microseconds)."""
@@ -48,32 +77,55 @@ class Span:
 
 
 class Observer:
-    """Collects spans (nested) and counters (flat) for one observed region."""
+    """Collects spans (nested) and counters (flat) for one observed region.
+
+    Safe for concurrent recording: counter increments and span-tree
+    mutations are guarded by an instance lock, and the *position* in the
+    tree is context-local (see :data:`_CURRENT_SPAN`), so parallel
+    workers each extend their own branch.
+    """
 
     def __init__(self) -> None:
         self.spans: list[Span] = []
         self.counters: dict[str, int] = {}
-        self._stack: list[Span] = []
+        self._lock = threading.Lock()
 
     # -- recording -------------------------------------------------------
 
     def count(self, name: str, n: int = 1) -> None:
-        """Increment the named counter by ``n``."""
-        self.counters[name] = self.counters.get(name, 0) + n
+        """Increment the named counter by ``n`` (atomic under the lock)."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
 
     @contextmanager
     def span(self, name: str, **meta) -> Iterator[Span]:
-        """Open a timed span; nested ``span`` calls become its children."""
-        entry = Span(name, meta=dict(meta))
-        parent = self._stack[-1] if self._stack else None
-        (parent.children if parent else self.spans).append(entry)
-        self._stack.append(entry)
-        start = time.perf_counter()
+        """Open a timed span; nested ``span`` calls become its children.
+
+        The parent is the innermost span open *in this context* — worker
+        threads entered via ``copy_context`` therefore nest under the
+        span that was open when their work item was submitted.
+        """
+        entry = Span(name, meta=dict(meta), tid=threading.get_ident())
+        self.attach(entry)
+        token = _CURRENT_SPAN.set((self, entry))
+        entry.t0 = time.perf_counter()
         try:
             yield entry
         finally:
-            entry.duration_ms = (time.perf_counter() - start) * 1e3
-            self._stack.pop()
+            entry.duration_ms = (time.perf_counter() - entry.t0) * 1e3
+            _CURRENT_SPAN.reset(token)
+
+    def attach(self, entry: Span) -> None:
+        """Insert an externally built span at the current tree position.
+
+        Used for spans whose timing happened elsewhere (process-pool
+        workers report wall times back to the parent, which attaches one
+        pre-timed span per item).
+        """
+        current = _CURRENT_SPAN.get()
+        parent = current[1] if current is not None and current[0] is self else None
+        with self._lock:
+            (parent.children if parent is not None else self.spans).append(entry)
 
     # -- reading ---------------------------------------------------------
 
@@ -86,7 +138,7 @@ class Observer:
             for c in s.children:
                 visit(c)
 
-        for s in self.spans:
+        for s in list(self.spans):
             visit(s)
         return out
 

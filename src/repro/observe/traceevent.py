@@ -1,0 +1,168 @@
+"""Chrome trace-event export: span trees on a Perfetto-loadable timeline.
+
+Converts the span tree of an :class:`~repro.observe.core.Observer` into
+the Chrome trace-event JSON format (the ``{"traceEvents": [...]}``
+object form) accepted by Perfetto (https://ui.perfetto.dev) and
+``chrome://tracing``.  Every span becomes one *complete* event
+(``"ph": "X"``) with microsecond start/duration, placed on the track of
+the thread that recorded it — batch-executor workers therefore appear as
+separate rows, which is what makes parallel batch runs visually
+inspectable.  Spans with no measured start (pre-timed spans aggregated
+from process-pool workers) are laid out sequentially on a synthetic
+track so nothing is silently dropped.
+
+    with observing() as obs:
+        pipeline.run_batch(items, workers=4, mode="thread")
+    save_trace(obs, "batch_trace.json")   # load in ui.perfetto.dev
+
+Producers wired in: ``examples/harris_pipeline.py --trace-out`` and
+``python -m repro.bench.harness run_report --trace-out``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+
+from repro.observe.core import Observer, Span
+
+__all__ = ["trace_events", "to_chrome_trace", "save_trace"]
+
+#: Synthetic tid base for spans recorded without a thread id (pre-timed
+#: spans re-materialized from process-pool workers).
+SYNTHETIC_TID_BASE = 1_000_000
+
+
+def trace_events(observer: Observer, pid: int | None = None) -> list[dict]:
+    """The observer's spans as a flat list of Chrome trace events.
+
+    Emits one complete (``"ph": "X"``) event per span with ``ts``/``dur``
+    in microseconds relative to the earliest recorded span, plus
+    ``"M"`` metadata events naming the process and each thread track.
+    Counters are attached as one instant event so they survive into the
+    trace file.
+    """
+    pid = pid if pid is not None else os.getpid()
+    spans = observer.flat_spans()
+    timed = [s for s in spans if s.t0 > 0.0]
+    origin = min((s.t0 for s in timed), default=0.0)
+    events: list[dict] = []
+    synthetic_cursor = 0.0
+
+    def emit(s: Span, parent: Span | None) -> None:
+        nonlocal synthetic_cursor
+        if s.t0 > 0.0:
+            ts = (s.t0 - origin) * 1e6
+            tid = s.tid or SYNTHETIC_TID_BASE
+        elif parent is not None and parent.t0 > 0.0:
+            # Pre-timed child (process-pool item): anchor at its parent's
+            # start on a synthetic worker track.
+            ts = (parent.t0 - origin) * 1e6 + synthetic_cursor
+            synthetic_cursor += s.duration_ms * 1e3
+            tid = SYNTHETIC_TID_BASE + int(s.meta.get("index", 0))
+        else:
+            ts = synthetic_cursor
+            synthetic_cursor += s.duration_ms * 1e3
+            tid = SYNTHETIC_TID_BASE
+        event = {
+            "name": s.name,
+            "ph": "X",
+            "ts": round(ts, 3),
+            "dur": round(s.duration_ms * 1e3, 3),
+            "pid": pid,
+            "tid": tid,
+        }
+        if s.meta:
+            event["args"] = {k: _jsonable(v) for k, v in s.meta.items()}
+        events.append(event)
+        for child in s.children:
+            emit(child, s)
+
+    for root in observer.spans:
+        emit(root, None)
+
+    events.extend(_metadata_events(events, pid))
+    if observer.counters:
+        end = max((e["ts"] + e["dur"] for e in events if e.get("ph") == "X"), default=0.0)
+        events.append(
+            {
+                "name": "counters",
+                "ph": "I",
+                "s": "g",
+                "ts": round(end, 3),
+                "pid": pid,
+                "tid": _main_tid(events),
+                "args": dict(sorted(observer.counters.items())),
+            }
+        )
+    return events
+
+
+def _metadata_events(events: list[dict], pid: int) -> list[dict]:
+    """Process/thread naming metadata for every distinct track."""
+    tids = sorted({e["tid"] for e in events if e.get("ph") == "X"})
+    main_tid = threading.main_thread().ident
+    meta: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tids[0] if tids else 0,
+            "args": {"name": "repro"},
+        }
+    ]
+    for tid in tids:
+        if tid == main_tid:
+            name = "main"
+        elif tid >= SYNTHETIC_TID_BASE:
+            name = f"pool-worker-{tid - SYNTHETIC_TID_BASE}"
+        else:
+            name = f"thread-{tid}"
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    return meta
+
+
+def _main_tid(events: list[dict]) -> int:
+    """The main thread's tid if it appears in the events, else the first."""
+    main_tid = threading.main_thread().ident
+    tids = {e["tid"] for e in events if e.get("ph") == "X"}
+    if main_tid in tids:
+        return main_tid
+    return min(tids) if tids else 0
+
+
+def to_chrome_trace(observer: Observer, pid: int | None = None) -> dict:
+    """The full trace document: ``{"traceEvents": [...], ...}``."""
+    return {
+        "traceEvents": trace_events(observer, pid=pid),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.observe.traceevent"},
+    }
+
+
+def save_trace(observer: Observer, path, pid: int | None = None) -> Path:
+    """Write the observer's trace to ``path`` and return it.
+
+    The file loads directly in Perfetto (https://ui.perfetto.dev) or
+    ``chrome://tracing``.
+    """
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(observer, pid=pid), indent=2))
+    return path
+
+
+def _jsonable(value):
+    """Coerce span metadata into JSON-safe values."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

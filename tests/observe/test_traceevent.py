@@ -1,0 +1,119 @@
+"""Chrome trace-event export: event shape, timeline layout, file output."""
+
+import json
+import threading
+import time
+
+from repro.observe import Observer, observing, span, count
+from repro.observe.core import Span
+from repro.observe.traceevent import (
+    SYNTHETIC_TID_BASE,
+    save_trace,
+    to_chrome_trace,
+    trace_events,
+)
+
+
+def _complete(events):
+    return [e for e in events if e["ph"] == "X"]
+
+
+class TestTraceEvents:
+    def test_complete_events_with_microsecond_timeline(self):
+        with observing() as obs:
+            with span("outer", program="p"):
+                time.sleep(0.002)
+                with span("inner"):
+                    time.sleep(0.001)
+        events = _complete(trace_events(obs, pid=42))
+        assert [e["name"] for e in events] == ["outer", "inner"]
+        outer, inner = events
+        for e in (outer, inner):
+            assert e["ph"] == "X"
+            assert e["pid"] == 42
+            assert isinstance(e["tid"], int) and e["tid"] > 0
+            assert e["dur"] > 0
+        # the child starts after its parent and fits inside it
+        assert outer["ts"] == 0.0
+        assert inner["ts"] >= outer["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1.0
+        assert outer["args"] == {"program": "p"}
+
+    def test_counters_become_instant_event(self):
+        with observing() as obs:
+            with span("work"):
+                count("kernels", 3)
+        events = trace_events(obs)
+        instants = [e for e in events if e["ph"] == "I"]
+        assert len(instants) == 1
+        assert instants[0]["args"] == {"kernels": 3}
+
+    def test_thread_metadata_names_every_track(self):
+        with observing() as obs:
+            with span("main-work"):
+                pass
+        events = trace_events(obs)
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["name"] for e in meta}
+        assert {"process_name", "thread_name"} <= names
+        thread_names = [e["args"]["name"] for e in meta if e["name"] == "thread_name"]
+        assert "main" in thread_names
+
+    def test_multi_thread_spans_land_on_distinct_tracks(self):
+        obs = Observer()
+
+        def worker():
+            with obs.span("worker-span"):
+                time.sleep(0.001)
+
+        with observing(obs):
+            with span("main-span"):
+                t = threading.Thread(target=worker)
+                t.start()
+                t.join()
+        events = _complete(trace_events(obs))
+        tids = {e["tid"]: e["name"] for e in events}
+        assert len(tids) == 2
+
+    def test_pretimed_spans_get_synthetic_tracks(self):
+        # process-pool items arrive as pre-timed spans with no t0
+        obs = Observer()
+        with observing(obs):
+            with span("engine.batch"):
+                for i in range(3):
+                    obs.attach(
+                        Span("engine.batch.item", duration_ms=5.0,
+                             meta={"index": i, "mode": "process"})
+                    )
+        events = _complete(trace_events(obs))
+        items = [e for e in events if e["name"] == "engine.batch.item"]
+        assert len(items) == 3
+        assert {e["tid"] for e in items} == {
+            SYNTHETIC_TID_BASE, SYNTHETIC_TID_BASE + 1, SYNTHETIC_TID_BASE + 2
+        }
+        batch = next(e for e in events if e["name"] == "engine.batch")
+        assert all(e["ts"] >= batch["ts"] for e in items)
+
+
+class TestTraceFile:
+    def test_save_trace_writes_loadable_document(self, tmp_path):
+        with observing() as obs:
+            with span("work"):
+                count("n")
+        path = save_trace(obs, tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["displayTimeUnit"] == "ms"
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+        # every event has the fields the trace-event schema requires
+        for e in doc["traceEvents"]:
+            assert {"name", "ph", "pid", "tid"} <= set(e)
+            if e["ph"] == "X":
+                assert "ts" in e and "dur" in e
+
+    def test_document_shape(self):
+        with observing() as obs:
+            with span("w"):
+                pass
+        doc = to_chrome_trace(obs, pid=1)
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
