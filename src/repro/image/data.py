@@ -8,6 +8,11 @@ checks only need all implementations to consume identical inputs.
 
 The generator mixes gradients, sinusoids and a deterministic hash-based
 texture so that corners actually exist (examples visualize the response).
+
+Seeding convention (repo-wide, see ``docs/verify.md``): randomness is
+always threaded explicitly — every entry point takes an integer ``seed``
+or a caller-owned ``numpy.random.Generator``; no module reads or mutates
+numpy's global RNG state, so results are reproducible per call site.
 """
 
 from __future__ import annotations
@@ -40,13 +45,22 @@ PAPER_IMAGE_SMALL = ImageSpec("small", 1536, 2560)
 PAPER_IMAGE_LARGE = ImageSpec("large", 4256, 2832)
 
 
-def synthetic_rgb(height: int, width: int, seed: int = 42) -> np.ndarray:
+def synthetic_rgb(
+    height: int,
+    width: int,
+    seed: int = 42,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
     """A deterministic [3][height][width] float32 image in [0, 1].
 
     Contains smooth gradients (flat regions), a checkerboard (corners) and
-    pseudo-random texture so the Harris response is non-trivial.
+    pseudo-random texture so the Harris response is non-trivial.  The
+    texture comes from ``rng`` when given (the caller owns the stream),
+    else from a private ``default_rng(seed)`` — never from numpy's
+    global RNG state.
     """
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     y = np.linspace(0.0, 1.0, height, dtype=np.float32)[:, None]
     x = np.linspace(0.0, 1.0, width, dtype=np.float32)[None, :]
 

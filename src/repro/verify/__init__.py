@@ -1,0 +1,68 @@
+"""Differential fuzzing and metamorphic rewrite testing (``repro.verify``).
+
+The paper validates correctness by PSNR-comparing one hand-written
+pipeline (Harris) under a handful of hand-written schedules.  This
+package generalizes that check into a systematic safety net:
+
+* :mod:`repro.verify.gen` — a seeded, type-directed random generator of
+  well-typed RISE programs plus matching random inputs.
+* :mod:`repro.verify.oracle` — a metamorphic oracle: randomly sampled
+  ELEVATE rule sequences must preserve interpreter semantics.
+* :mod:`repro.verify.diff` — a cross-layer differential check:
+  interpreter vs. the Python executor vs. the C backend, routed through
+  :func:`repro.compile` so the engine cache and hashing are fuzzed too.
+* :mod:`repro.verify.shrink` — minimizes failing (program, rules, input)
+  triples and serializes them as replayable corpus cases.
+* :mod:`repro.verify.fuzz` — the fuzzing loop behind ``tools/fuzz.py``.
+
+Every failure the fuzzer ever finds becomes a deterministic JSON case in
+``tests/corpus/`` replayed by ``tests/verify/test_corpus.py``.  See
+``docs/verify.md`` for the full design.
+"""
+
+from repro.verify.diff import DiffFailure, differential_check
+from repro.verify.fuzz import FuzzConfig, FuzzReport, run_fuzz
+from repro.verify.gen import GenConfig, GeneratedProgram, generate_program
+from repro.verify.oracle import (
+    RULE_POOL,
+    apply_rule_sequence,
+    equivalence_report,
+    flatten_value,
+    sample_rule_names,
+    values_close,
+)
+from repro.verify.shrink import shrink_failure
+from repro.verify.serialize import (
+    CASE_SCHEMA,
+    case_from_dict,
+    case_to_dict,
+    expr_from_dict,
+    expr_to_dict,
+    load_case,
+    save_case,
+)
+
+__all__ = [
+    "DiffFailure",
+    "differential_check",
+    "FuzzConfig",
+    "FuzzReport",
+    "run_fuzz",
+    "GenConfig",
+    "GeneratedProgram",
+    "generate_program",
+    "RULE_POOL",
+    "apply_rule_sequence",
+    "equivalence_report",
+    "flatten_value",
+    "sample_rule_names",
+    "values_close",
+    "shrink_failure",
+    "CASE_SCHEMA",
+    "case_from_dict",
+    "case_to_dict",
+    "expr_from_dict",
+    "expr_to_dict",
+    "load_case",
+    "save_case",
+]

@@ -1,0 +1,559 @@
+"""Seeded, type-directed random generation of well-typed RISE programs.
+
+The generator builds programs as *stage pipelines*: starting from one or
+two free input arrays, it repeatedly picks a transformation stage from
+the menu of stages applicable to the current (inferred) type — map over
+scalars, ``slide``/``split``/``join``/``transpose`` for structure,
+``zip``/``unzip``/projections for tuples, ``asVector``/``mapVec``/
+``asScalar`` for SIMD vectors, and ``reduce`` for contraction.  Because
+every stage is chosen from a type-directed menu, candidates are
+well-typed by construction; the final :func:`infer_types` call is a
+belt-and-braces validation whose (rare) rejections are counted as
+*discards* so the discard rate can be asserted to stay near zero.
+
+Determinism contract: one ``random.Random(seed)`` drives every decision,
+so the same seed always yields the same program — and because
+:func:`repro.engine.hashing.structural_hash` is alpha-invariant, the
+program *hash* is identical across processes even though fresh binder
+names differ (they depend on process-global counter state).
+
+The same machinery also produces *ill-typed mutants*
+(:func:`mutate_ill_typed`) used to fuzz the type checker's rejection
+paths: every mutant must raise :class:`~repro.rise.types.TypeError_`,
+never crash or silently typecheck.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.nat import nat
+from repro.rise.dsl import (
+    as_scalar,
+    as_vector,
+    fst,
+    fun,
+    join,
+    lit,
+    map_,
+    map_vec,
+    reduce_,
+    slide,
+    snd,
+    split,
+    transpose,
+    unzip_,
+    zip_,
+)
+from repro.rise.expr import (
+    App,
+    ArrayLiteral,
+    Expr,
+    Fst,
+    Identifier,
+    Literal,
+    ScalarOp,
+    Snd,
+    Split,
+    UnaryOp,
+)
+from repro.rise.traverse import children, count_nodes, rebuild, subterms
+from repro.rise.typecheck import infer_types
+from repro.rise.types import (
+    ArrayType,
+    DataType,
+    PairType,
+    ScalarType,
+    TypeError_,
+    VectorType,
+    array,
+    f32,
+)
+
+__all__ = [
+    "GenConfig",
+    "Stage",
+    "GeneratedProgram",
+    "IllTypedMutant",
+    "GenError",
+    "generate_program",
+    "gen_scalar_fun",
+    "mutate_ill_typed",
+]
+
+
+class GenError(Exception):
+    """Raised when generation cannot make progress (a generator bug)."""
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Tuning knobs of the program generator.
+
+    The defaults keep programs small enough to interpret in milliseconds
+    while still composing every pattern family the paper uses.
+    """
+
+    min_stages: int = 1
+    max_stages: int = 5
+    #: Probability that input sizes are symbolic Nat variables (bound to
+    #: concrete values through the ``sizes`` environment) rather than
+    #: constants baked into the type.
+    p_symbolic: float = 0.3
+    #: Allow asVector/mapVec/asScalar stages.
+    allow_vectors: bool = True
+    #: Allow a second input array consumed through ``zip``.
+    allow_second_input: bool = True
+    #: Allow full reduction to a scalar output.
+    allow_scalar_output: bool = True
+    #: Node-count ceiling; stages that would exceed it (e.g. ``zip(e, e)``
+    #: duplication) are not offered.
+    max_nodes: int = 120
+    #: Concrete 1-D sizes (composite values keep split/asVector applicable).
+    sizes_1d: tuple[int, ...] = (6, 8, 9, 10, 12, 16)
+    #: Concrete 2-D sizes.
+    sizes_2d: tuple[int, ...] = (3, 4, 5, 6, 8)
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One pipeline stage: a named ``Expr -> Expr`` transformation."""
+
+    name: str
+    build: Callable[[Expr], Expr]
+
+
+@dataclass
+class GeneratedProgram:
+    """A generated well-typed program plus everything needed to run it."""
+
+    seed: int
+    base: Expr
+    stages: tuple[Stage, ...]
+    expr: Expr
+    type_env: dict[str, DataType]
+    sizes: dict[str, int]
+    input_specs: dict[str, dict]
+    out_type: DataType
+    discards: int = 0
+    candidates: int = 0
+
+    @property
+    def stage_names(self) -> tuple[str, ...]:
+        """The names of the applied stages, in pipeline order."""
+        return tuple(s.name for s in self.stages)
+
+    def structural_hash(self) -> str:
+        """Alpha-invariant content hash of the program (engine hashing)."""
+        from repro.engine.hashing import structural_hash
+
+        return structural_hash(self.expr)
+
+    def make_inputs(self) -> dict[str, np.ndarray]:
+        """Materialize the random input arrays from their stored specs."""
+        return make_inputs(self.input_specs)
+
+    def rebuild(self, keep: tuple[int, ...]) -> Optional[Expr]:
+        """Reapply only the stages at indices ``keep`` (used by the
+        shrinker); returns None when the reduced pipeline is ill-typed."""
+        expr = self.base
+        for i in keep:
+            expr = self.stages[i].build(expr)
+        try:
+            infer_types(expr, self.type_env, strict=True)
+        except TypeError_:
+            return None
+        return expr
+
+
+def make_inputs(input_specs: dict) -> dict[str, np.ndarray]:
+    """Build the f32 input arrays described by ``{name: {shape, seed}}``.
+
+    Each array gets its own ``numpy.random.Generator`` seeded from the
+    spec (the repo-wide seeding convention: no module touches numpy's
+    global RNG state), with values in ``[0, 1)`` so generated arithmetic
+    stays finite.
+    """
+    out: dict[str, np.ndarray] = {}
+    for name, spec in input_specs.items():
+        rng = np.random.default_rng(int(spec["seed"]))
+        out[name] = rng.random(tuple(spec["shape"]), dtype=np.float32)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Random scalar functions.
+# ----------------------------------------------------------------------
+
+_LITERAL_POOL = (-2.0, -1.0, -0.5, 0.25, 0.5, 1.0, 1.5, 2.0)
+_BINARY_OPS = ("add", "sub", "mul", "min", "max")
+_UNARY_OPS = ("neg", "abs")
+_DIV_CONSTS = (2.0, 4.0, 8.0)
+
+
+def _binop(op: str, a: Expr, b: Expr) -> Expr:
+    return App(App(ScalarOp(op=op), a), b)
+
+
+def _scalar_tree(rng: random.Random, x: Identifier, depth: int) -> Expr:
+    if depth <= 0 or rng.random() < 0.25:
+        return x if rng.random() < 0.75 else lit(rng.choice(_LITERAL_POOL))
+    kind = rng.choices(("bin", "un", "divc"), weights=(6, 2, 1))[0]
+    if kind == "bin":
+        op = rng.choice(_BINARY_OPS)
+        return _binop(op, _scalar_tree(rng, x, depth - 1), _scalar_tree(rng, x, depth - 1))
+    if kind == "un":
+        return App(UnaryOp(op=rng.choice(_UNARY_OPS)), _scalar_tree(rng, x, depth - 1))
+    # Division only by exact powers of two, so backends agree bit-for-bit.
+    return _binop("div", _scalar_tree(rng, x, depth - 1), lit(rng.choice(_DIV_CONSTS)))
+
+
+def gen_scalar_fun(rng: random.Random):
+    """A random ``f32 -> f32`` lambda over add/sub/mul/min/max/neg/abs
+    and division by power-of-two constants (finite on any finite input)."""
+    depth = rng.choice((1, 1, 2, 2, 3))
+    return fun(lambda x: _scalar_tree(rng, x, depth))
+
+
+def _add_fun():
+    return fun(lambda acc, x: acc + x)
+
+
+# ----------------------------------------------------------------------
+# Type-directed stage menus.
+# ----------------------------------------------------------------------
+
+
+def _proper_divisors(n: int) -> list[int]:
+    return [d for d in range(2, n) if n % d == 0]
+
+
+def _stage_options(
+    t: DataType, sizes: dict[str, int], rng: random.Random, nodes: int, cfg: GenConfig
+) -> list[tuple[float, Stage]]:
+    """Weighted stages applicable to a program of root type ``t``."""
+    options: list[tuple[float, Stage]] = []
+    if not isinstance(t, ArrayType):
+        return options
+    n_sym = t.size
+    n = n_sym.evaluate(sizes)
+    concrete = n_sym.is_constant()
+    elem = t.elem
+
+    if isinstance(elem, ScalarType):
+        f = gen_scalar_fun(rng)
+        options.append((5.0, Stage("map", lambda e, f=f: map_(f, e))))
+        if n >= 3:
+            sz = rng.choice((2, 3))
+            options.append((2.0, Stage(f"slide{sz}", lambda e, sz=sz: slide(sz, 1, e))))
+        if concrete:
+            divisors = _proper_divisors(n)
+            if divisors:
+                c = rng.choice(divisors)
+                options.append((2.0, Stage(f"split{c}", lambda e, c=c: split(c, e))))
+            if cfg.allow_vectors:
+                widths = [w for w in (2, 4) if n % w == 0 and n > w]
+                if widths:
+                    w = rng.choice(widths)
+                    options.append(
+                        (1.0, Stage(f"asVector{w}", lambda e, w=w: as_vector(w, e)))
+                    )
+        if nodes * 2 + 1 <= cfg.max_nodes:
+            options.append((1.0, Stage("zipSelf", lambda e: zip_(e, e))))
+        if cfg.allow_scalar_output:
+            options.append(
+                (0.5, Stage("reduceAll", lambda e: reduce_(_add_fun(), lit(0.0), e)))
+            )
+    elif isinstance(elem, ArrayType):
+        options.append((2.0, Stage("transpose", lambda e: transpose(e))))
+        options.append((2.0, Stage("join", lambda e: join(e))))
+        if isinstance(elem.elem, ScalarType):
+            f = gen_scalar_fun(rng)
+            options.append((3.0, Stage("map2d", lambda e, f=f: map_(map_(f), e))))
+            options.append(
+                (
+                    2.0,
+                    Stage(
+                        "rowsReduce",
+                        lambda e: map_(
+                            fun(lambda row: reduce_(_add_fun(), lit(0.0), row)), e
+                        ),
+                    ),
+                )
+            )
+    elif isinstance(elem, PairType):
+        options.append((2.0, Stage("mapFst", lambda e: map_(Fst(), e))))
+        options.append((2.0, Stage("mapSnd", lambda e: map_(Snd(), e))))
+        if isinstance(elem.fst, ScalarType) and isinstance(elem.snd, ScalarType):
+            options.append(
+                (
+                    3.0,
+                    Stage(
+                        "mapPairAdd",
+                        lambda e: map_(fun(lambda p: fst(p) + snd(p)), e),
+                    ),
+                )
+            )
+        options.append((1.0, Stage("unzipFst", lambda e: fst(unzip_(e)))))
+        options.append((1.0, Stage("unzipSnd", lambda e: snd(unzip_(e)))))
+    elif isinstance(elem, VectorType):
+        f = gen_scalar_fun(rng)
+        options.append(
+            (
+                2.0,
+                Stage(
+                    "mapMapVec",
+                    lambda e, f=f: map_(fun(lambda v: map_vec(f, v)), e),
+                ),
+            )
+        )
+        options.append((2.0, Stage("asScalar", lambda e: as_scalar(e))))
+    return options
+
+
+def _finalize_stage(t: DataType, rng: random.Random) -> Optional[Stage]:
+    """A stage removing pair/vector elements so the output is lowerable
+    (nested arrays of scalars, or a scalar)."""
+    if isinstance(t, ArrayType):
+        elem = t.elem
+        if isinstance(elem, PairType):
+            if isinstance(elem.fst, ScalarType) and isinstance(elem.snd, ScalarType):
+                return rng.choice(
+                    (
+                        Stage("mapFst", lambda e: map_(Fst(), e)),
+                        Stage("mapSnd", lambda e: map_(Snd(), e)),
+                        Stage(
+                            "mapPairAdd",
+                            lambda e: map_(fun(lambda p: fst(p) + snd(p)), e),
+                        ),
+                    )
+                )
+            return Stage("mapFst", lambda e: map_(Fst(), e))
+        if isinstance(elem, VectorType):
+            return Stage("asScalar", lambda e: as_scalar(e))
+    return None
+
+
+# ----------------------------------------------------------------------
+# Top-level generation.
+# ----------------------------------------------------------------------
+
+
+def _choose_inputs(rng: random.Random, cfg: GenConfig):
+    """Pick the input form: 1-D, 2-D, or two zipped 1-D arrays."""
+    symbolic = rng.random() < cfg.p_symbolic
+    modes = ["1d", "1d", "2d", "2d"]
+    if cfg.allow_second_input:
+        modes.append("zip2")
+    mode = rng.choice(modes)
+    xs = Identifier("xs")
+    if mode == "2d":
+        h = rng.choice(cfg.sizes_2d)
+        w = rng.choice(cfg.sizes_2d)
+        if symbolic:
+            dtype = array(nat("n"), array(nat("m"), f32))
+            sizes = {"n": h, "m": w}
+        else:
+            dtype = array(h, array(w, f32))
+            sizes = {}
+        return xs, {"xs": dtype}, sizes, {"xs": {"shape": (h, w), "seed": 0}}
+    n = rng.choice(cfg.sizes_1d)
+    if symbolic:
+        dtype = array(nat("n"), f32)
+        sizes = {"n": n}
+    else:
+        dtype = array(n, f32)
+        sizes = {}
+    if mode == "zip2":
+        ys = Identifier("ys")
+        base = zip_(xs, ys)
+        return (
+            base,
+            {"xs": dtype, "ys": dtype},
+            sizes,
+            {"xs": {"shape": (n,), "seed": 0}, "ys": {"shape": (n,), "seed": 0}},
+        )
+    return xs, {"xs": dtype}, sizes, {"xs": {"shape": (n,), "seed": 0}}
+
+
+def generate_program(seed: int, config: GenConfig | None = None) -> GeneratedProgram:
+    """Generate one well-typed random RISE program from ``seed``.
+
+    Deterministic: the same seed and config always produce the same
+    program, input specs and (alpha-invariant) structural hash.
+    """
+    cfg = config or GenConfig()
+    rng = random.Random(seed)
+    base, type_env, sizes, input_specs = _choose_inputs(rng, cfg)
+    for spec in input_specs.values():
+        spec["seed"] = rng.randrange(2**31)
+
+    expr = base
+    typing = infer_types(expr, type_env, strict=True)
+    root = typing.root_type
+    stages: list[Stage] = []
+    discards = 0
+    candidates = 0
+    target = rng.randint(cfg.min_stages, cfg.max_stages)
+
+    while len(stages) < target:
+        options = _stage_options(root, sizes, rng, count_nodes(expr), cfg)
+        if not options:
+            break
+        weights = [w for w, _ in options]
+        stage = rng.choices([s for _, s in options], weights=weights)[0]
+        candidate = stage.build(expr)
+        candidates += 1
+        try:
+            typing = infer_types(candidate, type_env, strict=True)
+        except TypeError_:
+            # By construction this should not happen; count it so the
+            # fuzz loop can assert the discard rate stays near zero.
+            discards += 1
+            if discards > 10 * (len(stages) + 1):
+                raise GenError(
+                    f"seed {seed}: generator discarded {discards} candidates"
+                ) from None
+            continue
+        expr = candidate
+        root = typing.root_type
+        stages.append(stage)
+
+    # Make the output lowerable: no pair or vector elements at top level.
+    while True:
+        fin = _finalize_stage(root, rng)
+        if fin is None:
+            break
+        candidate = fin.build(expr)
+        candidates += 1
+        typing = infer_types(candidate, type_env, strict=True)
+        expr = candidate
+        root = typing.root_type
+        stages.append(fin)
+
+    try:
+        from repro.observe.metrics import inc
+
+        inc("verify.gen.candidates", float(candidates))
+        if discards:
+            inc("verify.gen.discards", float(discards))
+    except Exception:  # pragma: no cover - metrics must never break generation
+        pass
+
+    return GeneratedProgram(
+        seed=seed,
+        base=base,
+        stages=tuple(stages),
+        expr=expr,
+        type_env=type_env,
+        sizes=sizes,
+        input_specs=input_specs,
+        out_type=root,
+        discards=discards,
+        candidates=candidates,
+    )
+
+
+# ----------------------------------------------------------------------
+# Ill-typed mutation mode (type-checker rejection fuzzing).
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IllTypedMutant:
+    """An expression that must make ``infer_types`` raise ``TypeError_``."""
+
+    kind: str
+    expr: Expr
+    type_env: dict
+
+
+def _replace_node(expr: Expr, target: Expr, replacement: Expr) -> Expr:
+    """Replace one subterm (identified by object identity) of ``expr``."""
+    if expr is target:
+        return replacement
+    kids = children(expr)
+    if not kids:
+        return expr
+    return rebuild(expr, [_replace_node(k, target, replacement) for k in kids])
+
+
+def mutate_ill_typed(rng: random.Random, gp: GeneratedProgram) -> IllTypedMutant:
+    """Derive an ill-typed variant of a generated program.
+
+    Mutation operators: dropping an input binding (unbound identifier),
+    applying a non-function, substituting a scalar literal where an
+    array flows, breaking a split/zip size equation.  Every mutant must
+    be *rejected* by the type checker with ``TypeError_`` — any other
+    exception (or silent acceptance) is a type-checker bug.
+    """
+    mutations: list[tuple[str, Callable[[], IllTypedMutant]]] = []
+
+    def unbound() -> IllTypedMutant:
+        env = {name: t for name, t in gp.type_env.items() if name != "xs"}
+        return IllTypedMutant("unbound-identifier", gp.expr, env)
+
+    def apply_nonfunction() -> IllTypedMutant:
+        return IllTypedMutant(
+            "apply-non-function", App(lit(1.0), gp.expr), dict(gp.type_env)
+        )
+
+    mutations.append(("unbound-identifier", unbound))
+    mutations.append(("apply-non-function", apply_nonfunction))
+
+    typing = infer_types(gp.expr, gp.type_env, strict=True)
+    array_nodes = [
+        node
+        for node in subterms(gp.expr)
+        if node is not gp.expr
+        and not isinstance(node, (Literal, ArrayLiteral))
+        and isinstance(typing.of(node), ArrayType)
+    ]
+    if array_nodes:
+        node = rng.choice(array_nodes)
+
+        def scalar_for_array() -> IllTypedMutant:
+            return IllTypedMutant(
+                "scalar-for-array",
+                _replace_node(gp.expr, node, lit(0.0)),
+                dict(gp.type_env),
+            )
+
+        mutations.append(("scalar-for-array", scalar_for_array))
+
+    splits = [
+        node
+        for node in subterms(gp.expr)
+        if isinstance(node, Split) and node.chunk.is_constant()
+    ]
+    if splits:
+        target = rng.choice(splits)
+        bad = Split(chunk=nat(target.chunk.constant_value() * 7 + 1))
+
+        def break_split() -> IllTypedMutant:
+            return IllTypedMutant(
+                "break-size-equation",
+                _replace_node(gp.expr, target, bad),
+                dict(gp.type_env),
+            )
+
+        mutations.append(("break-size-equation", break_split))
+
+    root = typing.root_type
+    if isinstance(root, ArrayType) and root.size.is_constant():
+        n = root.size.constant_value()
+
+        def zip_mismatch() -> IllTypedMutant:
+            other = ArrayLiteral(tuple(0.0 for _ in range(n + 1)), f32)
+            return IllTypedMutant(
+                "zip-length-mismatch", zip_(gp.expr, other), dict(gp.type_env)
+            )
+
+        mutations.append(("zip-length-mismatch", zip_mismatch))
+
+    _, build = rng.choice(mutations)
+    return build()

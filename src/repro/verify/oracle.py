@@ -1,0 +1,282 @@
+"""The metamorphic rewrite oracle.
+
+A rewrite rule claims to preserve semantics.  The oracle turns that
+claim into an executable property: sample a random sequence of rules
+from :data:`RULE_POOL`, apply each through an ELEVATE ``top_down``
+traversal, and require the interpreter to produce (numerically) the
+same output before and after.
+
+Two refinements make this sound in the presence of *side conditions*:
+
+* Rules such as ``splitJoin(p)`` or ``startVectorization(w)`` are only
+  valid when a divisibility condition holds.  The repo encodes this the
+  same way the paper does — the rewrite is locally unconditioned and an
+  outer strategy re-type-checks the result.  The oracle therefore
+  treats an application whose result fails ``infer_types`` as
+  *inadmissible*: the step is reverted and counted
+  (``verify.oracle.inadmissible``), not reported as a bug.
+* Equivalence checking is hardened: shape mismatches and non-finite
+  values are failures in their own right, not silent ``allclose``
+  passes.
+
+``tests/helpers.assert_semantics_preserved`` delegates its flattening
+and comparison to this module, so the test-suite helper and the fuzzer
+share one definition of "semantically equal".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.elevate.core import Strategy, Success, top_down
+from repro.rise.expr import Expr
+from repro.rise.interpreter import EvalError, evaluate, from_numpy
+from repro.rise.typecheck import infer_types
+from repro.rise.types import AddressSpace, TypeError_
+from repro.rules import (
+    beta_reduction,
+    eta_reduction,
+    fst_pair,
+    let_inline,
+    map_fusion,
+    map_of_identity,
+    map_outside_zip,
+    reduce_map_fusion,
+    slide_after_split,
+    slide_before_map,
+    slide_before_slide,
+    slide_outside_zip,
+    slide_to_circular_buffer,
+    slide_to_rotate_values,
+    snd_pair,
+    split_join,
+    start_vectorization,
+    store_to_memory,
+    transpose_around_map_map,
+    unroll_map_seq,
+    unroll_reduce_seq,
+    use_map_global,
+    use_map_seq,
+    use_map_seq_unroll,
+    use_reduce_seq,
+    use_reduce_seq_unroll,
+    vectorize_before_map,
+    vectorize_before_map_reduce,
+    zip_same,
+)
+from repro.rules.algorithmic import fst_unzip, map_proj_fusion, snd_unzip
+
+__all__ = [
+    "RULE_POOL",
+    "AppliedSequence",
+    "sample_rule_names",
+    "apply_rule_sequence",
+    "flatten_value",
+    "values_close",
+    "equivalence_report",
+    "metamorphic_check",
+]
+
+
+def _build_rule_pool() -> dict[str, Strategy]:
+    """The named, ordered pool of candidate rewrite rules.
+
+    Order matters for determinism: ``sample_rule_names`` indexes into
+    this dict's (insertion-ordered) keys with a seeded RNG.
+    """
+    pool: dict[str, Strategy] = {}
+    for strat in (
+        beta_reduction,
+        eta_reduction,
+        let_inline,
+        fst_pair,
+        snd_pair,
+        map_fusion,
+        map_of_identity,
+        reduce_map_fusion,
+        slide_after_split,
+        slide_before_map,
+        slide_before_slide,
+        map_outside_zip,
+        zip_same,
+        slide_outside_zip,
+        transpose_around_map_map,
+        fst_unzip,
+        snd_unzip,
+        map_proj_fusion,
+        use_map_seq,
+        use_map_global,
+        use_map_seq_unroll,
+        use_reduce_seq,
+        use_reduce_seq_unroll,
+        unroll_map_seq,
+        unroll_reduce_seq,
+    ):
+        pool[strat.name] = strat
+    pool["splitJoin(2)"] = split_join(2)
+    pool["splitJoin(4)"] = split_join(4)
+    pool["slideToCircularBuffer"] = slide_to_circular_buffer(AddressSpace.GLOBAL)
+    pool["slideToRotateValues"] = slide_to_rotate_values(AddressSpace.PRIVATE)
+    pool["storeToMemory"] = store_to_memory(AddressSpace.GLOBAL)
+    pool["startVectorization(4)"] = start_vectorization(4)
+    pool[vectorize_before_map.name] = vectorize_before_map
+    pool[vectorize_before_map_reduce.name] = vectorize_before_map_reduce
+    return pool
+
+
+#: name -> rule strategy; the sampling universe of the metamorphic oracle.
+RULE_POOL: dict[str, Strategy] = _build_rule_pool()
+
+
+def sample_rule_names(rng: random.Random, k: int) -> list[str]:
+    """Sample ``k`` rule names (with replacement) from the pool."""
+    names = list(RULE_POOL)
+    return [rng.choice(names) for _ in range(k)]
+
+
+@dataclass
+class AppliedSequence:
+    """Result of applying a rule sequence with admissibility filtering."""
+
+    expr: Expr
+    applied: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+    inadmissible: list[str] = field(default_factory=list)
+
+
+def apply_rule_sequence(
+    expr: Expr, names: list[str], type_env: dict
+) -> AppliedSequence:
+    """Apply each named rule once (``top_down``), keeping only admissible steps.
+
+    A step is *applied* when the rule matches somewhere and the rewritten
+    program still type-checks; *skipped* when it matches nowhere; and
+    *inadmissible* (reverted) when the rewrite fired but violated a side
+    condition, detected as a type error — mirroring how the paper's
+    strategies guard locally unconditioned rules.
+    """
+    out = AppliedSequence(expr=expr)
+    for name in names:
+        strat = top_down(RULE_POOL[name])
+        result = strat(out.expr)
+        if not isinstance(result, Success):
+            out.skipped.append(name)
+            continue
+        try:
+            infer_types(result.expr, type_env, strict=True)
+        except TypeError_:
+            out.inadmissible.append(name)
+            continue
+        out.expr = result.expr
+        out.applied.append(name)
+    try:
+        from repro.observe.metrics import inc
+
+        if out.inadmissible:
+            inc("verify.oracle.inadmissible", float(len(out.inadmissible)))
+    except Exception:  # pragma: no cover - metrics must never break the oracle
+        pass
+    return out
+
+
+# ----------------------------------------------------------------------
+# Hardened semantic equivalence.
+# ----------------------------------------------------------------------
+
+
+def flatten_value(value) -> list[float]:
+    """Flatten an interpreter value (nested lists/tuples/vectors) to floats."""
+    out: list[float] = []
+
+    def go(v) -> None:
+        if isinstance(v, (list, np.ndarray)):
+            for x in v:
+                go(x)
+        elif isinstance(v, tuple):
+            for x in v:
+                go(x)
+        else:
+            out.append(float(v))
+
+    go(value)
+    return out
+
+
+def values_close(a, b, rtol: float = 1e-5, atol: float = 1e-6) -> bool:
+    """True when two interpreter values are shape- and value-equivalent."""
+    return equivalence_report(a, b, rtol=rtol, atol=atol) is None
+
+
+def equivalence_report(
+    a, b, rtol: float = 1e-5, atol: float = 1e-6
+) -> dict | None:
+    """None when equivalent, else a JSON-ready description of the mismatch.
+
+    Hardened beyond a bare ``allclose``: element-count mismatches and
+    non-finite values on either side are explicit failure modes.
+    """
+    fa, fb = flatten_value(a), flatten_value(b)
+    if len(fa) != len(fb):
+        return {"kind": "shape", "len_a": len(fa), "len_b": len(fb)}
+    if not fa:
+        return None
+    na, nb = np.asarray(fa, dtype=np.float64), np.asarray(fb, dtype=np.float64)
+    bad_a, bad_b = ~np.isfinite(na), ~np.isfinite(nb)
+    if bad_a.any() or bad_b.any():
+        idx = int(np.argmax(bad_a | bad_b))
+        return {
+            "kind": "non-finite",
+            "index": idx,
+            "a": repr(na[idx]),
+            "b": repr(nb[idx]),
+        }
+    close = np.isclose(na, nb, rtol=rtol, atol=atol)
+    if close.all():
+        return None
+    diff = np.abs(na - nb)
+    idx = int(np.argmax(np.where(close, 0.0, diff)))
+    return {
+        "kind": "value",
+        "index": idx,
+        "a": float(na[idx]),
+        "b": float(nb[idx]),
+        "max_abs_diff": float(diff[~close].max()),
+        "mismatched": int((~close).sum()),
+        "total": len(fa),
+    }
+
+
+def metamorphic_check(
+    expr: Expr,
+    rule_names: list[str],
+    type_env: dict,
+    inputs: dict[str, np.ndarray],
+    rtol: float = 1e-5,
+    atol: float = 1e-6,
+) -> dict | None:
+    """Run one metamorphic trial; None on success, a failure dict otherwise.
+
+    Failure kinds: ``shape`` / ``value`` / ``non-finite`` mismatches
+    between the original and rewritten interpretation, or ``crash`` when
+    either interpretation raises.
+    """
+    value_env = {name: from_numpy(arr) for name, arr in inputs.items()}
+    applied = apply_rule_sequence(expr, rule_names, type_env)
+    try:
+        before = evaluate(expr, dict(value_env))
+        after = evaluate(applied.expr, dict(value_env))
+    except (EvalError, ArithmeticError) as exc:
+        return {
+            "kind": "crash",
+            "error": f"{type(exc).__name__}: {exc}",
+            "applied": applied.applied,
+        }
+    report = equivalence_report(before, after, rtol=rtol, atol=atol)
+    if report is None:
+        return None
+    report["applied"] = applied.applied
+    report["inadmissible"] = applied.inadmissible
+    return report

@@ -1,0 +1,315 @@
+"""JSON (de)serialization of RISE expressions, types and corpus cases.
+
+Shrunk fuzzing failures must outlive the process that found them, so the
+shrinker writes each one as a schema-versioned JSON document under
+``tests/corpus/`` and ``tests/verify/test_corpus.py`` replays them all.
+The codec here is intentionally closed-world: it covers exactly the
+dataclass surface of :mod:`repro.rise.expr` / :mod:`repro.rise.types`
+(plus :class:`~repro.nat.Nat` fields that are either constants or a
+single named variable, the only shapes the generator emits), and raises
+:class:`SerializeError` on anything else rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields
+from pathlib import Path
+
+from repro.nat import Nat, nat
+from repro.rise.expr import (
+    App,
+    ArrayLiteral,
+    Expr,
+    Identifier,
+    Lambda,
+    Let,
+    Literal,
+    Primitive,
+    PRIMITIVE_REGISTRY,
+)
+from repro.rise.types import (
+    AddressSpace,
+    ArrayType,
+    DataType,
+    PairType,
+    ScalarType,
+    Type,
+    VectorType,
+)
+
+__all__ = [
+    "CASE_SCHEMA",
+    "SerializeError",
+    "nat_to_json",
+    "nat_from_json",
+    "type_to_dict",
+    "type_from_dict",
+    "expr_to_dict",
+    "expr_from_dict",
+    "case_to_dict",
+    "case_from_dict",
+    "save_case",
+    "load_case",
+]
+
+#: Schema identifier of one serialized corpus case; bump when its shape changes.
+CASE_SCHEMA = "repro.verify.case/v1"
+
+
+class SerializeError(Exception):
+    """Raised when a value falls outside the closed-world codec."""
+
+
+# ----------------------------------------------------------------------
+# Nat codec: constant int, or the name of a single variable.
+# ----------------------------------------------------------------------
+
+
+def nat_to_json(value: Nat):
+    """Encode a Nat as an int (constant) or a variable-name string."""
+    value = nat(value)
+    if value.is_constant():
+        return value.constant_value()
+    free = sorted(value.free_vars())
+    if len(free) == 1 and value == nat(free[0]):
+        return free[0]
+    raise SerializeError(f"cannot serialize compound Nat {value!r}")
+
+
+def nat_from_json(doc) -> Nat:
+    """Decode the output of :func:`nat_to_json`."""
+    if isinstance(doc, bool) or not isinstance(doc, (int, str)):
+        raise SerializeError(f"bad Nat encoding {doc!r}")
+    return nat(doc)
+
+
+# ----------------------------------------------------------------------
+# Type codec (data types only -- corpus type environments never contain
+# function types).
+# ----------------------------------------------------------------------
+
+
+def type_to_dict(t: Type) -> dict:
+    """Encode a data type as a JSON-ready dict."""
+    if isinstance(t, ScalarType):
+        return {"k": "scalar", "name": t.name}
+    if isinstance(t, VectorType):
+        return {"k": "vec", "size": nat_to_json(t.size), "elem": type_to_dict(t.elem)}
+    if isinstance(t, ArrayType):
+        return {"k": "array", "size": nat_to_json(t.size), "elem": type_to_dict(t.elem)}
+    if isinstance(t, PairType):
+        return {"k": "pair", "fst": type_to_dict(t.fst), "snd": type_to_dict(t.snd)}
+    raise SerializeError(f"cannot serialize type {t!r}")
+
+
+def type_from_dict(doc: dict) -> DataType:
+    """Decode the output of :func:`type_to_dict`."""
+    kind = doc.get("k")
+    if kind == "scalar":
+        return ScalarType(doc["name"])
+    if kind == "vec":
+        return VectorType(nat_from_json(doc["size"]), type_from_dict(doc["elem"]))
+    if kind == "array":
+        return ArrayType(nat_from_json(doc["size"]), type_from_dict(doc["elem"]))
+    if kind == "pair":
+        return PairType(type_from_dict(doc["fst"]), type_from_dict(doc["snd"]))
+    raise SerializeError(f"bad type encoding {doc!r}")
+
+
+# ----------------------------------------------------------------------
+# Expression codec.  Primitives are encoded generically over their
+# dataclass fields so newly registered primitives round-trip for free.
+# ----------------------------------------------------------------------
+
+
+def _field_to_json(value):
+    if isinstance(value, Nat):
+        return {"nat": nat_to_json(value)}
+    if isinstance(value, AddressSpace):
+        return {"addr": value.value}
+    if isinstance(value, ScalarType):
+        return {"scalar": value.name}
+    if isinstance(value, (int, float, str)):
+        return value
+    raise SerializeError(f"cannot serialize primitive field {value!r}")
+
+
+def _field_from_json(doc):
+    if isinstance(doc, dict):
+        if "nat" in doc:
+            return nat_from_json(doc["nat"])
+        if "addr" in doc:
+            return AddressSpace(doc["addr"])
+        if "scalar" in doc:
+            return ScalarType(doc["scalar"])
+        raise SerializeError(f"bad primitive field encoding {doc!r}")
+    return doc
+
+
+def expr_to_dict(expr: Expr) -> dict:
+    """Encode a RISE expression as a JSON-ready dict."""
+    if isinstance(expr, Identifier):
+        return {"k": "id", "name": expr.name}
+    if isinstance(expr, Lambda):
+        return {
+            "k": "lam",
+            "param": expr.param.name,
+            "body": expr_to_dict(expr.body),
+        }
+    if isinstance(expr, App):
+        return {"k": "app", "fun": expr_to_dict(expr.fun), "arg": expr_to_dict(expr.arg)}
+    if isinstance(expr, Let):
+        return {
+            "k": "let",
+            "ident": expr.ident.name,
+            "value": expr_to_dict(expr.value),
+            "body": expr_to_dict(expr.body),
+        }
+    if isinstance(expr, Literal):
+        return {"k": "lit", "value": expr.value, "dtype": expr.dtype.name}
+    if isinstance(expr, ArrayLiteral):
+        return {"k": "arrlit", "values": _nested_list(expr.values), "dtype": expr.dtype.name}
+    if isinstance(expr, Primitive):
+        cls = type(expr)
+        if PRIMITIVE_REGISTRY.get(cls.__name__) is not cls:
+            raise SerializeError(f"unregistered primitive {cls.__name__}")
+        encoded_fields = {
+            f.name: _field_to_json(getattr(expr, f.name)) for f in fields(expr)
+        }
+        return {"k": "prim", "cls": cls.__name__, "fields": encoded_fields}
+    raise SerializeError(f"cannot serialize expression {expr!r}")
+
+
+def _nested_list(values):
+    if isinstance(values, tuple):
+        return [_nested_list(v) for v in values]
+    return values
+
+
+def _nested_tuple(values):
+    if isinstance(values, list):
+        return tuple(_nested_tuple(v) for v in values)
+    return float(values)
+
+
+def expr_from_dict(doc: dict) -> Expr:
+    """Decode the output of :func:`expr_to_dict`."""
+    kind = doc.get("k")
+    if kind == "id":
+        return Identifier(doc["name"])
+    if kind == "lam":
+        return Lambda(Identifier(doc["param"]), expr_from_dict(doc["body"]))
+    if kind == "app":
+        return App(expr_from_dict(doc["fun"]), expr_from_dict(doc["arg"]))
+    if kind == "let":
+        return Let(
+            Identifier(doc["ident"]),
+            expr_from_dict(doc["value"]),
+            expr_from_dict(doc["body"]),
+        )
+    if kind == "lit":
+        return Literal(float(doc["value"]), ScalarType(doc["dtype"]))
+    if kind == "arrlit":
+        return ArrayLiteral(_nested_tuple(doc["values"]), ScalarType(doc["dtype"]))
+    if kind == "prim":
+        cls = PRIMITIVE_REGISTRY.get(doc["cls"])
+        if cls is None:
+            raise SerializeError(f"unknown primitive {doc['cls']!r}")
+        kwargs = {name: _field_from_json(v) for name, v in doc.get("fields", {}).items()}
+        return cls(**kwargs)
+    raise SerializeError(f"bad expression encoding {doc!r}")
+
+
+# ----------------------------------------------------------------------
+# Corpus cases.
+# ----------------------------------------------------------------------
+
+
+def case_to_dict(
+    *,
+    kind: str,
+    seed: int,
+    expr: Expr,
+    type_env: dict,
+    sizes: dict,
+    input_specs: dict,
+    program_hash: str,
+    rules: list[str] | None = None,
+    expect: str = "pass",
+    reason: str = "",
+    extra: dict | None = None,
+) -> dict:
+    """Build one schema-versioned corpus-case document.
+
+    ``kind`` selects the replayed check (``metamorphic`` /
+    ``differential`` / ``typecheck-reject``); ``expect`` is ``"pass"``
+    for regression cases or ``"xfail"`` for known-broken cases whose
+    ``reason`` explains the linked bug.
+    """
+    if expect not in ("pass", "xfail"):
+        raise SerializeError(f"bad expect value {expect!r}")
+    doc = {
+        "schema": CASE_SCHEMA,
+        "kind": kind,
+        "seed": int(seed),
+        "expr": expr_to_dict(expr),
+        "type_env": {name: type_to_dict(t) for name, t in type_env.items()},
+        "sizes": {name: int(v) for name, v in sizes.items()},
+        "inputs": {
+            name: {"shape": list(spec["shape"]), "seed": int(spec["seed"])}
+            for name, spec in input_specs.items()
+        },
+        "program_hash": program_hash,
+        "rules": list(rules or []),
+        "expect": expect,
+        "reason": reason,
+    }
+    if extra:
+        doc["extra"] = extra
+    return doc
+
+
+def case_from_dict(doc: dict) -> dict:
+    """Validate and decode a corpus-case document into live objects.
+
+    Returns a dict with ``expr`` / ``type_env`` decoded plus the raw
+    metadata fields (kind, seed, sizes, inputs, rules, expect, reason,
+    program_hash).
+    """
+    if doc.get("schema") != CASE_SCHEMA:
+        raise SerializeError(
+            f"unknown corpus-case schema {doc.get('schema')!r} "
+            f"(expected {CASE_SCHEMA!r})"
+        )
+    return {
+        "kind": doc["kind"],
+        "seed": int(doc["seed"]),
+        "expr": expr_from_dict(doc["expr"]),
+        "type_env": {
+            name: type_from_dict(t) for name, t in doc.get("type_env", {}).items()
+        },
+        "sizes": {name: int(v) for name, v in doc.get("sizes", {}).items()},
+        "inputs": {
+            name: {"shape": tuple(spec["shape"]), "seed": int(spec["seed"])}
+            for name, spec in doc.get("inputs", {}).items()
+        },
+        "rules": list(doc.get("rules", [])),
+        "expect": doc.get("expect", "pass"),
+        "reason": doc.get("reason", ""),
+        "program_hash": doc.get("program_hash", ""),
+        "extra": doc.get("extra", {}),
+    }
+
+
+def save_case(path, doc: dict) -> Path:
+    """Write a corpus-case document to ``path`` (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def load_case(path) -> dict:
+    """Read and decode one corpus case from disk."""
+    return case_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

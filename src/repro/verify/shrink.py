@@ -1,0 +1,149 @@
+"""Minimization of failing (program, rule-sequence, input) triples.
+
+A raw fuzzing failure is rarely a good bug report: the program has
+irrelevant stages and the rule sequence irrelevant rewrites.  The
+shrinker reduces both while re-checking that the failure persists:
+
+* **stage dropping** — generated programs are stage pipelines, so
+  subterm replacement reduces to re-building the pipeline from a subset
+  of stages (skipping subsets that no longer type-check);
+* **rule-sequence bisection** — a delta-debugging pass over the applied
+  rule names, removing chunks of halving size.
+
+Every candidate evaluation counts as one shrink step
+(``verify.shrink_steps``), and the minimized triple is serialized as a
+schema-versioned corpus case for ``tests/corpus/``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.rise.expr import Expr
+from repro.verify.gen import GeneratedProgram
+from repro.verify.serialize import case_to_dict
+
+__all__ = ["ShrinkResult", "shrink_failure", "reduced_program", "build_corpus_case"]
+
+#: ``still_fails(expr, rules) -> bool`` — True while the candidate still
+#: reproduces the original failure.
+StillFails = Callable[[Expr, list[str]], bool]
+
+
+@dataclass
+class ShrinkResult:
+    """A minimized failing triple plus shrink accounting."""
+
+    expr: Expr
+    kept_stages: tuple[int, ...]
+    rules: list[str]
+    steps: int
+
+
+def _shrink_stages(
+    gp: GeneratedProgram, rules: list[str], still_fails: StillFails, budget: int
+) -> tuple[tuple[int, ...], Expr, int]:
+    kept = list(range(len(gp.stages)))
+    expr = gp.expr
+    steps = 0
+    changed = True
+    while changed and steps < budget:
+        changed = False
+        for i in range(len(kept)):
+            candidate = kept[:i] + kept[i + 1 :]
+            reduced = gp.rebuild(tuple(candidate))
+            if reduced is None:
+                continue
+            steps += 1
+            if still_fails(reduced, rules):
+                kept, expr, changed = candidate, reduced, True
+                break
+    return tuple(kept), expr, steps
+
+
+def _shrink_rules(
+    expr: Expr, rules: list[str], still_fails: StillFails, budget: int
+) -> tuple[list[str], int]:
+    rules = list(rules)
+    steps = 0
+    chunk = max(1, len(rules) // 2)
+    while rules and steps < budget:
+        i = 0
+        while i < len(rules) and steps < budget:
+            candidate = rules[:i] + rules[i + chunk :]
+            steps += 1
+            if still_fails(expr, candidate):
+                rules = candidate
+            else:
+                i += chunk
+        if chunk == 1:
+            break
+        chunk = max(1, chunk // 2)
+    return rules, steps
+
+
+def shrink_failure(
+    gp: GeneratedProgram,
+    rules: list[str],
+    still_fails: StillFails,
+    max_steps: int = 200,
+) -> ShrinkResult:
+    """Minimize a failing triple; deterministic given a deterministic check.
+
+    ``still_fails`` receives a candidate (expr, rules) pair and must
+    return True while the original failure reproduces.  The search is
+    greedy and bounded by ``max_steps`` candidate evaluations.
+    """
+    kept, expr, stage_steps = _shrink_stages(gp, rules, still_fails, max_steps)
+    rules, rule_steps = _shrink_rules(
+        expr, rules, still_fails, max(0, max_steps - stage_steps)
+    )
+    steps = stage_steps + rule_steps
+    try:
+        from repro.observe.metrics import inc
+
+        if steps:
+            inc("verify.shrink_steps", float(steps))
+    except Exception:  # pragma: no cover - metrics must never break shrinking
+        pass
+    return ShrinkResult(expr=expr, kept_stages=kept, rules=rules, steps=steps)
+
+
+def reduced_program(gp: GeneratedProgram, shrink: ShrinkResult) -> GeneratedProgram:
+    """The generated program with the shrunk expression and stage subset."""
+    return dataclasses.replace(
+        gp,
+        expr=shrink.expr,
+        stages=tuple(gp.stages[i] for i in shrink.kept_stages),
+    )
+
+
+def build_corpus_case(
+    gp: GeneratedProgram,
+    shrink: ShrinkResult,
+    kind: str,
+    report: dict | None = None,
+    expect: str = "pass",
+    reason: str = "",
+) -> dict:
+    """Serialize a shrunk failure as a replayable corpus-case document."""
+    from repro.engine.hashing import structural_hash
+
+    extra: dict = {"stages": [gp.stages[i].name for i in shrink.kept_stages]}
+    if report:
+        extra["report"] = report
+    return case_to_dict(
+        kind=kind,
+        seed=gp.seed,
+        expr=shrink.expr,
+        type_env=gp.type_env,
+        sizes=gp.sizes,
+        input_specs=gp.input_specs,
+        program_hash=structural_hash(shrink.expr),
+        rules=shrink.rules,
+        expect=expect,
+        reason=reason,
+        extra=extra,
+    )

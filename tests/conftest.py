@@ -1,0 +1,56 @@
+"""Shared pytest fixtures and markers for the whole suite.
+
+Conventions enforced here:
+
+* ``@pytest.mark.requires_gcc`` — tests needing a working C toolchain
+  are *skipped with a reason* on machines without one, never failed.
+* ``fresh_metrics_registry`` — metrics tests get an isolated registry
+  instead of depending on global-state ordering between tests.
+* ``small_image`` — one shared, deterministically seeded RGB test image
+  (the repo-wide seeding convention: every data source takes an explicit
+  seed or ``numpy.random.Generator``; nothing touches numpy's global
+  RNG state).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip ``requires_gcc`` tests (with a reason) when no C compiler exists."""
+    from repro.exec.cbridge import have_c_compiler
+
+    if have_c_compiler():
+        return
+    skip = pytest.mark.skip(reason="requires a C compiler (none found on PATH)")
+    for item in items:
+        if "requires_gcc" in item.keywords:
+            item.add_marker(skip)
+
+
+@pytest.fixture
+def small_image() -> np.ndarray:
+    """A small deterministic RGB image (12x16, seed 3)."""
+    from repro.image.data import synthetic_rgb
+
+    return synthetic_rgb(12, 16, seed=3)
+
+
+@pytest.fixture
+def fresh_metrics_registry():
+    """An empty process metrics registry, restored to empty afterwards."""
+    from repro.observe.metrics import registry, reset_registry
+
+    reset_registry()
+    yield registry()
+    reset_registry()
+
+
+@pytest.fixture
+def fresh_engine():
+    """A private in-memory compile engine (no shared on-disk cache)."""
+    from repro.engine.pipeline import Engine
+
+    return Engine(cache_dir=None)

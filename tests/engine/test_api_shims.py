@@ -7,7 +7,7 @@ import pytest
 import repro
 from repro.codegen import compile_program
 from repro.exec import execute_program, run_program
-from repro.exec.cbridge import have_c_compiler, run_program_c
+from repro.exec.cbridge import run_program_c
 from repro.image import synthetic_rgb
 from repro.pipelines import harris, harris_input_type
 from repro.rise import Identifier
@@ -36,7 +36,7 @@ class TestRunProgramShims:
             out = run_program(prog, SIZES, {"rgb": img})
         np.testing.assert_array_equal(out, expected)
 
-    @pytest.mark.skipif(not have_c_compiler(), reason="no C compiler")
+    @pytest.mark.requires_gcc
     def test_run_program_c_warns_and_matches(self, prog, img):
         pipeline = repro.compile(prog, backend="c", sizes=SIZES)
         expected = pipeline.run(rgb=img)

@@ -7,7 +7,7 @@ import pytest
 from repro.codegen import compile_program
 from repro.codegen.cprint import nat_to_c, program_to_c
 from repro.exec import program_to_python, run_program
-from repro.exec.cbridge import have_c_compiler, run_program_c
+from repro.exec.cbridge import run_program_c
 from repro.nat import nat
 from repro.rise import Identifier, array, array2d, f32
 from repro.rise.dsl import fun, lit, map_seq, reduce_seq, slide
@@ -76,7 +76,7 @@ class TestCPrinter:
         assert "v4f_load" in source and "v4f_splat" in source
 
 
-@pytest.mark.skipif(not have_c_compiler(), reason="no C compiler")
+@pytest.mark.requires_gcc
 class TestCBridge:
     def test_simple_program(self, double_prog):
         out = run_program_c(double_prog, {"n": 6}, {"xs": np.arange(6.0)})

@@ -7,7 +7,7 @@ import numpy as np
 import pytest
 
 from repro.codegen import compile_program
-from repro.exec.cbridge import have_c_compiler, run_program_c
+from repro.exec.cbridge import run_program_c
 from repro.halide import compile_harris_halide
 from repro.image import synthetic_rgb, reference
 from repro.lift import compile_harris_lift
@@ -16,7 +16,7 @@ from repro.pipelines import harris, harris_input_type
 from repro.rise import Identifier
 from repro.strategies import cbuf_rrot_version, cbuf_version
 
-pytestmark = pytest.mark.skipif(not have_c_compiler(), reason="no C compiler")
+pytestmark = pytest.mark.requires_gcc
 
 SENV = {"rgb": harris_input_type()}
 

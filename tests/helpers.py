@@ -1,70 +1,24 @@
-"""Shared helpers for the test suite: semantic-equivalence checking.
+"""Backwards-compatible shim over :mod:`tests.support`.
 
-``assert_semantics_preserved`` is the test-side analogue of the paper's
-PSNR validation: a rewrite is correct iff interpreting the program before
-and after on the same inputs gives (numerically) the same outputs.
+The helpers were promoted into the ``tests/support`` package (and their
+flatten/compare core into :mod:`repro.verify.oracle`); importing from
+``tests.helpers`` keeps working for existing tests.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from tests.support import (  # noqa: F401 (re-exports)
+    apply_ok,
+    assert_semantics_preserved,
+    assert_values_close,
+    flatten_value,
+    values_close,
+)
 
-from repro.elevate.core import Strategy, Success
-from repro.rise.expr import Expr
-from repro.rise.interpreter import evaluate, from_numpy
-from repro.rise.typecheck import infer_types
-
-
-def flatten_value(value) -> list[float]:
-    """Flatten an interpreter value (nested lists/tuples/vectors) to floats."""
-    out: list[float] = []
-
-    def go(v) -> None:
-        if isinstance(v, list) or isinstance(v, np.ndarray):
-            for x in v:
-                go(x)
-        elif isinstance(v, tuple):
-            for x in v:
-                go(x)
-        else:
-            out.append(float(v))
-
-    go(value)
-    return out
-
-
-def assert_values_close(a, b, rtol: float = 1e-5, atol: float = 1e-6) -> None:
-    fa, fb = flatten_value(a), flatten_value(b)
-    assert len(fa) == len(fb), f"shape mismatch: {len(fa)} vs {len(fb)} elements"
-    np.testing.assert_allclose(fa, fb, rtol=rtol, atol=atol)
-
-
-def apply_ok(strategy: Strategy, expr: Expr) -> Expr:
-    """Apply a strategy, asserting success."""
-    result = strategy(expr)
-    assert isinstance(result, Success), f"{strategy.name} failed on {expr!r}"
-    return result.expr
-
-
-def assert_semantics_preserved(
-    strategy: Strategy,
-    expr: Expr,
-    env_values: dict,
-    type_env: dict | None = None,
-    rtol: float = 1e-5,
-) -> Expr:
-    """Apply ``strategy`` to ``expr`` and check both type- and value-level
-    equivalence under the given environment.  Returns the rewritten expr."""
-    rewritten = apply_ok(strategy, expr)
-    if type_env is not None:
-        before = infer_types(expr, type_env).root_type
-        after = infer_types(rewritten, type_env).root_type
-        assert before == after, f"type changed: {before!r} -> {after!r}"
-    value_env = {
-        name: from_numpy(v) if isinstance(v, np.ndarray) else v
-        for name, v in env_values.items()
-    }
-    before_value = evaluate(expr, value_env)
-    after_value = evaluate(rewritten, value_env)
-    assert_values_close(before_value, after_value, rtol=rtol)
-    return rewritten
+__all__ = [
+    "flatten_value",
+    "values_close",
+    "assert_values_close",
+    "apply_ok",
+    "assert_semantics_preserved",
+]

@@ -126,19 +126,15 @@ class TestRegistry:
 
 
 class TestModuleHelpers:
-    def test_default_registry_helpers(self):
-        reset_registry()
-        try:
-            inc("t.hits")
-            inc("t.hits", 2)
-            set_gauge("t.depth", 4)
-            observe_value("t.lat", 1.25)
-            snap = registry().snapshot()
-            assert snap["counters"]["t.hits"] == 3
-            assert snap["gauges"]["t.depth"] == 4.0
-            assert snap["histograms"]["t.lat"]["count"] == 1
-        finally:
-            reset_registry()
+    def test_default_registry_helpers(self, fresh_metrics_registry):
+        inc("t.hits")
+        inc("t.hits", 2)
+        set_gauge("t.depth", 4)
+        observe_value("t.lat", 1.25)
+        snap = fresh_metrics_registry.snapshot()
+        assert snap["counters"]["t.hits"] == 3
+        assert snap["gauges"]["t.depth"] == 4.0
+        assert snap["histograms"]["t.lat"]["count"] == 1
 
 
 class TestThreadSafety:

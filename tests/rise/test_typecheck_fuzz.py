@@ -1,0 +1,56 @@
+"""Type-checker rejection fuzzing.
+
+The generator's ill-typed mutation mode derives broken variants of
+well-typed programs (unbound identifiers, scalars where arrays flow,
+broken size equations, non-function application, zip length mismatches).
+Every mutant must be *rejected with a typed error* — ``TypeError_`` —
+never accepted and never crashed with an unrelated exception.
+"""
+
+import random
+
+import pytest
+
+from repro.rise.typecheck import infer_types, well_typed
+from repro.rise.types import TypeError_
+from repro.verify.gen import generate_program, mutate_ill_typed
+
+SEEDS = list(range(80))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_every_mutant_raises_a_typed_error(seed):
+    gp = generate_program(seed)
+    mutant = mutate_ill_typed(random.Random(seed + 0xBAD), gp)
+    with pytest.raises(TypeError_):
+        infer_types(mutant.expr, mutant.type_env, strict=True)
+
+
+def test_all_mutation_kinds_are_exercised():
+    kinds = set()
+    for seed in SEEDS:
+        gp = generate_program(seed)
+        kinds.add(mutate_ill_typed(random.Random(seed + 0xBAD), gp).kind)
+    assert kinds >= {
+        "unbound-identifier",
+        "apply-non-function",
+        "scalar-for-array",
+    }
+
+
+def test_mutation_is_deterministic():
+    gp = generate_program(13)
+    a = mutate_ill_typed(random.Random(42), gp)
+    b = mutate_ill_typed(random.Random(42), gp)
+    assert a.kind == b.kind
+    from repro.engine.hashing import structural_hash
+
+    assert structural_hash(a.expr) == structural_hash(b.expr)
+
+
+def test_originals_remain_well_typed():
+    # The mutation machinery must not mutate the source program in place.
+    for seed in SEEDS[:20]:
+        gp = generate_program(seed)
+        mutate_ill_typed(random.Random(seed), gp)
+        assert well_typed(gp.expr, gp.type_env)

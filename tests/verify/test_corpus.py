@@ -1,0 +1,42 @@
+"""Replay every committed corpus case under ``tests/corpus/``.
+
+Each case is a shrunk fuzzing failure (or a hand-promoted regression
+check) serialized by :mod:`repro.verify.shrink`.  ``expect: pass`` cases
+must pass; ``expect: xfail`` cases document known, linked bugs and must
+still *reproduce* — when one stops failing, the bug is fixed and the
+case should be promoted to ``expect: pass`` (see docs/verify.md).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.engine.hashing import structural_hash
+from repro.verify.fuzz import replay_case
+from repro.verify.serialize import load_case
+
+CORPUS_DIR = Path(__file__).resolve().parents[1] / "corpus"
+CASES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def _case_id(path: Path) -> str:
+    return path.stem
+
+
+def test_corpus_directory_is_populated():
+    assert CASES, f"no corpus cases under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("path", CASES, ids=_case_id)
+def test_replay_corpus_case(path):
+    case = load_case(path)
+    # Deserialization must reproduce the recorded program identity.
+    assert structural_hash(case["expr"]) == case["program_hash"]
+    failure = replay_case(case)
+    if case["expect"] == "xfail":
+        assert failure is not None, (
+            f"{path.name}: known bug no longer reproduces — promote this "
+            f"case to expect=pass (reason was: {case['reason']})"
+        )
+    else:
+        assert failure is None, f"{path.name}: {failure}"

@@ -1,0 +1,98 @@
+"""Metamorphic oracle: hardened comparison + admissibility-filtered rules."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.rise.dsl import fun, lit, map_, split
+from repro.rise.expr import Identifier
+from repro.rise.types import array, f32
+from repro.verify.fuzz import case_seed
+from repro.verify.gen import generate_program
+from repro.verify.oracle import (
+    RULE_POOL,
+    apply_rule_sequence,
+    equivalence_report,
+    flatten_value,
+    metamorphic_check,
+    sample_rule_names,
+    values_close,
+)
+
+
+class TestEquivalenceReport:
+    def test_equal_values_pass(self):
+        assert equivalence_report([1.0, 2.0], [1.0, 2.0]) is None
+        assert values_close((1.0, [2.0, 3.0]), (1.0, [2.0, 3.0]))
+
+    def test_shape_mismatch_is_reported(self):
+        report = equivalence_report([1.0, 2.0], [1.0])
+        assert report["kind"] == "shape"
+
+    def test_value_mismatch_is_reported_with_location(self):
+        report = equivalence_report([1.0, 2.0, 3.0], [1.0, 9.0, 3.0])
+        assert report["kind"] == "value"
+        assert report["index"] == 1
+        assert report["mismatched"] == 1
+
+    def test_non_finite_values_fail_even_when_both_nan(self):
+        report = equivalence_report([float("nan")], [float("nan")])
+        assert report["kind"] == "non-finite"
+        report = equivalence_report([1.0, float("inf")], [1.0, float("inf")])
+        assert report["kind"] == "non-finite"
+
+    def test_flatten_handles_nested_values(self):
+        assert flatten_value([(np.float32(1.0), 2.0), [3.0]]) == [1.0, 2.0, 3.0]
+
+
+class TestRulePool:
+    def test_pool_is_nonempty_and_named(self):
+        assert len(RULE_POOL) >= 25
+        for name, strat in RULE_POOL.items():
+            assert callable(strat), name
+
+    def test_sampling_is_deterministic(self):
+        a = sample_rule_names(random.Random(5), 6)
+        b = sample_rule_names(random.Random(5), 6)
+        assert a == b
+        assert all(name in RULE_POOL for name in a)
+
+
+class TestAdmissibility:
+    def test_inadmissible_rewrite_is_reverted(self):
+        # splitJoin(4) on a 6-element map violates divisibility: the
+        # rewrite fires but must be reverted as inadmissible.
+        xs = Identifier("xs")
+        env = {"xs": array(6, f32)}
+        expr = map_(fun(lambda x: x + lit(1.0)), xs)
+        res = apply_rule_sequence(expr, ["splitJoin(4)"], env)
+        assert res.inadmissible == ["splitJoin(4)"]
+        assert res.expr is expr
+
+    def test_admissible_rewrite_is_applied(self):
+        xs = Identifier("xs")
+        env = {"xs": array(8, f32)}
+        expr = map_(fun(lambda x: x + lit(1.0)), xs)
+        res = apply_rule_sequence(expr, ["splitJoin(4)", "useMapSeq"], env)
+        assert res.applied == ["splitJoin(4)", "useMapSeq"]
+
+    def test_unmatched_rule_is_skipped(self):
+        xs = Identifier("xs")
+        env = {"xs": array(8, f32)}
+        expr = map_(fun(lambda x: x + lit(1.0)), xs)
+        res = apply_rule_sequence(expr, ["transposeAroundMapMap"], env)
+        assert res.skipped == ["transposeAroundMapMap"]
+
+
+class TestMetamorphicProperty:
+    @pytest.mark.parametrize("index", range(25))
+    def test_random_rule_sequences_preserve_semantics(self, index):
+        seed = case_seed(1234, index)
+        gp = generate_program(seed)
+        rng = random.Random(seed ^ 0x5EED)
+        rules = sample_rule_names(rng, 5)
+        failure = metamorphic_check(
+            gp.expr, rules, gp.type_env, gp.make_inputs()
+        )
+        assert failure is None, failure

@@ -1,0 +1,65 @@
+"""Shrinker: stage dropping, rule bisection, corpus serialization."""
+
+from repro.engine.hashing import structural_hash
+from repro.rise.expr import Slide
+from repro.rise.traverse import subterms
+from repro.rise.typecheck import infer_types
+from repro.verify.gen import generate_program
+from repro.verify.serialize import load_case, save_case
+from repro.verify.shrink import build_corpus_case, reduced_program, shrink_failure
+
+
+def _program_with_slide(min_stages=3):
+    for seed in range(200):
+        gp = generate_program(seed)
+        if len(gp.stages) >= min_stages and any(
+            n.startswith("slide") for n in gp.stage_names
+        ):
+            return gp
+    raise AssertionError("no suitable program found")
+
+
+class TestShrink:
+    def test_stage_and_rule_minimization(self):
+        gp = _program_with_slide()
+
+        def still_fails(expr, rules):
+            has_slide = any(isinstance(n, Slide) for n in subterms(expr))
+            return has_slide and "culprit" in rules
+
+        rules = ["noiseA", "culprit", "noiseB", "noiseC", "noiseD"]
+        res = shrink_failure(gp, rules, still_fails)
+        assert res.rules == ["culprit"]
+        kept_names = [gp.stages[i].name for i in res.kept_stages]
+        assert len(kept_names) < len(gp.stages)
+        assert any(isinstance(n, Slide) for n in subterms(res.expr))
+        assert res.steps > 0
+
+    def test_shrunk_expr_still_typechecks(self):
+        gp = _program_with_slide()
+        res = shrink_failure(gp, [], lambda e, r: True)
+        infer_types(res.expr, gp.type_env, strict=True)
+        reduced = reduced_program(gp, res)
+        assert reduced.expr is res.expr
+        assert len(reduced.stages) == len(res.kept_stages)
+
+    def test_shrink_is_bounded(self):
+        gp = _program_with_slide()
+        res = shrink_failure(gp, ["r"] * 50, lambda e, r: True, max_steps=10)
+        assert res.steps <= 12  # stage pass + a final rule pass round
+
+
+class TestCorpusCase:
+    def test_round_trip_preserves_hash_and_metadata(self, tmp_path):
+        gp = _program_with_slide()
+        res = shrink_failure(gp, ["useMapSeq"], lambda e, r: True)
+        case = build_corpus_case(
+            gp, res, "metamorphic", report={"kind": "value"}, expect="pass"
+        )
+        path = save_case(tmp_path / "case.json", case)
+        back = load_case(path)
+        assert structural_hash(back["expr"]) == case["program_hash"]
+        assert back["kind"] == "metamorphic"
+        assert back["seed"] == gp.seed
+        assert back["sizes"] == gp.sizes
+        assert set(back["inputs"]) == set(gp.input_specs)
