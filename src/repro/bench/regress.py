@@ -32,6 +32,7 @@ __all__ = [
     "SAMPLE_SCHEMA",
     "DEFAULT_TRAJECTORY",
     "DEFAULT_THRESHOLD",
+    "WALL_CELL_PREFIX",
     "Regression",
     "git_sha",
     "collect_sample",
@@ -72,6 +73,7 @@ def collect_sample(
     k: int = 3,
     metrics: dict | None = None,
     extra: dict | None = None,
+    wall: dict | None = None,
 ) -> dict:
     """One schema-versioned trajectory sample for the current tree.
 
@@ -80,6 +82,12 @@ def collect_sample(
     guards only against future measured backends); ``metrics`` embeds a
     metrics-registry snapshot and ``extra`` free-form run context (batch
     throughput, report paths, ...).
+
+    ``wall`` merges measured wall-clock cells (``"wall|<schedule>@<t>t|
+    <image>" -> min-of-k ms``, see :func:`repro.bench.harness.
+    wallclock_grid`) into the same cell map; the ``wall|`` prefix keeps
+    them distinguishable so the comparison gate can treat measured cells
+    as informational while still gating the deterministic modeled ones.
     """
     from repro.bench.harness import DEFAULT_CHUNK, DEFAULT_VEC, fig8_grid
 
@@ -97,6 +105,8 @@ def collect_sample(
     min_of_k = {
         key: round(min(run[key] for run in runs), 6) for key in sorted(runs[0])
     }
+    if wall:
+        min_of_k.update({key: round(float(ms), 6) for key, ms in wall.items()})
     sample = {
         "schema": SAMPLE_SCHEMA,
         "timestamp": round(time.time(), 3),
@@ -185,10 +195,15 @@ def compare_cells(
     return regressions
 
 
+#: Prefix of measured wall-clock cells (informational unless gated).
+WALL_CELL_PREFIX = "wall|"
+
+
 def compare_trajectory(
     trajectory: dict,
     candidate: dict | None = None,
     threshold: float = DEFAULT_THRESHOLD,
+    gate_wall: bool = False,
 ) -> tuple[list[Regression], dict]:
     """Compare a candidate sample against the trajectory's history.
 
@@ -197,6 +212,10 @@ def compare_trajectory(
     the whole trajectory.  The per-cell baseline is the minimum over the
     history — min-of-k samples against a min-over-history baseline keeps
     one slow CI machine from drowning a real regression in noise.
+
+    Measured ``wall|`` cells are excluded from the gate unless
+    ``gate_wall`` — wall clocks on shared CI runners are noisy, and a
+    noisy measured cell must not fail the deterministic model gate.
 
     Returns ``(regressions, info)`` where ``info`` carries the baseline
     size for reporting; with fewer than one baseline sample there is
@@ -212,8 +231,13 @@ def compare_trajectory(
         if not history:
             return [], {"baseline_samples": 0, "cells": 0}
     baseline: dict[str, float] = {}
+    wall_cells = 0
     for sample in history:
         for cell, ms in sample.get("cells", {}).items():
+            if cell.startswith(WALL_CELL_PREFIX):
+                wall_cells += 1
+                if not gate_wall:
+                    continue
             ms = float(ms)
             if cell not in baseline or ms < baseline[cell]:
                 baseline[cell] = ms
@@ -223,6 +247,7 @@ def compare_trajectory(
         "cells": len(baseline),
         "candidate_sha": candidate.get("git_sha", "unknown"),
         "threshold": threshold,
+        "gate_wall": gate_wall,
     }
     return regressions, info
 

@@ -47,6 +47,35 @@ __all__ = ["program_to_c", "function_to_c", "nat_to_c"]
 _PRELUDE = """#include <stdint.h>
 #include <string.h>
 #include <math.h>
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+/* Thread control exported to the ctypes bridge: a no-op without OpenMP,
+   so the same binary interface works for sequential fallback builds. */
+void repro_set_threads(int n) {{
+#ifdef _OPENMP
+    if (n > 0) omp_set_num_threads(n);
+#else
+    (void)n;
+#endif
+}}
+
+int repro_openmp_enabled(void) {{
+#ifdef _OPENMP
+    return 1;
+#else
+    return 0;
+#endif
+}}
+
+int repro_max_threads(void) {{
+#ifdef _OPENMP
+    return omp_get_max_threads();
+#else
+    return 1;
+#endif
+}}
 
 typedef float v4f __attribute__((vector_size(16)));
 typedef float v4f_u __attribute__((vector_size(16), aligned(4)));
@@ -198,7 +227,10 @@ class _CPrinter:
             return
         if isinstance(s, For):
             if s.kind is LoopKind.PARALLEL:
-                self.line("#pragma omp parallel for")
+                # Static chunking matches the strip semantics of the
+                # Python backend (contiguous row strips per thread), so
+                # both backends partition work identically.
+                self.line("#pragma omp parallel for schedule(static)")
             extent = self.expr(s.extent)
             self.line(f"for (int {s.var} = 0; {s.var} < {extent}; {s.var}++) {{")
             self.indent += 1

@@ -56,11 +56,16 @@ def _run_item_python(
     """Process-pool worker: execute one item on the Python backend.
 
     Module-level so it pickles under every multiprocessing start method.
+    Runs under :func:`repro.exec.parallel.batch_worker_scope`, so nested
+    ``PARALLEL`` loops degrade to sequential instead of oversubscribing
+    the cores the pool already owns.
     """
+    from repro.exec.parallel import batch_worker_scope
     from repro.exec.pyexec import execute_program
 
     start = time.perf_counter()
-    out = execute_program(prog, sizes, inputs)
+    with batch_worker_scope():
+        out = execute_program(prog, sizes, inputs)
     return out, (time.perf_counter() - start) * 1e3
 
 
@@ -209,9 +214,16 @@ class BatchRunner:
         return [out for out, _ in results], [ms for _, ms in results]
 
     def _map_inline(self, pool: Executor, items, sizes):
+        from repro.exec.parallel import batch_worker_scope
+
         def one(index, inputs):
             t0 = time.perf_counter()
-            with span("engine.batch.item", index=index, mode="thread"):
+            # batch_worker_scope: batch-level parallelism wins; nested
+            # PARALLEL loops inside the item run sequentially (thread
+            # pins degrade to 1) instead of oversubscribing the pool.
+            with batch_worker_scope(), span(
+                "engine.batch.item", index=index, mode="thread"
+            ):
                 out = self.pipeline.run(sizes=sizes, **inputs)
             count("engine.batch.item")
             return out, (time.perf_counter() - t0) * 1e3

@@ -41,7 +41,7 @@ from repro.engine.hashing import (
     type_env_signature,
 )
 from repro.observe.core import count, span
-from repro.observe.metrics import inc, observe_value
+from repro.observe.metrics import inc, observe_value, set_gauge
 from repro.rise.expr import Expr
 
 __all__ = [
@@ -83,12 +83,16 @@ class CompiledPipeline:
         sizes: Mapping[str, int] | None,
         cache_status: str,
         compile_ms: float,
+        threads: int | None = None,
     ):
         self._engine = engine
         self._entry = entry
         self.sizes = dict(sizes) if sizes else {}
         self.cache_status = cache_status
         self.compile_ms = compile_ms
+        #: Default thread count for PARALLEL loops (None = resolve per run
+        #: from $REPRO_THREADS / $OMP_NUM_THREADS / cpu count).
+        self.threads = threads
 
     # -- introspection ---------------------------------------------------
 
@@ -141,7 +145,12 @@ class CompiledPipeline:
         """A new handle over the same artifact with merged default sizes."""
         merged = {**self.sizes, **dict(sizes)}
         return CompiledPipeline(
-            self._engine, self._entry, merged, self.cache_status, self.compile_ms
+            self._engine,
+            self._entry,
+            merged,
+            self.cache_status,
+            self.compile_ms,
+            threads=self.threads,
         )
 
     def resolve_run_sizes(self, sizes: Mapping[str, int] | None) -> dict[str, int]:
@@ -158,28 +167,47 @@ class CompiledPipeline:
     # -- execution -------------------------------------------------------
 
     def run(
-        self, sizes: Mapping[str, int] | None = None, **inputs: np.ndarray
+        self,
+        sizes: Mapping[str, int] | None = None,
+        threads: int | None = None,
+        **inputs: np.ndarray,
     ) -> np.ndarray:
         """Execute once on the pipeline's backend; returns the flat output.
 
         Input buffers are keyword arguments named after the program's
-        free identifiers (``pipeline.run(rgb=img)``).
+        free identifiers (``pipeline.run(rgb=img)``).  ``threads``
+        overrides the pipeline's compile-time thread default for this
+        call; both backends resolve it through
+        :func:`repro.exec.parallel.effective_threads`.
         """
+        from repro.exec.parallel import effective_threads
+
         bound = self.resolve_run_sizes(sizes)
+        nthreads = effective_threads(threads if threads is not None else self.threads)
         start = time.perf_counter()
-        with span("engine.run", program=self.program.name, backend=self.backend):
+        with span(
+            "engine.run",
+            program=self.program.name,
+            backend=self.backend,
+            threads=nthreads,
+        ):
             count("engine.runs")
             if self.backend == "c":
                 from repro.exec.cbridge import execute_with_library
 
                 out = execute_with_library(
-                    self._engine.library_for(self._entry), self.program, bound, inputs
+                    self._engine.library_for(self._entry),
+                    self.program,
+                    bound,
+                    inputs,
+                    threads=nthreads,
                 )
             else:
                 from repro.exec.pyexec import execute_program
 
-                out = execute_program(self.program, bound, inputs)
+                out = execute_program(self.program, bound, inputs, threads=nthreads)
         inc("engine.runs", backend=self.backend)
+        set_gauge("engine.run.threads", nthreads, backend=self.backend)
         observe_value(
             "engine.run.latency_ms",
             (time.perf_counter() - start) * 1e3,
@@ -243,6 +271,7 @@ class Engine:
         name: str | None = None,
         options: Mapping[str, Any] | None = None,
         cflags: tuple[str, ...] = ("-O2",),
+        threads: int | None = None,
     ) -> CompiledPipeline:
         """Compile (or fetch from cache) and return a runnable pipeline.
 
@@ -251,10 +280,23 @@ class Engine:
         lowered :class:`~repro.codegen.ir.ImpProgram`, or a registered
         builder name (``options`` are its keyword arguments).  ``sizes``
         binds default run-time sizes; it never affects the cache key.
+
+        ``threads`` pins a default thread count for ``PARALLEL`` loops on
+        the returned handle.  Thread configuration is part of the cache
+        key: the C backend resolves its *effective* flags (appending
+        ``-fopenmp`` when the toolchain supports it, see
+        :func:`repro.exec.cbridge.effective_cflags`) **before** keying, so
+        a sequential ``.so`` cached on an OpenMP-less host is never reused
+        by an OpenMP-capable build — and vice versa — and an explicit
+        thread pin is keyed separately from auto resolution.
         """
         if backend not in ("python", "c"):
             raise ValueError(f"unknown backend {backend!r}")
-        key = self._key_for(source, strategy, backend, type_env, options, cflags)
+        if backend == "c":
+            from repro.exec.cbridge import effective_cflags
+
+            cflags = effective_cflags(tuple(cflags))
+        key = self._key_for(source, strategy, backend, type_env, options, cflags, threads)
         start = time.perf_counter()
         with span("engine.compile", backend=backend) as compile_span:
             entry, tier = self.cache.get(key)
@@ -264,10 +306,15 @@ class Engine:
                 compile_span.meta["key"] = key
                 elapsed_ms = (time.perf_counter() - start) * 1e3
                 observe_value("engine.compile.latency_ms", elapsed_ms, cache=status)
-                return CompiledPipeline(self, entry, sizes, status, elapsed_ms)
+                return CompiledPipeline(
+                    self, entry, sizes, status, elapsed_ms, threads=threads
+                )
             prog = self._build_program(source, strategy, type_env, name, options)
             entry = CacheEntry(
-                key=key, program=prog, backend=backend, meta={"cflags": list(cflags)}
+                key=key,
+                program=prog,
+                backend=backend,
+                meta={"cflags": list(cflags), "threads": threads},
             )
             if backend == "c":
                 self._attach_library(entry, cflags)
@@ -278,17 +325,22 @@ class Engine:
         elapsed_ms = (time.perf_counter() - start) * 1e3
         inc("engine.compiles", backend=backend)
         observe_value("engine.compile.latency_ms", elapsed_ms, cache="miss")
-        return CompiledPipeline(self, entry, sizes, "miss", elapsed_ms)
+        return CompiledPipeline(self, entry, sizes, "miss", elapsed_ms, threads=threads)
 
     # -- internals -------------------------------------------------------
 
-    def _key_for(self, source, strategy, backend, type_env, options, cflags) -> str:
+    def _key_for(
+        self, source, strategy, backend, type_env, options, cflags, threads=None
+    ) -> str:
         flags = ",".join(cflags) if backend == "c" else ""
+        tconf = "threads=auto" if threads is None else f"threads={int(threads)}"
         if isinstance(source, ImpProgram):
-            return cache_key("program", program_fingerprint(source), backend, flags)
+            return cache_key(
+                "program", program_fingerprint(source), backend, flags, tconf
+            )
         if isinstance(source, str):
             opts = json.dumps(dict(options or {}), sort_keys=True, default=repr)
-            return cache_key("builder", source, opts, backend, flags)
+            return cache_key("builder", source, opts, backend, flags, tconf)
         if isinstance(source, Expr):
             return cache_key(
                 "expr",
@@ -298,6 +350,7 @@ class Engine:
                 size_signature(type_env),
                 backend,
                 flags,
+                tconf,
             )
         raise TypeError(
             f"cannot compile {type(source).__name__}: expected a RISE Expr, "
@@ -398,6 +451,7 @@ def compile(
     name: str | None = None,
     options: Mapping[str, Any] | None = None,
     cflags: tuple[str, ...] = ("-O2",),
+    threads: int | None = None,
     engine: Engine | None = None,
 ) -> CompiledPipeline:
     """Compile through the default (or given) engine; see :meth:`Engine.compile`.
@@ -419,4 +473,5 @@ def compile(
         name=name,
         options=options,
         cflags=cflags,
+        threads=threads,
     )

@@ -18,6 +18,7 @@ library per compiled program.
 from __future__ import annotations
 
 import ctypes
+import functools
 import shutil
 import subprocess
 import tempfile
@@ -37,6 +38,9 @@ from repro.observe.metrics import inc, observe_value
 
 __all__ = [
     "have_c_compiler",
+    "openmp_available",
+    "effective_cflags",
+    "OPENMP_FLAG",
     "CLibrary",
     "compile_c_library",
     "load_c_library",
@@ -46,6 +50,11 @@ __all__ = [
 
 DEFAULT_CFLAGS = ("-O2",)
 
+#: The flag that makes ``#pragma omp parallel for`` real.  Historically
+#: absent from every build — the emitted pragma was inert and all
+#: "parallel" C executions ran sequentially.
+OPENMP_FLAG = "-fopenmp"
+
 
 def have_c_compiler() -> bool:
     """Whether a host C compiler (gcc or cc) is on PATH."""
@@ -54,6 +63,47 @@ def have_c_compiler() -> bool:
 
 def _compiler() -> str:
     return shutil.which("gcc") or shutil.which("cc") or "gcc"
+
+
+@functools.lru_cache(maxsize=1)
+def openmp_available() -> bool:
+    """Whether the host compiler can build ``-fopenmp`` shared libraries.
+
+    Probed once per process by compiling a one-line OpenMP translation
+    unit; a compiler without libgomp (or no compiler at all) yields
+    ``False`` and every build falls back to sequential execution.
+    """
+    if not have_c_compiler():
+        return False
+    probe = "#include <omp.h>\nint repro_probe(void){return omp_get_max_threads();}\n"
+    with tempfile.TemporaryDirectory(prefix="repro_omp_") as tmp:
+        c_path = Path(tmp) / "probe.c"
+        so_path = Path(tmp) / "probe.so"
+        c_path.write_text(probe)
+        try:
+            result = subprocess.run(
+                [_compiler(), "-shared", "-fPIC", OPENMP_FLAG, "-o", str(so_path), str(c_path)],
+                capture_output=True,
+                timeout=60,
+            )
+        except (OSError, subprocess.SubprocessError):
+            return False
+        return result.returncode == 0 and so_path.is_file()
+
+
+def effective_cflags(flags: tuple[str, ...] = DEFAULT_CFLAGS) -> tuple[str, ...]:
+    """``flags`` with :data:`OPENMP_FLAG` appended when the toolchain
+    supports it (graceful sequential fallback otherwise).
+
+    This is the configure-time decision every C build goes through: the
+    engine resolves flags *before* computing the compile-cache key, so a
+    ``.so`` built with OpenMP is never served to (or from) a sequential
+    flag set.
+    """
+    flags = tuple(flags)
+    if OPENMP_FLAG in flags or not openmp_available():
+        return flags
+    return flags + (OPENMP_FLAG,)
 
 
 class CLibrary:
@@ -88,16 +138,32 @@ class CLibrary:
         return getattr(self.lib, name)
 
     def close(self) -> None:
-        """Unload the CDLL handle and delete owned on-disk artifacts."""
+        """Release the CDLL handle and delete owned on-disk artifacts.
+
+        Libraries built with OpenMP are dropped but never ``dlclose``d:
+        libgomp parks (spin-waiting) worker threads after a parallel
+        region, and unmapping the image they may still reference crashes
+        the process.  Leaking one handle is harmless — deleting the
+        on-disk ``.so`` is still safe while it stays mapped.
+        """
         if self.lib is not None:
             handle = self.lib._handle
-            self.lib = None
+            uses_openmp = False
             try:
-                import _ctypes
+                probe = self.lib.repro_openmp_enabled
+                probe.argtypes = []
+                probe.restype = ctypes.c_int
+                uses_openmp = bool(probe())
+            except AttributeError:
+                pass
+            self.lib = None
+            if not uses_openmp:
+                try:
+                    import _ctypes
 
-                _ctypes.dlclose(handle)
-            except (ImportError, AttributeError, OSError):  # pragma: no cover
-                pass  # unloading is best-effort; dropping the ref suffices
+                    _ctypes.dlclose(handle)
+                except (ImportError, AttributeError, OSError):  # pragma: no cover
+                    pass  # unloading is best-effort; dropping the ref suffices
         if self._finalizer is not None:
             self._finalizer()
             self._finalizer = None
@@ -163,22 +229,57 @@ def load_c_library(so_path: Path | str) -> CLibrary:
     return CLibrary(so_path, ctypes.CDLL(str(so_path)))
 
 
+def set_library_threads(library: CLibrary, threads: int) -> bool:
+    """Pin the OpenMP thread count of a loaded kernel library.
+
+    Uses the ``repro_set_threads`` helper every emitted translation unit
+    exports (a no-op in sequential builds); returns whether the library
+    reports OpenMP as enabled, so callers can tell a real pin from a
+    fallback.  Older cached ``.so`` files without the helper are treated
+    as sequential.
+    """
+    try:
+        setter = library.function("repro_set_threads")
+    except AttributeError:
+        return False
+    setter.argtypes = [ctypes.c_int]
+    setter.restype = None
+    setter(int(threads))
+    try:
+        enabled = library.function("repro_openmp_enabled")
+    except AttributeError:
+        return False
+    enabled.argtypes = []
+    enabled.restype = ctypes.c_int
+    return bool(enabled())
+
+
 def execute_with_library(
     library: CLibrary,
     prog: ImpProgram,
     sizes: Mapping[str, int],
     inputs: Mapping[str, np.ndarray],
+    threads: int | None = None,
 ) -> np.ndarray:
     """Execute every kernel of ``prog`` in order through ``library`` and
     return the final (unpadded) output buffer.
+
+    ``threads`` pins the OpenMP team size for this call (resolved through
+    :func:`repro.exec.parallel.effective_threads`, so ``$OMP_NUM_THREADS``
+    works and batch workers degrade to 1 thread).  Without OpenMP in the
+    build the pin is a no-op and ``PARALLEL`` loops run sequentially.
 
     Each call allocates its own padded buffers, so one loaded library can
     serve concurrent callers (the batch executor's thread pool): ctypes
     releases the GIL for the duration of each kernel call.
     """
     from repro.codegen.lower import BUFFER_PAD
+    from repro.exec.parallel import effective_threads
 
     sizes = resolve_sizes(prog, sizes)
+    nthreads = effective_threads(threads)
+    omp_active = set_library_threads(library, nthreads)
+    inc("exec.c.threads_pinned" if omp_active else "exec.c.sequential_builds")
     produced: dict[str, np.ndarray] = {}
     result: np.ndarray | None = None
     for fn in prog.functions:
@@ -205,7 +306,12 @@ def execute_with_library(
         cfn.argtypes = argtypes
         cfn.restype = None
         t0 = time.perf_counter()
-        with span(f"run:{fn.name}", program=prog.name, backend="c"):
+        with span(
+            f"run:{fn.name}",
+            program=prog.name,
+            backend="c",
+            threads=nthreads if omp_active else 1,
+        ):
             cfn(*call_args)
         kernel_ms = (time.perf_counter() - t0) * 1e3
         count("exec.c.kernels")

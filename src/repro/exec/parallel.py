@@ -1,0 +1,113 @@
+"""Thread configuration shared by both execution backends.
+
+The paper's reference Halide schedule parallelizes the Harris pipeline
+across strips of rows (``parallel(y)``), and the RISE lowering exposes
+``mapGlobal`` for exactly that — but a ``LoopKind.PARALLEL`` loop is only
+as real as the runtime that executes it.  This module centralizes the
+runtime side of that decision so the C bridge, the Python strip executor
+and the engine agree on one policy:
+
+* **Resolution order** for the effective thread count: an explicit
+  ``threads=`` argument, else ``$REPRO_THREADS``, else ``$OMP_NUM_THREADS``
+  (the conventional OpenMP control, honored by both backends so one knob
+  steers C and Python alike), else the machine's CPU count.
+* **Oversubscription policy**: work items running inside an
+  :class:`~repro.engine.batch.BatchRunner` pool execute with
+  ``threads=1`` — the batch already owns the machine's parallelism, and
+  nesting a strip pool inside a batch pool would oversubscribe cores
+  without speeding anything up.  :func:`batch_worker_scope` marks the
+  dynamic extent of one batch item; :func:`effective_threads` degrades
+  inside it.
+
+Thread counts are clamped to ``[1, MAX_THREADS]``; a resolution that
+cannot determine the CPU count falls back to sequential execution, so
+parallel loops are never *wrong*, only possibly not faster.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import os
+
+__all__ = [
+    "MAX_THREADS",
+    "THREADS_ENV",
+    "OMP_THREADS_ENV",
+    "resolve_threads",
+    "effective_threads",
+    "batch_worker_scope",
+    "in_batch_worker",
+]
+
+#: Hard upper bound on strip-pool sizes (guards absurd env values).
+MAX_THREADS = 64
+
+#: Repository-specific thread override; wins over the OpenMP variable.
+THREADS_ENV = "REPRO_THREADS"
+
+#: The conventional OpenMP control, honored for both backends.
+OMP_THREADS_ENV = "OMP_NUM_THREADS"
+
+#: Set for the dynamic extent of one batch-pool work item.
+_IN_BATCH: contextvars.ContextVar[bool] = contextvars.ContextVar(
+    "repro_in_batch_worker", default=False
+)
+
+
+def _env_threads() -> int | None:
+    for var in (THREADS_ENV, OMP_THREADS_ENV):
+        value = os.environ.get(var, "").strip()
+        if value:
+            try:
+                return int(value)
+            except ValueError:
+                continue
+    return None
+
+
+def resolve_threads(threads: int | None = None) -> int:
+    """The configured thread count, before the oversubscription policy.
+
+    ``threads`` wins when given; otherwise ``$REPRO_THREADS`` then
+    ``$OMP_NUM_THREADS`` then ``os.cpu_count()``.  Always in
+    ``[1, MAX_THREADS]``.
+    """
+    if threads is None:
+        threads = _env_threads()
+    if threads is None:
+        threads = os.cpu_count() or 1
+    return max(1, min(int(threads), MAX_THREADS))
+
+
+def in_batch_worker() -> bool:
+    """Whether the caller runs inside a batch-pool work item."""
+    return _IN_BATCH.get()
+
+
+def effective_threads(threads: int | None = None) -> int:
+    """The thread count a parallel loop should actually use *here*.
+
+    Applies :func:`resolve_threads` and then the oversubscription policy:
+    inside a batch worker the answer is always 1 (the batch pool owns the
+    cores; nested strip pools would oversubscribe).
+    """
+    if in_batch_worker():
+        return 1
+    return resolve_threads(threads)
+
+
+@contextlib.contextmanager
+def batch_worker_scope():
+    """Mark the dynamic extent of one batch work item.
+
+    :class:`~repro.engine.batch.BatchRunner` wraps every item execution
+    in this scope (thread-pool items via the copied context, process-pool
+    items inside the worker function), so any ``LoopKind.PARALLEL`` loop
+    encountered there degrades to a deterministic sequential run.
+    """
+    token = _IN_BATCH.set(True)
+    try:
+        yield
+    finally:
+        _IN_BATCH.reset(token)

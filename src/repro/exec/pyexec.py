@@ -12,6 +12,7 @@ rotating registers) the C backend emits.
 
 from __future__ import annotations
 
+import time
 import warnings
 from typing import Mapping
 
@@ -33,6 +34,7 @@ from repro.codegen.ir import (
     ImpFunction,
     ImpProgram,
     Load,
+    LoopKind,
     NatE,
     ScalarKind,
     Stmt,
@@ -46,14 +48,25 @@ from repro.codegen.ir import (
     Var,
 )
 
-__all__ = ["execute_program", "run_program", "program_to_python"]
+__all__ = [
+    "execute_program",
+    "run_program",
+    "program_to_python",
+    "function_to_python_strips",
+    "strippable_parallel_loop",
+    "count_parallel_loops",
+    "strip_bounds",
+]
 
 
 class _Emitter:
-    def __init__(self, sizes: Mapping[str, int]):
+    def __init__(self, sizes: Mapping[str, int], strip_loop: For | None = None):
         self.sizes = dict(sizes)
         self.lines: list[str] = []
         self.indent = 1
+        #: The one For statement (by identity) whose bounds are replaced by
+        #: the ``_lo``/``_hi`` strip parameters of a strip-variant function.
+        self.strip_loop = strip_loop
 
     def line(self, text: str) -> None:
         self.lines.append("    " * self.indent + text)
@@ -122,8 +135,16 @@ class _Emitter:
             self.line(f"{s.buffer.name} = np.zeros({size}, dtype=np.float32)")
             return
         if isinstance(s, For):
-            extent = self.expr(s.extent)
-            self.line(f"for {s.var} in range({extent}):")
+            if s is self.strip_loop:
+                self.line(f"for {s.var} in range(_lo, _hi):  # parallel strip")
+            else:
+                if s.kind is LoopKind.PARALLEL:
+                    # Surface the loop kind: this loop is semantically
+                    # parallel (mapGlobal); the executor dispatches it as
+                    # thread strips or falls back to a sequential run.
+                    self.line(f"# LoopKind.PARALLEL over {s.var} (thread strips)")
+                extent = self.expr(s.extent)
+                self.line(f"for {s.var} in range({extent}):")
             self.indent += 1
             self.stmt(s.body)
             if isinstance(s.body, Block) and not s.body.stmts:
@@ -175,11 +196,101 @@ def program_to_python(prog: ImpProgram, sizes: Mapping[str, int]) -> str:
     return "\n\n".join(function_to_python(fn, sizes) for fn in prog.functions)
 
 
+# -- parallel strip dispatch ------------------------------------------------
+
+
+def strippable_parallel_loop(fn: ImpFunction) -> For | None:
+    """The top-level ``LoopKind.PARALLEL`` loop of ``fn`` that can be
+    dispatched as thread strips, or ``None``.
+
+    Eligibility is deliberately conservative: the parallel loop must be a
+    direct child of the function body and its last non-comment statement,
+    so a strip variant can run any preamble (temporary allocations) per
+    strip — safe because ``mapGlobal`` iterations are independent — and
+    nothing downstream observes a partial iteration ordering.  Anything
+    else (nested parallel loops, statements after the loop) falls back to
+    a deterministic sequential run, counted in the metrics registry.
+    """
+    candidate: For | None = None
+    for s in fn.body.stmts:
+        if isinstance(s, Comment):
+            continue
+        candidate = s if isinstance(s, For) and s.kind is LoopKind.PARALLEL else None
+    if candidate is None:
+        return None
+    top_level_parallel = sum(
+        1
+        for s in fn.body.stmts
+        if isinstance(s, For) and s.kind is LoopKind.PARALLEL
+    )
+    return candidate if top_level_parallel == 1 else None
+
+
+def count_parallel_loops(fn: ImpFunction) -> int:
+    """Number of ``LoopKind.PARALLEL`` loops anywhere in ``fn``."""
+    from repro.codegen.ir import walk_stmts
+
+    return sum(
+        1
+        for s in walk_stmts(fn.body)
+        if isinstance(s, For) and s.kind is LoopKind.PARALLEL
+    )
+
+
+def function_to_python_strips(fn: ImpFunction, sizes: Mapping[str, int]) -> str:
+    """The strip variant of one kernel: ``<name>__strip(_lo, _hi, ...)``
+    runs the top-level parallel loop over ``range(_lo, _hi)`` only.
+
+    The caller partitions the loop's extent into contiguous strips (static
+    scheduling, mirroring ``#pragma omp parallel for schedule(static)``)
+    and runs one strip per worker thread; all strips share the input and
+    output buffers and write disjoint regions, so the result is
+    bit-identical to the sequential loop.
+    """
+    strip_loop = strippable_parallel_loop(fn)
+    if strip_loop is None:
+        raise ValueError(f"{fn.name} has no strippable parallel loop")
+    emitter = _Emitter(sizes, strip_loop=strip_loop)
+    out_name = fn.output.name
+    params = ", ".join(b.name for b in fn.inputs) + (", " if fn.inputs else "") + out_name
+    emitter.lines.append(f"def {fn.name}__strip(_lo, _hi, {params}):")
+    emitter.stmt(fn.body)
+    emitter.line(f"return {out_name}")
+    return "\n".join(emitter.lines)
+
+
+def strip_bounds(extent: int, threads: int) -> list[tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` strips of ``range(extent)`` for ``threads``
+    workers — OpenMP static scheduling: sizes differ by at most one, and
+    empty strips are dropped."""
+    threads = max(1, min(threads, extent)) if extent > 0 else 1
+    base, rem = divmod(extent, threads)
+    bounds: list[tuple[int, int]] = []
+    lo = 0
+    for t in range(threads):
+        hi = lo + base + (1 if t < rem else 0)
+        if hi > lo:
+            bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def _loop_extent(loop: For, sizes: Mapping[str, int]) -> int:
+    from repro.codegen.ir import IConst, NatE
+
+    if isinstance(loop.extent, IConst):
+        return loop.extent.value
+    if isinstance(loop.extent, NatE):
+        return int(loop.extent.value.evaluate(sizes))
+    raise ValueError(f"parallel loop extent must be sized: {loop.extent!r}")
+
+
 def execute_program(
     prog: ImpProgram,
     sizes: Mapping[str, int],
     inputs: Mapping[str, np.ndarray],
     intermediates: Mapping[str, tuple] | None = None,
+    threads: int | None = None,
 ) -> np.ndarray:
     """Execute a compiled program.
 
@@ -189,6 +300,17 @@ def execute_program(
     kernel's name reads that kernel's output (the convention used by the
     library/LIFT baselines).
 
+    ``threads`` controls ``LoopKind.PARALLEL`` loops: a strippable
+    top-level parallel loop (see :func:`strippable_parallel_loop`) is
+    partitioned into contiguous strips dispatched on a thread pool
+    (numpy slice kernels release the GIL), bit-identical to the
+    sequential order because strips write disjoint output regions.
+    ``None`` resolves through :func:`repro.exec.parallel.effective_threads`
+    (``$REPRO_THREADS``/``$OMP_NUM_THREADS``/CPU count, degraded to 1
+    inside a batch worker); any non-strippable parallel loop falls back
+    to a deterministic sequential run, counted in the metrics registry
+    as ``exec.py.parallel.sequential``.
+
     Returns the final output buffer (flat, unpadded length).
 
     When :func:`repro.observe.observing` is active, each kernel records a
@@ -197,9 +319,12 @@ def execute_program(
     """
     from repro.codegen.lower import BUFFER_PAD
     from repro.codegen.sizes import resolve_sizes
+    from repro.exec.parallel import effective_threads
     from repro.observe.core import active, count, span
+    from repro.observe.metrics import inc, observe_value
 
     sizes = resolve_sizes(prog, sizes)
+    nthreads = effective_threads(threads)
 
     def _vinit(value, width):
         arr = np.asarray(value, dtype=np.float32)
@@ -225,17 +350,65 @@ def execute_program(
     for fn in prog.functions:
         with span(f"run:{fn.name}", program=prog.name) as kernel_span:
             count("exec.kernels")
+            par_loops = count_parallel_loops(fn)
+            strip_loop = strippable_parallel_loop(fn) if par_loops else None
+            extent = _loop_extent(strip_loop, sizes) if strip_loop is not None else 0
+            use_strips = nthreads > 1 and strip_loop is not None and extent > 1
             with span("codegen-python"):
                 source = function_to_python(fn, sizes)
                 code = compile(source, f"<{fn.name}>", "exec")
+                if use_strips:
+                    strip_source = function_to_python_strips(fn, sizes)
+                    strip_code = compile(strip_source, f"<{fn.name}__strip>", "exec")
             exec(code, namespace)
+            if use_strips:
+                exec(strip_code, namespace)
             args = []
             for b in fn.inputs:
                 args.append(padded(b.name, int(b.size.evaluate(sizes))))
             out_size = int(fn.output.size.evaluate(sizes))
             out = np.zeros(out_size + BUFFER_PAD, dtype=np.float32)
-            with span("execute"):
-                namespace[fn.name](*args, out)
+            if par_loops:
+                inc("exec.py.parallel.loops", par_loops, kernel=fn.name)
+            if use_strips:
+                bounds = strip_bounds(extent, nthreads)
+                with span(
+                    "execute",
+                    parallel="strips",
+                    threads=len(bounds),
+                    extent=extent,
+                ):
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    strip_fn = namespace[f"{fn.name}__strip"]
+                    t0 = time.perf_counter()
+                    with ThreadPoolExecutor(max_workers=len(bounds)) as pool:
+                        futures = [
+                            pool.submit(strip_fn, lo, hi, *args, out)
+                            for lo, hi in bounds
+                        ]
+                        for f in futures:
+                            f.result()
+                    observe_value(
+                        "exec.py.parallel.span_ms",
+                        (time.perf_counter() - t0) * 1e3,
+                        kernel=fn.name,
+                    )
+                inc("exec.py.parallel.strips", len(bounds), kernel=fn.name)
+            else:
+                if par_loops:
+                    # A parallel loop ran sequentially: either threads=1
+                    # (configured or batch-degraded) or the loop shape is
+                    # not strippable.  Surfaced so "silent" serialization
+                    # is visible in every metrics snapshot.
+                    inc(
+                        "exec.py.parallel.sequential",
+                        par_loops,
+                        kernel=fn.name,
+                        reason="threads" if strip_loop is not None else "shape",
+                    )
+                with span("execute"):
+                    namespace[fn.name](*args, out)
             if active() is not None:
                 from repro.codegen.ir import op_histogram
 

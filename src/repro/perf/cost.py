@@ -10,7 +10,8 @@ loop-nest execution:
   (DRAM for kernel parameters, the smallest cache that fits for
   temporaries); additional passes hit the smallest level the buffer fits.
 
-Wall-clock combines a compute term (work / cores) and memory terms
+Wall-clock combines a compute term (serial work + parallel-loop work /
+cores — only cycles under a ``PARALLEL`` loop divide) and memory terms
 (traffic / shared bandwidth): added for in-order cores, overlapped
 (max) for out-of-order cores, plus per-kernel launch overhead.  This is
 a roofline-style model — crude in absolute terms, but every compared
@@ -57,6 +58,18 @@ from repro.perf.machines import Machine, RUNTIME_LAUNCH_FACTOR
 __all__ = ["CostReport", "estimate_runtime_ms", "count_operations"]
 
 
+#: Instruction-issue categories that turn into compute cycles (the bins
+#: split between the serial and parallel portions of a kernel).
+_CYCLE_FIELDS = (
+    "scalar_flops",
+    "vector_ops",
+    "int_ops",
+    "mem_ops",
+    "shuffle_ops",
+    "unaligned_vloads",
+)
+
+
 @dataclass
 class OpCounts:
     scalar_flops: float = 0.0
@@ -67,7 +80,10 @@ class OpCounts:
     unaligned_vloads: float = 0.0
     loads_by_buffer: dict = field(default_factory=dict)
     stores_by_buffer: dict = field(default_factory=dict)
-    parallel_work: float = 0.0     # fraction of mem+compute inside parallel loops
+    parallel_work: float = 0.0     # max extent of any PARALLEL loop
+    #: Issue counts accumulated *inside* PARALLEL loops only — the portion
+    #: of the totals above that multicore execution actually divides.
+    parallel: "OpCounts | None" = None
 
     def add_load(self, buffer: str, count: float) -> None:
         self.loads_by_buffer[buffer] = self.loads_by_buffer.get(buffer, 0.0) + count
@@ -105,8 +121,13 @@ class _Counter:
         self.counts = OpCounts()
         self.vector_vars: set[str] = set()
         self.parallel_extent = 1  # max extent of enclosing parallel loop
+        self.parallel_depth = 0   # nesting depth of PARALLEL loops
+        self.par_totals = dict.fromkeys(_CYCLE_FIELDS, 0.0)
         # (loop var, cumulative iteration count up to and including it)
         self.loop_stack: list[tuple[str, float]] = []
+
+    def _cycle_snapshot(self) -> tuple[float, ...]:
+        return tuple(getattr(self.counts, f) for f in _CYCLE_FIELDS)
 
     # -- loop-invariant index arithmetic --------------------------------
 
@@ -235,9 +256,22 @@ class _Counter:
             extent = self.extent(s.extent)
             inner_mult = mult * extent
             self.loop_stack.append((s.var, inner_mult))
+            # An outermost PARALLEL loop opens a parallel region: the issue
+            # counts its body accumulates are binned separately so the cost
+            # model divides only them (not prologue/epilogue work) by cores.
+            entering = s.kind is LoopKind.PARALLEL and self.parallel_depth == 0
             if s.kind is LoopKind.PARALLEL:
                 self.parallel_extent = max(self.parallel_extent, extent)
+                self.parallel_depth += 1
+            if entering:
+                before = self._cycle_snapshot()
             self.stmt(s.body, inner_mult)
+            if s.kind is LoopKind.PARALLEL:
+                self.parallel_depth -= 1
+            if entering:
+                after = self._cycle_snapshot()
+                for name, b, a in zip(_CYCLE_FIELDS, before, after):
+                    self.par_totals[name] += a - b
             self.loop_stack.pop()
             return
         if isinstance(s, DeclScalar):
@@ -274,6 +308,7 @@ def count_operations(fn: ImpFunction, sizes: Mapping[str, int]) -> OpCounts:
     counter = _Counter(sizes)
     counter.stmt(fn.body, 1.0)
     counter.counts.parallel_work = counter.parallel_extent
+    counter.counts.parallel = OpCounts(**counter.par_totals)
     return counter.counts
 
 
@@ -364,18 +399,25 @@ def estimate_runtime_ms(
     total_dram = 0.0
     total_l2 = 0.0
 
+    def issue_cycles(c: OpCounts) -> float:
+        return (
+            c.scalar_flops / machine.scalar_flops_per_cycle
+            + c.vector_ops / machine.vector_ops_per_cycle
+            + c.shuffle_ops / machine.shuffle_ops_per_cycle
+            + c.unaligned_vloads * machine.unaligned_penalty_cycles
+            + c.int_ops / machine.int_ops_per_cycle
+            + c.mem_ops / machine.mem_ops_per_cycle
+        )
+
     for fn in prog.functions:
         counts = count_operations(fn, sizes)
         cores = min(machine.cores, max(1, int(counts.parallel_work)))
-        cycles = (
-            counts.scalar_flops / machine.scalar_flops_per_cycle
-            + counts.vector_ops / machine.vector_ops_per_cycle
-            + counts.shuffle_ops / machine.shuffle_ops_per_cycle
-            + counts.unaligned_vloads * machine.unaligned_penalty_cycles
-            + counts.int_ops / machine.int_ops_per_cycle
-            + counts.mem_ops / machine.mem_ops_per_cycle
-        )
-        compute_us = cycles / machine.cycles_per_us / cores
+        cycles = issue_cycles(counts)
+        # Only work under a PARALLEL loop divides across cores; prologue /
+        # epilogue work outside any parallel region stays serial (Amdahl).
+        par_cycles = issue_cycles(counts.parallel) if counts.parallel else 0.0
+        serial_cycles = max(0.0, cycles - par_cycles)
+        compute_us = (serial_cycles + par_cycles / cores) / machine.cycles_per_us
         dram_bytes, l2_bytes = _memory_traffic(fn, counts, sizes, machine)
         memory_us = (
             dram_bytes / (machine.dram_gbps * 1e3)

@@ -32,6 +32,7 @@ from repro.rules.match import match_prim_app
 __all__ = [
     "use_map_seq",
     "use_map_global",
+    "strip_parallel_map",
     "use_map_seq_unroll",
     "use_reduce_seq",
     "use_reduce_seq_unroll",
@@ -57,6 +58,36 @@ def use_map_global(expr: Expr) -> Optional[Expr]:
     if type(expr) is Map:
         return MapGlobal()
     return None
+
+
+def strip_parallel_map(strip) -> Strategy:
+    """mapGlobal(f) $ x  -->  split(strip) |> mapGlobal(mapSeq(f)) |> join
+
+    Strip parallelization (the structure behind Halide's ``parallel(y)``
+    with static chunking): the global map's iteration space is regrouped
+    into contiguous strips of ``strip`` iterations; one global thread owns
+    one strip and walks it sequentially.  Applied to a lowered pipeline
+    whose ``mapGlobal`` ranges over row chunks, this yields per-thread
+    strips of ``strip`` chunks — the parallel extent becomes the number
+    of strips, matching a static OpenMP schedule exactly.
+
+    Valid because ``mapGlobal`` iterations are independent by definition;
+    the split only requires the iteration count to divide by ``strip``
+    (solved numerically with the concrete sizes, like the pipeline split).
+    """
+    strip = nat(strip)
+
+    @rule(f"stripParallelMap({strip!r})")
+    def run(expr: Expr) -> Optional[Expr]:
+        match = match_prim_app(expr, MapGlobal, 2)
+        if match is None:
+            return None
+        _, (f, x) = match
+        from repro.rise.dsl import join, split
+
+        return join(App(App(MapGlobal(), App(MapSeq(), f)), split(strip, x)))
+
+    return run
 
 
 @rule("useMapSeqUnroll")

@@ -2,11 +2,11 @@
 
 from repro.strategies.harris import (
     circular_buffer_stages, fuse_operators, harris_ix_with_iy, lower_dot,
-    parallel, sequential, simplify, split_pipeline, unroll_reductions,
-    use_private_memory, vectorize_reductions,
+    parallel, sequential, simplify, split_pipeline, strip_parallel,
+    unroll_reductions, use_private_memory, vectorize_reductions,
 )
 from repro.strategies.schedules import (
-    DEFAULT_CHUNK, DEFAULT_VEC, Schedule, cbuf_rrot_version, cbuf_version,
-    naive_version,
+    DEFAULT_CHUNK, DEFAULT_STRIP, DEFAULT_VEC, Schedule, cbuf_par_version,
+    cbuf_rrot_par_version, cbuf_rrot_version, cbuf_version, naive_version,
 )
 from repro.strategies.scoping import down_arg, in_chunk_function

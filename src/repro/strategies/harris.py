@@ -69,6 +69,7 @@ __all__ = [
     "fuse_operators",
     "split_pipeline",
     "parallel",
+    "strip_parallel",
     "sequential",
     "harris_ix_with_iy",
     "circular_buffer_stages",
@@ -182,6 +183,25 @@ def split_pipeline(chunk_lines) -> Strategy:
 #: parallel: implement the outermost (chunk) map across global threads.
 parallel = apply_once(use_map_global)
 parallel.name = "parallel"
+
+
+def strip_parallel(strip) -> Strategy:
+    """stripParallel(k): regroup the global chunk map into per-thread
+    strips of ``k`` chunks (Halide's ``parallel(y)`` with static chunking).
+
+    Applied as the *final* schedule step, after every other lowering: the
+    fully lowered pipeline's outermost ``mapGlobal`` (over row chunks)
+    becomes ``split(k) |> mapGlobal(mapSeq(chunk)) |> join`` — each global
+    thread walks ``k`` consecutive chunks sequentially, so the parallel
+    extent equals the strip count and one strip maps onto one OpenMP /
+    strip-pool thread.  Running it last keeps the chunk-scoped strategies
+    (``circularBufferStages``, ``sequential``) oblivious to the regrouping.
+    """
+    from repro.rules.lowering import strip_parallel_map
+
+    strategy = apply_once(strip_parallel_map(strip))
+    strategy.name = f"stripParallel({nat(strip)!r})"
+    return strategy
 
 
 #: circularBufferStages (listing 8): rewrite the stage slides inside the

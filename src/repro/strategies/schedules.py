@@ -23,15 +23,30 @@ from repro.strategies.harris import (
     sequential,
     simplify,
     split_pipeline,
+    strip_parallel,
     unroll_reductions,
     use_private_memory,
     vectorize_reductions,
 )
 
-__all__ = ["Schedule", "cbuf_version", "cbuf_rrot_version", "naive_version", "DEFAULT_CHUNK", "DEFAULT_VEC"]
+__all__ = [
+    "Schedule",
+    "cbuf_version",
+    "cbuf_rrot_version",
+    "cbuf_par_version",
+    "cbuf_rrot_par_version",
+    "naive_version",
+    "DEFAULT_CHUNK",
+    "DEFAULT_VEC",
+    "DEFAULT_STRIP",
+]
 
 DEFAULT_CHUNK = 32
 DEFAULT_VEC = 4
+
+#: Chunks per thread strip of the strip-parallel schedule variants: each
+#: global thread owns ``DEFAULT_STRIP`` consecutive 32-line chunks.
+DEFAULT_STRIP = 2
 
 
 @dataclass
@@ -108,6 +123,34 @@ def cbuf_rrot_version(
             use_private_memory(),
             unroll_reductions,
         ],
+    )
+
+
+def cbuf_par_version(
+    type_env: Mapping[str, Type],
+    chunk: int = DEFAULT_CHUNK,
+    vec: int = DEFAULT_VEC,
+    strip: int = DEFAULT_STRIP,
+) -> Schedule:
+    """``cbuf+par``: listing 5 plus explicit strip parallelization — the
+    chunk-level ``mapGlobal`` is regrouped into per-thread strips of
+    ``strip`` chunks (Halide's ``parallel(y)`` with static chunking), so
+    the multicore backends execute one strip per thread."""
+    base = cbuf_version(type_env, chunk=chunk, vec=vec)
+    return Schedule(name="rise-cbuf-par", steps=[*base.steps, strip_parallel(strip)])
+
+
+def cbuf_rrot_par_version(
+    type_env: Mapping[str, Type],
+    chunk: int = DEFAULT_CHUNK,
+    vec: int = DEFAULT_VEC,
+    strip: int = DEFAULT_STRIP,
+) -> Schedule:
+    """``cbuf+rot+par``: listing 9 plus strip parallelization — the
+    schedule the wall-clock evaluation runs across thread counts."""
+    base = cbuf_rrot_version(type_env, chunk=chunk, vec=vec)
+    return Schedule(
+        name="rise-cbuf-rrot-par", steps=[*base.steps, strip_parallel(strip)]
     )
 
 

@@ -1,0 +1,119 @@
+"""Measured wall-clock benchmarking (the multicore counterpart of the
+modeled fig. 8 grid): cell shape, trajectory merging, the informational
+``wall|`` gate, and the 4-vs-1-thread speedup acceptance check."""
+
+import os
+
+import pytest
+
+from repro.bench.harness import WallCell, format_wall, wallclock_grid
+from repro.bench.regress import (
+    WALL_CELL_PREFIX,
+    collect_sample,
+    compare_trajectory,
+    new_trajectory,
+)
+from repro.engine.pipeline import Engine
+
+
+@pytest.fixture(scope="module")
+def wall_cells():
+    """One tiny python-backend grid shared by the shape tests."""
+    return wallclock_grid(
+        thread_counts=(1, 2),
+        k=1,
+        height=36,
+        width=36,
+        chunk=4,
+        backend="python",
+        engine=Engine(cache_dir=None),
+    )
+
+
+class TestWallGrid:
+    def test_one_cell_per_schedule_and_thread_count(self, wall_cells):
+        keys = {c.key for c in wall_cells}
+        assert keys == {
+            "wall|rise-cbuf-rrot@1t|36x36",
+            "wall|rise-cbuf-rrot@2t|36x36",
+            "wall|rise-cbuf-rrot-par@1t|36x36",
+            "wall|rise-cbuf-rrot-par@2t|36x36",
+        }
+
+    def test_min_of_k_and_positive(self, wall_cells):
+        for cell in wall_cells:
+            assert cell.runs_ms and len(cell.runs_ms) == 1
+            assert cell.wall_ms == min(cell.runs_ms) > 0.0
+
+    def test_key_carries_wall_prefix(self):
+        cell = WallCell("s", "8x8", "python", 4, 1.0, [1.0])
+        assert cell.key.startswith(WALL_CELL_PREFIX)
+        assert cell.key == "wall|s@4t|8x8"
+
+    def test_format_mentions_every_cell(self, wall_cells):
+        text = format_wall(wall_cells)
+        for cell in wall_cells:
+            assert cell.schedule in text
+
+
+class TestTrajectoryIntegration:
+    def test_wall_cells_merge_into_sample(self, wall_cells):
+        wall = {c.key: c.wall_ms for c in wall_cells}
+        sample = collect_sample(chunk=32, vec=4, k=1, wall=wall)
+        for key in wall:
+            assert key in sample["cells"]
+        # modeled cells still present alongside
+        assert any(not k.startswith(WALL_CELL_PREFIX) for k in sample["cells"])
+
+    def _trajectory_with_wall_regression(self):
+        base = {"A53|small|Halide": 100.0, "wall|s@4t|img": 1.0}
+        slow = {"A53|small|Halide": 100.0, "wall|s@4t|img": 10.0}
+        sample = lambda cells: {
+            "schema": 1,
+            "timestamp": 0.0,
+            "git_sha": "x",
+            "k": 1,
+            "environment": {},
+            "cells": cells,
+            "metrics": {},
+        }
+        trajectory = new_trajectory()
+        trajectory["samples"] = [sample(base), sample(slow)]
+        return trajectory
+
+    def test_wall_cells_informational_by_default(self):
+        regressions, info = compare_trajectory(self._trajectory_with_wall_regression())
+        assert regressions == []
+        assert info["gate_wall"] is False
+
+    def test_gate_wall_flags_measured_regression(self):
+        regressions, info = compare_trajectory(
+            self._trajectory_with_wall_regression(), gate_wall=True
+        )
+        assert [r.cell for r in regressions] == ["wall|s@4t|img"]
+        assert info["gate_wall"] is True
+
+
+@pytest.mark.requires_gcc
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4, reason="speedup check needs >= 4 CPU cores"
+)
+class TestSpeedupAcceptance:
+    def test_parallel_schedule_speeds_up_at_four_threads(self):
+        """Acceptance: >= 1.3x wall speedup for cbuf+rot+par at 4 vs 1
+        threads with gcc + OpenMP (skipped on small/CI machines)."""
+        from repro.exec.cbridge import openmp_available
+
+        if not openmp_available():
+            pytest.skip("toolchain lacks OpenMP")
+        cells = wallclock_grid(
+            thread_counts=(1, 4),
+            k=3,
+            height=516,
+            width=516,
+            chunk=4,
+            backend="c",
+            engine=Engine(cache_dir=None),
+        )
+        par = {c.threads: c.wall_ms for c in cells if c.schedule.endswith("par")}
+        assert par[1] / par[4] >= 1.3

@@ -141,3 +141,84 @@ class TestVectorLoadModel:
         a7 = vector_load_costs(CORTEX_A7).speedup
         a73 = vector_load_costs(CORTEX_A73).speedup
         assert a7 > a73
+
+
+def _mixed_program(n_serial, n_par):
+    """A kernel with a serial prologue loop followed by a PARALLEL loop,
+    both doing identical per-iteration work."""
+    value = BinOp("mul", Load("inp", Var("i")), FConst(2.0))
+    body = lambda: Block([Store("out", Var("i"), value)])
+    return _program(
+        [
+            For("i", IConst(n_serial), body()),
+            For("i", IConst(n_par), body(), LoopKind.PARALLEL),
+        ]
+    )
+
+
+class TestScopedParallelDivision:
+    """Only cycles under a PARALLEL loop divide by cores (satellite c):
+    the serial prologue of a mixed kernel must be charged at full price."""
+
+    def test_parallel_bin_holds_only_parallel_loop_work(self):
+        counts = _mixed_program(1000, 4000)
+        counts = count_operations(counts.functions[0], {})
+        seq_only = count_operations(_scalar_loop(1000).functions[0], {})
+        par_only = count_operations(
+            _scalar_loop(4000, parallel=True).functions[0], {}
+        )
+        assert counts.parallel is not None
+        assert counts.parallel.scalar_flops == par_only.scalar_flops
+        assert counts.parallel.mem_ops == par_only.mem_ops
+        assert counts.scalar_flops == seq_only.scalar_flops + par_only.scalar_flops
+
+    def test_sequential_lowering_has_empty_parallel_bin(self):
+        counts = count_operations(_scalar_loop(1000).functions[0], {})
+        par = counts.parallel
+        assert par is None or (
+            par.scalar_flops == 0 and par.mem_ops == 0 and par.int_ops == 0
+        )
+
+    def test_fully_parallel_bin_equals_totals(self):
+        counts = count_operations(
+            _scalar_loop(4000, parallel=True).functions[0], {}
+        )
+        assert counts.parallel.scalar_flops == counts.scalar_flops
+        assert counts.parallel.mem_ops == counts.mem_ops
+
+    def test_amdahl_ordering_sequential_vs_mixed_vs_parallel(self):
+        n = 4000
+        value = BinOp("mul", Load("inp", Var("i")), FConst(2.0))
+        body = lambda: Block([Store("out", Var("i"), value)])
+        all_seq = _program([For("i", IConst(n), body()), For("i", IConst(n), body())])
+        mixed = _mixed_program(n, n)
+        all_par = _program(
+            [
+                For("i", IConst(n), body(), LoopKind.PARALLEL),
+                For("i", IConst(n), body(), LoopKind.PARALLEL),
+            ]
+        )
+        for machine in ALL_MACHINES:
+            # assert on the compute term: on OoO cores the (identical)
+            # memory term can hide the split in total runtime
+            seq_ms = estimate_runtime_ms(all_seq, {}, machine).compute_ms
+            mix_ms = estimate_runtime_ms(mixed, {}, machine).compute_ms
+            par_ms = estimate_runtime_ms(all_par, {}, machine).compute_ms
+            if machine.cores > 1:
+                assert par_ms < mix_ms < seq_ms, machine.name
+            else:
+                assert par_ms == pytest.approx(mix_ms) == pytest.approx(seq_ms)
+
+    def test_mixed_speedup_matches_amdahl_on_compute(self):
+        """With equal serial/parallel halves, the compute term shrinks to
+        (1 + 1/cores)/2 of the sequential kernel's."""
+        n = 4000
+        value = BinOp("mul", Load("inp", Var("i")), FConst(2.0))
+        body = lambda: Block([Store("out", Var("i"), value)])
+        all_seq = _program([For("i", IConst(n), body()), For("i", IConst(n), body())])
+        mixed = _mixed_program(n, n)
+        machine = CORTEX_A53
+        seq = estimate_runtime_ms(all_seq, {}, machine)
+        mix = estimate_runtime_ms(mixed, {}, machine)
+        expected = seq.compute_ms * (1 + 1 / machine.cores) / 2
+        assert mix.compute_ms == pytest.approx(expected, rel=1e-6)

@@ -60,6 +60,12 @@ def main() -> int:
         "trajectory (default: the trajectory's newest sample vs the rest)",
     )
     parser.add_argument(
+        "--gate-wall",
+        action="store_true",
+        help="also gate measured wall| cells (informational by default: "
+        "wall clocks on shared CI runners are noisy)",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON output"
     )
     args = parser.parse_args()
@@ -80,7 +86,10 @@ def main() -> int:
         return 2
 
     regressions, info = compare_trajectory(
-        trajectory, candidate=candidate, threshold=args.threshold
+        trajectory,
+        candidate=candidate,
+        threshold=args.threshold,
+        gate_wall=args.gate_wall,
     )
     if args.json:
         print(
