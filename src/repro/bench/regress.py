@@ -33,6 +33,7 @@ __all__ = [
     "DEFAULT_TRAJECTORY",
     "DEFAULT_THRESHOLD",
     "WALL_CELL_PREFIX",
+    "TUNED_CELL_PREFIX",
     "Regression",
     "git_sha",
     "collect_sample",
@@ -198,12 +199,19 @@ def compare_cells(
 #: Prefix of measured wall-clock cells (informational unless gated).
 WALL_CELL_PREFIX = "wall|"
 
+#: Prefix of autotuner-discovered schedule cells (informational unless
+#: gated): ``tuned|<schedule>|<machine>|<image>``, written by
+#: ``tools/tune.py``.  Discovered schedules come and go with the search
+#: configuration, so by default their history informs but does not gate.
+TUNED_CELL_PREFIX = "tuned|"
+
 
 def compare_trajectory(
     trajectory: dict,
     candidate: dict | None = None,
     threshold: float = DEFAULT_THRESHOLD,
     gate_wall: bool = False,
+    gate_tuned: bool = False,
 ) -> tuple[list[Regression], dict]:
     """Compare a candidate sample against the trajectory's history.
 
@@ -216,6 +224,10 @@ def compare_trajectory(
     Measured ``wall|`` cells are excluded from the gate unless
     ``gate_wall`` — wall clocks on shared CI runners are noisy, and a
     noisy measured cell must not fail the deterministic model gate.
+    Autotuner ``tuned|`` cells are likewise excluded unless
+    ``gate_tuned`` — a re-tuned search may legitimately land on a
+    different (named) schedule, and an absent or renamed discovery must
+    not read as a kernel regression.
 
     Returns ``(regressions, info)`` where ``info`` carries the baseline
     size for reporting; with fewer than one baseline sample there is
@@ -238,6 +250,8 @@ def compare_trajectory(
                 wall_cells += 1
                 if not gate_wall:
                     continue
+            if cell.startswith(TUNED_CELL_PREFIX) and not gate_tuned:
+                continue
             ms = float(ms)
             if cell not in baseline or ms < baseline[cell]:
                 baseline[cell] = ms
@@ -248,6 +262,7 @@ def compare_trajectory(
         "candidate_sha": candidate.get("git_sha", "unknown"),
         "threshold": threshold,
         "gate_wall": gate_wall,
+        "gate_tuned": gate_tuned,
     }
     return regressions, info
 

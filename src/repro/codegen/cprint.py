@@ -77,24 +77,55 @@ int repro_max_threads(void) {{
 #endif
 }}
 
-typedef float v4f __attribute__((vector_size(16)));
-typedef float v4f_u __attribute__((vector_size(16), aligned(4)));
-typedef int v4i __attribute__((vector_size(16)));
+"""
 
-static inline v4f v4f_splat(float x) {{ return (v4f){{x, x, x, x}}; }}
-static inline v4f v4f_load(const float *p) {{ return *(const v4f_u *)p; }}
-static inline void v4f_store(float *p, v4f v) {{ *(v4f_u *)p = v; }}
-static inline v4f v4f_min(v4f a, v4f b) {{
-    v4f r;
-    for (int _l = 0; _l < 4; _l++) r[_l] = a[_l] < b[_l] ? a[_l] : b[_l];
+#: Per-width vector typedefs and helpers (GCC vector extensions).  One
+#: block is emitted for every lane width the program actually uses, so
+#: 4-wide and 8-wide kernels each get correctly-sized vector types —
+#: printing an 8-lane value through a 4-lane type silently drops lanes.
+_VECTOR_DEFS = """\
+typedef float v{w}f __attribute__((vector_size({bytes})));
+typedef float v{w}f_u __attribute__((vector_size({bytes}), aligned(4)));
+typedef int v{w}i __attribute__((vector_size({bytes})));
+
+static inline v{w}f v{w}f_splat(float x) {{ return (v{w}f){{{splat}}}; }}
+static inline v{w}f v{w}f_load(const float *p) {{ return *(const v{w}f_u *)p; }}
+static inline void v{w}f_store(float *p, v{w}f v) {{ *(v{w}f_u *)p = v; }}
+static inline v{w}f v{w}f_min(v{w}f a, v{w}f b) {{
+    v{w}f r;
+    for (int _l = 0; _l < {w}; _l++) r[_l] = a[_l] < b[_l] ? a[_l] : b[_l];
     return r;
 }}
-static inline v4f v4f_max(v4f a, v4f b) {{
-    v4f r;
-    for (int _l = 0; _l < 4; _l++) r[_l] = a[_l] > b[_l] ? a[_l] : b[_l];
+static inline v{w}f v{w}f_max(v{w}f a, v{w}f b) {{
+    v{w}f r;
+    for (int _l = 0; _l < {w}; _l++) r[_l] = a[_l] > b[_l] ? a[_l] : b[_l];
     return r;
 }}
 """
+
+
+def _vector_defs(width: int) -> str:
+    return _VECTOR_DEFS.format(
+        w=width, bytes=4 * width, splat=", ".join(["x"] * width)
+    )
+
+
+def _vector_widths(prog: ImpProgram) -> list[int]:
+    """Every vector lane width a program uses, ascending (4 always
+    included so hand-inspected output keeps its familiar prelude)."""
+    widths = {4}
+    for fn in prog.functions:
+        for s in walk_stmts(fn.body):
+            if isinstance(s, DeclVec):
+                widths.add(s.width)
+            elif isinstance(s, VStore):
+                widths.add(s.width)
+        for e in walk_exprs(fn.body):
+            if isinstance(e, (VLoad, Broadcast, VShuffle)):
+                widths.add(e.width)
+            elif isinstance(e, VPack):
+                widths.add(len(e.lanes))
+    return sorted(widths)
 
 
 def nat_to_c(n: Nat) -> str:
@@ -134,7 +165,7 @@ class _CPrinter:
     def __init__(self) -> None:
         self.lines: list[str] = []
         self.indent = 1
-        self.vector_vars: set[str] = set()
+        self.vector_vars: dict[str, int] = {}
 
     def line(self, text: str) -> None:
         self.lines.append("    " * self.indent + text)
@@ -152,6 +183,22 @@ class _CPrinter:
             return self.is_vector(e.a)
         return False
 
+    def width_of(self, e: IExpr) -> int:
+        """Lane width of a vector-valued expression."""
+        if isinstance(e, (VLoad, Broadcast, VShuffle)):
+            return e.width
+        if isinstance(e, VPack):
+            return len(e.lanes)
+        if isinstance(e, Var):
+            return self.vector_vars[e.name]
+        if isinstance(e, BinOp):
+            if self.is_vector(e.a):
+                return self.width_of(e.a)
+            return self.width_of(e.b)
+        if isinstance(e, UnOp):
+            return self.width_of(e.a)
+        raise TypeError(f"{type(e).__name__} is not vector-valued")
+
     def expr(self, e: IExpr) -> str:
         if isinstance(e, IConst):
             return str(e.value)
@@ -164,28 +211,29 @@ class _CPrinter:
         if isinstance(e, Load):
             return f"{e.buffer}[{self.expr(e.index)}]"
         if isinstance(e, VLoad):
-            return f"v4f_load(&{e.buffer}[{self.expr(e.index)}])"
+            return f"v{e.width}f_load(&{e.buffer}[{self.expr(e.index)}])"
         if isinstance(e, Broadcast):
-            return f"v4f_splat({self.expr(e.value)})"
+            return f"v{e.width}f_splat({self.expr(e.value)})"
         if isinstance(e, VShuffle):
             lanes = ", ".join(str(e.offset + k) for k in range(e.width))
             return (
                 f"__builtin_shuffle({self.expr(e.a)}, {self.expr(e.b)},"
-                f" (v4i){{{lanes}}})"
+                f" (v{e.width}i){{{lanes}}})"
             )
         if isinstance(e, VPack):
             lanes = ", ".join(self.expr(l) for l in e.lanes)
-            return f"((v4f){{{lanes}}})"
+            return f"((v{len(e.lanes)}f){{{lanes}}})"
         if isinstance(e, VLane):
             return f"({self.expr(e.vec)})[{self.expr(e.lane)}]"
         if isinstance(e, BinOp):
             vec = self.is_vector(e)
             a, b = self.expr(e.a), self.expr(e.b)
             if vec:
+                w = self.width_of(e)
                 if not self.is_vector(e.a):
-                    a = f"v4f_splat({a})"
+                    a = f"v{w}f_splat({a})"
                 if not self.is_vector(e.b):
-                    b = f"v4f_splat({b})"
+                    b = f"v{w}f_splat({b})"
             symbol = {
                 "add": "+",
                 "sub": "-",
@@ -197,7 +245,7 @@ class _CPrinter:
             if symbol is not None:
                 return f"({a} {symbol} {b})"
             if e.op in ("min", "max"):
-                fn = f"v4f_{e.op}" if vec else f"f{e.op}f"
+                fn = f"v{self.width_of(e)}f_{e.op}" if vec else f"f{e.op}f"
                 return f"{fn}({a}, {b})"
             raise TypeError(f"unknown op {e.op}")
         if isinstance(e, UnOp):
@@ -244,17 +292,17 @@ class _CPrinter:
             self.line(f"{ctype} {_c_ident(s.var)}{init};")
             return
         if isinstance(s, DeclVec):
-            self.vector_vars.add(s.var)
+            self.vector_vars[s.var] = s.width
             init = (
-                f" = {self._as_vector(s.init)}"
+                f" = {self._as_vector(s.init, s.width)}"
                 if s.init is not None
-                else " = v4f_splat(0.0f)"
+                else f" = v{s.width}f_splat(0.0f)"
             )
-            self.line(f"v4f {_c_ident(s.var)}{init};")
+            self.line(f"v{s.width}f {_c_ident(s.var)}{init};")
             return
         if isinstance(s, Assign):
             value = (
-                self._as_vector(s.value)
+                self._as_vector(s.value, self.vector_vars[s.var])
                 if s.var in self.vector_vars
                 else self.expr(s.value)
             )
@@ -267,16 +315,16 @@ class _CPrinter:
             return
         if isinstance(s, VStore):
             self.line(
-                f"v4f_store(&{s.buffer}[{self.expr(s.index)}],"
-                f" {self._as_vector(s.value)});"
+                f"v{s.width}f_store(&{s.buffer}[{self.expr(s.index)}],"
+                f" {self._as_vector(s.value, s.width)});"
             )
             return
         raise TypeError(f"cannot print statement {type(s).__name__}")
 
-    def _as_vector(self, e: IExpr) -> str:
+    def _as_vector(self, e: IExpr, width: int) -> str:
         text = self.expr(e)
         if not self.is_vector(e):
-            return f"v4f_splat({text})"
+            return f"v{width}f_splat({text})"
         return text
 
 
@@ -318,6 +366,7 @@ def program_to_c(prog: ImpProgram) -> str:
     with compile_profile(prog.name):
         with phase("cprint") as meta:
             parts = [_PRELUDE.format()]
+            parts.extend(_vector_defs(w) for w in _vector_widths(prog))
             for fn in prog.functions:
                 parts.append(function_to_c(fn))
             out = "\n\n".join(parts) + "\n"

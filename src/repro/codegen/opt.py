@@ -185,7 +185,7 @@ def _loads_of(e: IExpr) -> set[str]:
     return out
 
 
-def _is_vector_expr(e: IExpr, vector_vars: set[str]) -> bool:
+def _is_vector_expr(e: IExpr, vector_vars) -> bool:
     if isinstance(e, (VLoad, Broadcast, VShuffle, VPack)):
         return True
     if isinstance(e, Var):
@@ -195,10 +195,26 @@ def _is_vector_expr(e: IExpr, vector_vars: set[str]) -> bool:
     return False
 
 
+def _vector_width(e: IExpr, vector_vars: dict) -> int:
+    """Lane width of a vector-valued expression (hoisted temporaries must
+    be declared at the width of the value they hold, not a default)."""
+    if isinstance(e, (VLoad, Broadcast, VShuffle)):
+        return e.width
+    if isinstance(e, VPack):
+        return len(e.lanes)
+    if isinstance(e, Var):
+        return vector_vars[e.name]
+    if isinstance(e, (BinOp, UnOp)):
+        for c in e.children():
+            if _is_vector_expr(c, vector_vars):
+                return _vector_width(c, vector_vars)
+    raise TypeError(f"{type(e).__name__} is not vector-valued")
+
+
 class _CseState:
     def __init__(self) -> None:
         self.counter = 0
-        self.vector_vars: set[str] = set()
+        self.vector_vars: dict[str, int] = {}
 
     def fresh(self) -> str:
         self.counter += 1
@@ -266,8 +282,9 @@ def _cse_segment(stmts: list[Stmt], state: _CseState) -> list[Stmt]:
         if worth:
             name = state.fresh()
             if _is_vector_expr(rebuilt, state.vector_vars):
-                state.vector_vars.add(name)
-                out.append(DeclVec(name, 4, rebuilt))
+                width = _vector_width(rebuilt, state.vector_vars)
+                state.vector_vars[name] = width
+                out.append(DeclVec(name, width, rebuilt))
             else:
                 out.append(DeclScalar(name, rebuilt))
             table[e] = name
@@ -284,7 +301,7 @@ def _cse_segment(stmts: list[Stmt], state: _CseState) -> list[Stmt]:
         elif isinstance(s, DeclScalar) and s.init is not None:
             out.append(DeclScalar(s.var, rewrite(s.init), s.kind))
         elif isinstance(s, DeclVec) and s.init is not None:
-            state.vector_vars.add(s.var)
+            state.vector_vars[s.var] = s.width
             out.append(DeclVec(s.var, s.width, rewrite(s.init)))
         else:
             out.append(s)
@@ -304,7 +321,7 @@ def _cse_stmt(s: Stmt, state: _CseState) -> Stmt:
         for sub in s.stmts:
             if isinstance(sub, (Store, VStore, Assign, DeclScalar, DeclVec)):
                 if isinstance(sub, DeclVec):
-                    state.vector_vars.add(sub.var)
+                    state.vector_vars[sub.var] = sub.width
                 run.append(sub)
             else:
                 flush()

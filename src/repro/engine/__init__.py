@@ -37,6 +37,7 @@ from repro.engine.hashing import (
     structural_hash,
     type_env_signature,
 )
+from repro.engine.memo import Memo
 from repro.engine.pipeline import (
     BUILDER_REGISTRY,
     CompiledPipeline,
@@ -63,6 +64,7 @@ __all__ = [
     "BatchRunner",
     "BatchResult",
     "EngineCache",
+    "Memo",
     "ArtifactStore",
     "CacheEntry",
     "CacheStats",

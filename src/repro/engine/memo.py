@@ -1,0 +1,108 @@
+"""Content-addressed memo tables for search-time compile reuse.
+
+The engine cache (:mod:`repro.engine.cache`) stores *finished artifacts*
+keyed by the full compile identity.  A search loop needs something
+lighter: the autotuner re-derives the same intermediate expressions over
+and over (two action orders frequently commute into the same alpha-
+equivalent state), and re-scoring an already-scored state wastes the
+most expensive part of a search step.  :class:`Memo` is a small bounded
+mapping keyed by content addresses — typically
+:func:`repro.engine.hashing.structural_hash` values or tuples built from
+them — with LRU eviction and hit/miss accounting in the process-wide
+metrics registry (``<name>.hits`` / ``<name>.misses``), so a search
+session's reuse rate is visible in the same telemetry as the engine
+cache's.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Hashable, Iterator, TypeVar
+
+from repro.observe.metrics import inc, set_gauge
+
+__all__ = ["Memo"]
+
+T = TypeVar("T")
+
+_MISS = object()
+
+
+class Memo:
+    """A bounded LRU mapping from content-address keys to computed values.
+
+    ``name`` prefixes the metric names (``tune.memo.score.hits`` etc.);
+    ``maxsize`` bounds the entry count (oldest-used entries evicted).
+    Stored values may be ``None`` — a memoized "this candidate is pruned"
+    outcome is as valuable as a memoized score — so membership is
+    distinct from truthiness throughout.
+    """
+
+    def __init__(self, name: str = "engine.memo", maxsize: int = 4096):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be positive (got {maxsize})")
+        self.name = name
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._entries)
+
+    def get(self, key: Hashable, default: T | None = None):
+        """The stored value for ``key`` (counting a hit), else ``default``
+        (counting a miss)."""
+        value = self._entries.get(key, _MISS)
+        if value is _MISS:
+            self._misses += 1
+            inc(f"{self.name}.misses")
+            return default
+        self._entries.move_to_end(key)
+        self._hits += 1
+        inc(f"{self.name}.hits")
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        """Store ``value`` under ``key``, evicting the least recently used
+        entry when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            inc(f"{self.name}.evictions")
+        set_gauge(f"{self.name}.entries", len(self._entries))
+
+    def get_or(self, key: Hashable, producer: Callable[[], T]) -> T:
+        """The memoized value for ``key``, computing and storing it via
+        ``producer()`` on a miss."""
+        value = self._entries.get(key, _MISS)
+        if value is not _MISS:
+            self._entries.move_to_end(key)
+            self._hits += 1
+            inc(f"{self.name}.hits")
+            return value  # type: ignore[return-value]
+        self._misses += 1
+        inc(f"{self.name}.misses")
+        produced = producer()
+        self.put(key, produced)
+        return produced
+
+    def stats(self) -> dict:
+        """JSON-ready hit/miss/size accounting for reports and logs."""
+        total = self._hits + self._misses
+        return {
+            "name": self.name,
+            "entries": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self._hits,
+            "misses": self._misses,
+            "hit_rate": round(self._hits / total, 4) if total else 0.0,
+        }

@@ -4,5 +4,6 @@ from repro.perf.cost import CostReport, count_operations, estimate_runtime_ms
 from repro.perf.machines import (
     ALL_MACHINES, CORTEX_A15, CORTEX_A53, CORTEX_A7, CORTEX_A73, Machine,
 )
+from repro.perf.objective import CostObjective, DEFAULT_TUNE_SIZES, objective_for
 from repro.perf.vectorloads import VectorLoadCost, vector_load_costs
 from repro.perf.cachesim import LRUCache, simulate_program, trace_accesses

@@ -1,0 +1,97 @@
+"""Cost-model scoring packaged as a search objective.
+
+:func:`repro.perf.cost.estimate_runtime_ms` answers "how fast is this
+program on that machine at those sizes" — three arguments a search loop
+would have to thread through every call site.  :class:`CostObjective`
+freezes one (machine, sizes, runtime kind) configuration into a single
+``score(program) -> ms`` callable with a stable :attr:`identity` string,
+so the autotuner can rank candidates, memoize scores under
+``(candidate hash, objective identity)`` keys, and record which
+configuration produced a discovered schedule in its search logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.codegen.ir import ImpProgram
+from repro.perf.cost import CostReport, estimate_runtime_ms
+from repro.perf.machines import ALL_MACHINES, CORTEX_A73, Machine
+
+__all__ = ["DEFAULT_TUNE_SIZES", "CostObjective", "objective_for"]
+
+#: Default concrete sizes the search objective scores at: large enough
+#: that loop bodies dominate launch overhead, and divisible by every
+#: chunk (16/32/64), vector width (4/8) and strip factor (2) in the
+#: default action pool, so no candidate is unscoreable for size reasons.
+DEFAULT_TUNE_SIZES: Mapping[str, int] = {"n": 128, "m": 128}
+
+
+@dataclass(frozen=True)
+class CostObjective:
+    """One frozen cost-model configuration: ``score(program)`` in ms.
+
+    ``machine`` defaults to the Cortex A73 — the strongest modeled CPU,
+    the paper's headline Odroid N2 big cluster — and ``runtime_kind`` to
+    ``"opencl"``, the launch-overhead class every RISE schedule is costed
+    under in the fig. 8 grid, so objective scores are directly comparable
+    with the hand-written schedules' cells.
+    """
+
+    machine: Machine = CORTEX_A73
+    sizes: tuple = tuple(sorted(DEFAULT_TUNE_SIZES.items()))
+    runtime_kind: str = "opencl"
+
+    @property
+    def size_env(self) -> dict[str, int]:
+        """The concrete size bindings as a dict."""
+        return dict(self.sizes)
+
+    @property
+    def identity(self) -> str:
+        """A stable string naming this configuration (for memo keys and
+        search logs): ``"Cortex A73|m=128,n=128|opencl"``."""
+        szs = ",".join(f"{k}={v}" for k, v in self.sizes)
+        return f"{self.machine.name}|{szs}|{self.runtime_kind}"
+
+    def score_report(self, program: ImpProgram) -> CostReport:
+        """The full cost report for ``program`` under this configuration."""
+        return estimate_runtime_ms(
+            program, self.size_env, self.machine, self.runtime_kind
+        )
+
+    def score(self, program: ImpProgram) -> float:
+        """Modeled runtime in ms — the search's minimization target."""
+        return self.score_report(program).runtime_ms
+
+
+def objective_for(
+    machine: str | Machine | None = None,
+    sizes: Mapping[str, int] | None = None,
+    runtime_kind: str = "opencl",
+) -> CostObjective:
+    """Build a :class:`CostObjective`, resolving ``machine`` by name.
+
+    ``machine`` accepts a :class:`~repro.perf.machines.Machine`, a model
+    name from :data:`~repro.perf.machines.ALL_MACHINES` (matched
+    case-insensitively, with or without the ``"Cortex "`` prefix), or
+    ``None`` for the default.  Unknown names raise with the known list.
+    """
+    if machine is None:
+        resolved = CORTEX_A73
+    elif isinstance(machine, Machine):
+        resolved = machine
+    else:
+        wanted = str(machine).lower().replace("cortex", "").strip()
+        matches = [
+            m
+            for m in ALL_MACHINES
+            if m.name.lower().replace("cortex", "").strip() == wanted
+        ]
+        if not matches:
+            known = ", ".join(repr(m.name) for m in ALL_MACHINES)
+            raise ValueError(f"unknown machine {machine!r} (known: {known})")
+        resolved = matches[0]
+    size_items = tuple(sorted((sizes or DEFAULT_TUNE_SIZES).items()))
+    return CostObjective(machine=resolved, sizes=size_items, runtime_kind=runtime_kind)

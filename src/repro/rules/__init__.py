@@ -15,6 +15,7 @@ from repro.rules.lowering import (
     unroll_map_seq, unroll_reduce_seq, use_map_global, use_map_seq,
     use_map_seq_unroll, use_reduce_seq, use_reduce_seq_unroll,
 )
+from repro.rules.match import exact_prim, match_prim_app, rewrite_sites, spine
 from repro.rules.vectorize import (
     start_vectorization, vectorize_before_map, vectorize_before_map_reduce,
 )

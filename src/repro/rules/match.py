@@ -11,9 +11,9 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.rise.expr import App, Expr, Primitive
-from repro.rise.traverse import app_spine
+from repro.rise.traverse import app_spine, children
 
-__all__ = ["match_prim_app", "exact_prim", "spine"]
+__all__ = ["match_prim_app", "exact_prim", "spine", "rewrite_sites"]
 
 
 def spine(expr: Expr) -> tuple[Expr, list[Expr]]:
@@ -46,3 +46,37 @@ def match_prim_app(
     elif not isinstance(head, prim_class):
         return None
     return head, args
+
+
+def rewrite_sites(
+    expr: Expr, strategy, limit: Optional[int] = None
+) -> list[tuple[int, ...]]:
+    """Enumerate the subterm positions at which ``strategy`` succeeds.
+
+    Walks ``expr`` depth-first and probes the strategy at every subterm,
+    returning the matching positions as child-index paths from the root
+    (``()`` is the root itself; ``(1, 0)`` is the first child of the
+    second child).  This is the enumerable counterpart of the ELEVATE
+    traversals: where ``top_down`` *commits* to the first match, this
+    helper makes the whole match set visible — the autotuner uses it to
+    count applicable sites before paying for a full rewrite, and tests
+    use it to assert where a rule can fire.
+
+    ``limit`` stops the walk after that many sites (probing is pure but
+    not free; site *existence* only needs ``limit=1``).  The strategy is
+    only probed, never applied — ``expr`` is not modified.
+    """
+    sites: list[tuple[int, ...]] = []
+
+    def go(node: Expr, path: tuple[int, ...]) -> None:
+        if limit is not None and len(sites) >= limit:
+            return
+        from repro.elevate.core import Success
+
+        if isinstance(strategy(node), Success):
+            sites.append(path)
+        for i, kid in enumerate(children(node)):
+            go(kid, path + (i,))
+
+    go(expr, ())
+    return sites

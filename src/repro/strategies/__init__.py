@@ -1,5 +1,8 @@
 """ELEVATE optimization strategies for the Harris pipeline (paper section IV)."""
 
+from repro.strategies.discovered import (
+    TUNED_SCHEDULES, register_tuned_schedule, tuned_schedule,
+)
 from repro.strategies.harris import (
     circular_buffer_stages, fuse_operators, harris_ix_with_iy, lower_dot,
     parallel, sequential, simplify, split_pipeline, strip_parallel,

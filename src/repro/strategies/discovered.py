@@ -1,0 +1,76 @@
+"""Machine-discovered schedules, registered as replayable artifacts.
+
+The autotuner (:mod:`repro.tune`) searches sequences of the paper's
+optimization moves and exports the winner as an action-name tuple.  This
+module is where a discovery graduates into the codebase: the tuple is
+committed under a stable name, and :func:`tuned_schedule` rebuilds the
+exact :class:`~repro.strategies.schedules.Schedule` on demand — the same
+replay path a fresh search log uses, so a registered discovery can never
+drift from what the search actually ranked.
+
+Registered discoveries (see ``docs/autotuner.md`` for the search that
+produced them):
+
+* ``tuned-harris-v1`` — found by ``tools/tune.py --seed 0 --beam 4
+  --steps 6`` on the default objective (Cortex A73, 128x128, OpenCL-style
+  launch).  Four moves — vectorize 8-wide, fuse, split into 32-line
+  chunks across threads, circular-buffer the stages — reaching the same
+  modeled runtime (0.156257 ms) as the hand-written listing 9
+  ``cbuf+rot`` schedule with a shorter derivation: on this cost model,
+  8-wide vectorization plus circular buffering already captures the
+  savings listing 9 obtains from convolution separation and register
+  rotation.  (Vectorization commutes with fusion here; the search's
+  deterministic hash tie-break picked the vectorize-first order among
+  equal-cost frontier states.)
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["TUNED_SCHEDULES", "register_tuned_schedule", "tuned_schedule"]
+
+#: Registered discoveries: stable name -> ordered action names from the
+#: :func:`repro.tune.space.default_action_pool` vocabulary.
+TUNED_SCHEDULES: dict[str, tuple[str, ...]] = {
+    "tuned-harris-v1": (
+        "vectorize(8)",
+        "fuse",
+        "split(32)+parallel",
+        "circularBufferStages",
+    ),
+}
+
+
+def register_tuned_schedule(name: str, action_names: Sequence[str]) -> None:
+    """Register (or re-pin) a discovered schedule under a stable name.
+
+    Idempotent for identical action lists; re-registering a name with
+    *different* actions raises ``ValueError`` — replace the name (bump
+    the version suffix) instead of silently changing what it replays.
+    """
+    actions = tuple(str(a) for a in action_names)
+    existing = TUNED_SCHEDULES.get(name)
+    if existing is not None and existing != actions:
+        raise ValueError(
+            f"tuned schedule {name!r} already registered with different "
+            f"actions {existing!r}; register a new name instead"
+        )
+    TUNED_SCHEDULES[name] = actions
+
+
+def tuned_schedule(name: str, type_env: Mapping[str, "object"]):
+    """Rebuild a registered discovery as a runnable ``Schedule``.
+
+    Resolves the registered action names against ``type_env`` through
+    :func:`repro.tune.export.schedule_from_actions` (imported lazily —
+    the strategies package must not depend on the tuner at import time).
+    Unknown names raise ``KeyError`` listing the registry.
+    """
+    actions = TUNED_SCHEDULES.get(name)
+    if actions is None:
+        known = ", ".join(sorted(TUNED_SCHEDULES)) or "<none>"
+        raise KeyError(f"unknown tuned schedule {name!r} (registered: {known})")
+    from repro.tune.export import schedule_from_actions
+
+    return schedule_from_actions(actions, type_env, name=name)

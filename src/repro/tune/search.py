@@ -1,0 +1,424 @@
+"""Cost-guided beam search over ELEVATE rewrite sequences.
+
+The search explores sequences of :class:`~repro.tune.space.Action` moves
+from a seed expression.  Each step expands every beam state with every
+pool action, then keeps the ``beam`` cheapest states seen so far:
+
+* **applicability** — an action whose probe rule matches nowhere, or
+  whose strategy returns ``Failure``, is skipped (``tune.pruned.
+  inapplicable``);
+* **progress** — a rewrite that produces an alpha-equivalent state
+  (identical :func:`~repro.engine.hashing.structural_hash`) is a no-op
+  and discarded (``tune.pruned.noop``); a state whose hash was already
+  visited anywhere in the search is a duplicate (``tune.pruned.
+  duplicate``);
+* **well-typedness** — candidates are re-type-checked after every move;
+  a :class:`~repro.rise.types.TypeError_` prunes the candidate before it
+  ever reaches scoring (``tune.pruned.ill_typed``), and runaway
+  normalization (:class:`~repro.elevate.core.StrategyError`) prunes it
+  as non-normalizing;
+* **scoring** — survivors are completed with the fixed lowering suffix
+  (:func:`~repro.tune.space.completion_steps`), lowered to imperative
+  code, and scored by a :class:`~repro.perf.objective.CostObjective`.
+
+Expansion and scoring are memoized through :class:`~repro.engine.memo.
+Memo` tables keyed by structural hashes, so revisited states (different
+action orders frequently commute) cost a dict lookup.  The search is
+deterministic: ties sort by candidate hash, and no randomness is drawn —
+``seed`` names the verification-input seed recorded in logs so a search
+and its oracle check replay together.
+
+Search state serializes to a JSON log after every step; an interrupted
+search resumes by replaying the logged action sequences (cheap, because
+every transition is memoized and the rewrites are deterministic).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.codegen.views import CodegenError
+from repro.elevate.core import Failure, StrategyError, Success
+from repro.engine.hashing import structural_hash
+from repro.engine.memo import Memo
+from repro.observe.core import span
+from repro.observe.metrics import inc, set_gauge
+from repro.perf.objective import CostObjective
+from repro.rise.expr import Expr
+from repro.rise.typecheck import infer_types
+from repro.rise.types import Type, TypeError_
+from repro.rules.match import rewrite_sites
+from repro.tune.space import (
+    Action,
+    completion_steps,
+    default_action_pool,
+    resolve_actions,
+)
+
+__all__ = ["SEARCH_LOG_SCHEMA", "TuneConfig", "Candidate", "TuneResult", "beam_search"]
+
+#: Schema identifier of the resumable search log.
+SEARCH_LOG_SCHEMA = "repro.tune.log/v1"
+
+#: Sentinel stored in memo tables for states that were pruned, keyed to
+#: the prune counter it incremented (so replays re-count consistently).
+_PRUNED = "pruned"
+
+
+@dataclass(frozen=True)
+class TuneConfig:
+    """Search knobs: beam width, step budget, seed and the action grids."""
+
+    beam: int = 4
+    steps: int = 6
+    seed: int = 0
+    chunks: tuple = (16, 32, 64)
+    vecs: tuple = (4, 8)
+    strips: tuple = (2,)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form for search logs."""
+        return {
+            "beam": self.beam,
+            "steps": self.steps,
+            "seed": self.seed,
+            "chunks": list(self.chunks),
+            "vecs": list(self.vecs),
+            "strips": list(self.strips),
+        }
+
+
+@dataclass
+class Candidate:
+    """One search state: an action sequence and the expression it reaches.
+
+    ``cost_ms`` is the modeled runtime of the *completed* (lowered)
+    candidate under the search objective; ``n_multiple``/``m_multiple``
+    accumulate the divisibility constraints of the applied actions, so
+    verification and wall-clock ranking can pick legal concrete sizes.
+    """
+
+    expr: Expr
+    actions: tuple[str, ...]
+    hash: str
+    cost_ms: float
+    n_multiple: int = 1
+    m_multiple: int = 1
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (the expression is recoverable by replay)."""
+        return {
+            "actions": list(self.actions),
+            "hash": self.hash,
+            "cost_ms": round(self.cost_ms, 6),
+            "n_multiple": self.n_multiple,
+            "m_multiple": self.m_multiple,
+        }
+
+
+@dataclass
+class TuneResult:
+    """Outcome of a search: the best candidate, the final frontier and
+    the accounting needed to audit or resume the run."""
+
+    best: Candidate
+    frontier: list[Candidate]
+    history: list[dict]
+    stats: dict
+    objective: str
+    config: TuneConfig
+    seed_hash: str
+
+    def log_document(self) -> dict:
+        """The JSON search log (see :data:`SEARCH_LOG_SCHEMA`)."""
+        return {
+            "schema": SEARCH_LOG_SCHEMA,
+            "config": self.config.to_dict(),
+            "objective": self.objective,
+            "seed_hash": self.seed_hash,
+            "steps": self.history,
+            "frontier": [c.to_dict() for c in self.frontier],
+            "best": self.best.to_dict(),
+            "stats": self.stats,
+            "completed_steps": len(self.history),
+        }
+
+
+class _Session:
+    """Mutable search state shared by expansion and scoring."""
+
+    def __init__(self, type_env, pool, objective):
+        self.type_env = dict(type_env)
+        self.pool = pool
+        self.objective = objective
+        self.completion = completion_steps(self.type_env)
+        self.transitions = Memo("tune.memo.transition", maxsize=8192)
+        self.scores = Memo("tune.memo.score", maxsize=8192)
+        self.seen: set[str] = set()
+        self.stats = {
+            "expanded": 0,
+            "scored": 0,
+            "pruned_inapplicable": 0,
+            "pruned_noop": 0,
+            "pruned_duplicate": 0,
+            "pruned_ill_typed": 0,
+            "pruned_non_normalizing": 0,
+            "pruned_unlowerable": 0,
+            "pruned_unsizeable": 0,
+        }
+
+    def _prune(self, kind: str) -> None:
+        self.stats[f"pruned_{kind}"] += 1
+        inc(f"tune.pruned.{kind}")
+
+    def score(self, expr: Expr, expr_hash: str) -> float | None:
+        """Modeled cost of the completed+lowered candidate, memoized by
+        ``(hash, objective identity)``; ``None`` when completion or
+        lowering prunes it."""
+        key = (expr_hash, self.objective.identity)
+        if key in self.scores:
+            return self.scores.get(key)
+
+        def produce():
+            completed = expr
+            try:
+                for step in self.completion:
+                    completed = step.apply(completed)
+            except StrategyError:
+                self._prune("non_normalizing")
+                return None
+            from repro.codegen.lower import compile_program
+
+            try:
+                program = compile_program(
+                    completed, dict(self.type_env), f"tuned_{expr_hash[:10]}"
+                )
+            except (CodegenError, TypeError_, StrategyError):
+                self._prune("unlowerable")
+                return None
+            try:
+                cost = self.objective.score(program)
+            except ValueError:
+                # the candidate's size constraints (e.g. a split applied
+                # to a stage whose extent is n+4) have no solution at the
+                # objective's concrete sizes — not a runnable schedule
+                self._prune("unsizeable")
+                return None
+            self.stats["scored"] += 1
+            inc("tune.scored")
+            return cost
+
+        return self.scores.get_or(key, produce)
+
+    def expand(self, cand: Candidate, action: Action) -> Candidate | None:
+        """Apply one action to one beam state; ``None`` when pruned."""
+        self.stats["expanded"] += 1
+        inc("tune.expanded")
+        key = (cand.hash, action.name)
+        cached = self.transitions.get(key, default=_PRUNED)
+        if cached is not _PRUNED and cached is None:
+            return None  # memoized prune
+        if cached is not _PRUNED:
+            child_expr, child_hash = cached
+        else:
+            if action.probe is not None and not rewrite_sites(
+                cand.expr, action.probe, limit=1
+            ):
+                self._prune("inapplicable")
+                self.transitions.put(key, None)
+                return None
+            try:
+                result = action.strategy(cand.expr)
+            except StrategyError:
+                self._prune("non_normalizing")
+                self.transitions.put(key, None)
+                return None
+            except TypeError_:
+                self._prune("ill_typed")
+                self.transitions.put(key, None)
+                return None
+            if isinstance(result, Failure):
+                self._prune("inapplicable")
+                self.transitions.put(key, None)
+                return None
+            assert isinstance(result, Success)
+            child_expr = result.expr
+            child_hash = structural_hash(child_expr)
+            if child_hash == cand.hash:
+                self._prune("noop")
+                self.transitions.put(key, None)
+                return None
+            try:
+                infer_types(child_expr, self.type_env, strict=False)
+            except TypeError_:
+                self._prune("ill_typed")
+                self.transitions.put(key, None)
+                return None
+            self.transitions.put(key, (child_expr, child_hash))
+        if child_hash in self.seen:
+            self._prune("duplicate")
+            return None
+        cost = self.score(child_expr, child_hash)
+        if cost is None:
+            return None
+        self.seen.add(child_hash)
+        return Candidate(
+            expr=child_expr,
+            actions=cand.actions + (action.name,),
+            hash=child_hash,
+            cost_ms=cost,
+            n_multiple=math.lcm(cand.n_multiple, action.n_multiple),
+            m_multiple=math.lcm(cand.m_multiple, action.m_multiple),
+        )
+
+
+def _rank(cands: Sequence[Candidate]) -> list[Candidate]:
+    return sorted(cands, key=lambda c: (c.cost_ms, c.hash, c.actions))
+
+
+def _write_log(path, doc: dict) -> None:
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+
+def _load_resume(path, seed_hash: str, objective_id: str) -> dict | None:
+    p = Path(path)
+    if not p.is_file():
+        return None
+    doc = json.loads(p.read_text(encoding="utf-8"))
+    if doc.get("schema") != SEARCH_LOG_SCHEMA:
+        raise ValueError(f"{p}: not a search log (schema {doc.get('schema')!r})")
+    if doc.get("seed_hash") != seed_hash or doc.get("objective") != objective_id:
+        raise ValueError(
+            f"{p}: log was produced for a different seed expression or "
+            f"objective; refusing to resume"
+        )
+    return doc
+
+
+def beam_search(
+    seed_expr: Expr,
+    type_env: Mapping[str, Type],
+    config: TuneConfig | None = None,
+    objective: CostObjective | None = None,
+    pool: Sequence[Action] | None = None,
+    log_path: str | Path | None = None,
+    resume: bool = False,
+) -> TuneResult:
+    """Run the beam search; returns the best candidate and its audit trail.
+
+    ``pool`` defaults to :func:`~repro.tune.space.default_action_pool`
+    built from ``config``'s grids; ``objective`` to the default
+    :class:`~repro.perf.objective.CostObjective`.  With ``log_path`` the
+    search serializes its state to a JSON log after every step; with
+    ``resume`` an existing log at that path (same seed expression and
+    objective, checked by hash) is replayed — memoized transitions make
+    the replay cheap — and the search continues from its recorded step.
+
+    The search itself draws no randomness; ``config.seed`` is recorded
+    so downstream verification uses matching inputs.  Search-session
+    counters land in the metrics registry under ``tune.*``.
+    """
+    config = config or TuneConfig()
+    objective = objective or CostObjective()
+    if pool is None:
+        pool = default_action_pool(
+            type_env, chunks=config.chunks, vecs=config.vecs, strips=config.strips
+        )
+    session = _Session(type_env, pool, objective)
+    seed_hash = structural_hash(seed_expr)
+    root_cost = session.score(seed_expr, seed_hash)
+    if root_cost is None:
+        raise StrategyError("the seed expression itself fails completion/lowering")
+    root = Candidate(expr=seed_expr, actions=(), hash=seed_hash, cost_ms=root_cost)
+    session.seen.add(seed_hash)
+
+    beam: list[Candidate] = [root]
+    history: list[dict] = []
+    start_step = 0
+
+    resume_doc = (
+        _load_resume(log_path, seed_hash, objective.identity)
+        if (resume and log_path)
+        else None
+    )
+    if resume_doc:
+        replayed: list[Candidate] = []
+        for entry in resume_doc.get("frontier", []):
+            cand = root
+            for act in resolve_actions(
+                entry["actions"], type_env, config.chunks, config.vecs, config.strips
+            ):
+                nxt = session.expand(cand, act)
+                if nxt is None:  # seen-set dedup during replay: rebuild by hash
+                    cached = session.transitions.get((cand.hash, act.name))
+                    if cached is None:
+                        raise ValueError(
+                            f"cannot replay logged actions {entry['actions']!r}"
+                        )
+                    child_expr, child_hash = cached
+                    nxt = Candidate(
+                        expr=child_expr,
+                        actions=cand.actions + (act.name,),
+                        hash=child_hash,
+                        cost_ms=session.score(child_expr, child_hash),
+                        n_multiple=math.lcm(cand.n_multiple, act.n_multiple),
+                        m_multiple=math.lcm(cand.m_multiple, act.m_multiple),
+                    )
+                cand = nxt
+            replayed.append(cand)
+        if replayed:
+            beam = _rank(replayed)[: config.beam]
+        history = list(resume_doc.get("steps", []))
+        start_step = int(resume_doc.get("completed_steps", len(history)))
+        inc("tune.resumed")
+
+    with span("tune.search", objective=objective.identity, beam=config.beam):
+        for step in range(start_step, config.steps):
+            expansions: list[Candidate] = []
+            for cand in beam:
+                for action in pool:
+                    child = session.expand(cand, action)
+                    if child is not None:
+                        expansions.append(child)
+            beam = _rank(list(beam) + expansions)[: config.beam]
+            best = beam[0]
+            set_gauge("tune.best_cost_ms", best.cost_ms)
+            history.append(
+                {
+                    "step": step + 1,
+                    "expansions": len(expansions),
+                    "best_cost_ms": round(best.cost_ms, 6),
+                    "beam": [c.to_dict() for c in beam],
+                }
+            )
+            if log_path:
+                partial = TuneResult(
+                    best=best,
+                    frontier=beam,
+                    history=history,
+                    stats=dict(session.stats),
+                    objective=objective.identity,
+                    config=config,
+                    seed_hash=seed_hash,
+                )
+                _write_log(log_path, partial.log_document())
+
+    stats = dict(session.stats)
+    stats["transition_memo"] = session.transitions.stats()
+    stats["score_memo"] = session.scores.stats()
+    result = TuneResult(
+        best=beam[0],
+        frontier=beam,
+        history=history,
+        stats=stats,
+        objective=objective.identity,
+        config=config,
+        seed_hash=seed_hash,
+    )
+    if log_path:
+        _write_log(log_path, result.log_document())
+    return result

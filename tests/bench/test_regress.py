@@ -103,6 +103,17 @@ class TestCompare:
         current = dict(CELLS, **{"new|cell|Impl": 1.0})
         assert compare_cells(CELLS, current) == []
 
+    def test_tuned_cells_are_informational_unless_gated(self):
+        base = dict(CELLS, **{"tuned|tuned-harris-v1|A73|small": 1.0})
+        cur = dict(CELLS, **{"tuned|tuned-harris-v1|A73|small": 5.0})
+        traj = new_trajectory()
+        traj["samples"] = [_sample(base), _sample(cur)]
+        regs, info = compare_trajectory(traj, threshold=0.10)
+        assert regs == []  # a re-tuned schedule must not gate by default
+        assert info["gate_tuned"] is False
+        regs, _ = compare_trajectory(traj, threshold=0.10, gate_tuned=True)
+        assert [r.cell for r in regs] == ["tuned|tuned-harris-v1|A73|small"]
+
     def test_format_mentions_every_regression(self):
         regs = compare_cells(CELLS, {k: v * 2 for k, v in CELLS.items()})
         text = format_regressions(regs, {"cells": 2, "baseline_samples": 1,

@@ -75,6 +75,27 @@ class TestCPrinter:
         source = program_to_c(double_prog)
         assert "v4f_load" in source and "v4f_splat" in source
 
+    def test_wide_vectors_get_their_own_types(self):
+        # 8-lane values must print through 8-lane types: emitting them as
+        # v4f silently dropped half the lanes (caught by the autotuner's
+        # differential verification of vectorize(8) candidates)
+        from repro.codegen.ir import (
+            Block, Buffer, DeclVec, ImpFunction, ImpProgram, IConst,
+            VLoad, VStore,
+        )
+
+        body = Block([
+            DeclVec("v", 8, VLoad("xs", IConst(0), 8)),
+            VStore("out", IConst(0), VLoad("xs", IConst(0), 8), 8),
+        ])
+        fn = ImpFunction(
+            "wide", [Buffer("xs", nat(8))], Buffer("out", nat(8)), [], body
+        )
+        source = program_to_c(ImpProgram("wide", [fn], []))
+        assert "typedef float v8f __attribute__((vector_size(32)))" in source
+        assert "v8f_load" in source and "v8f_store" in source
+        assert "v8f v = v8f_load" in source
+
 
 @pytest.mark.requires_gcc
 class TestCBridge:

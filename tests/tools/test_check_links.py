@@ -1,0 +1,93 @@
+"""Regression tests for the docs link checker (``tools/check_links.py``).
+
+The checker once treated ``# comment`` lines inside fenced code blocks as
+headings, so a link to a long-deleted section passed silently as long as
+some shell snippet mentioned it.  These tests pin the fixed behavior on
+known-bad fixtures: phantom in-fence anchors fail, missing files fail,
+and pages unreachable from ``docs/index.md`` fail as orphans.
+"""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_links", REPO_ROOT / "tools" / "check_links.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+cl = load_checker()
+
+
+def test_anchor_inside_code_fence_is_not_a_heading(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text(
+        "# Real\n\n"
+        "```bash\n"
+        "# Phantom Heading\n"
+        "```\n\n"
+        "[ok](#real)\n"
+        "[bad](#phantom-heading)\n",
+        encoding="utf-8",
+    )
+    errors = cl.check_file(page)
+    assert any("missing anchor #phantom-heading" in e for e in errors)
+    assert not any("#real" in e for e in errors)
+
+
+def test_links_inside_code_fences_are_not_checked(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text(
+        "# T\n\n```\n[example](does-not-exist.md)\n```\n", encoding="utf-8"
+    )
+    assert cl.check_file(page) == []
+
+
+def test_missing_file_target_fails(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text("# T\n\n[gone](deleted-page.md)\n", encoding="utf-8")
+    errors = cl.check_file(page)
+    assert any("broken link deleted-page.md" in e for e in errors)
+
+
+def test_stale_anchor_into_existing_page_fails(tmp_path):
+    (tmp_path / "other.md").write_text("# Only Section\n", encoding="utf-8")
+    page = tmp_path / "page.md"
+    page.write_text("# T\n\n[stale](other.md#old-section)\n", encoding="utf-8")
+    errors = cl.check_file(page)
+    assert any("missing anchor other.md#old-section" in e for e in errors)
+
+
+def test_orphan_docs_require_index_linkage(tmp_path):
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "index.md").write_text("# Map\n\n[a](a.md)\n", encoding="utf-8")
+    (docs / "a.md").write_text("# A\n", encoding="utf-8")
+    (docs / "b.md").write_text("# B (unlinked)\n", encoding="utf-8")
+    files = sorted(docs.rglob("*.md"))
+    errors = cl.orphan_docs(files)
+    assert len(errors) == 1
+    assert "b.md" in errors[0] and "orphan" in errors[0]
+
+
+def test_main_fails_on_bad_tree_and_passes_on_good_tree(tmp_path, capsys):
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "index.md").write_text("# Map\n\n[a](a.md)\n", encoding="utf-8")
+    (docs / "a.md").write_text("# A\n\n[back](index.md)\n", encoding="utf-8")
+    assert cl.main(["check_links", str(docs)]) == 0
+    (docs / "a.md").write_text("# A\n\n[bad](gone.md)\n", encoding="utf-8")
+    assert cl.main(["check_links", str(docs)]) == 1
+    out = capsys.readouterr().out
+    assert "gone.md" in out
+
+
+def test_repo_docs_tree_is_clean():
+    # the shipping docs must stay link-clean and fully index-reachable
+    assert cl.main(["check_links"]) == 0

@@ -1,0 +1,40 @@
+"""Exported artifacts: schedules from action names, the tuned registry."""
+
+import pytest
+
+from repro.pipelines import harris_input_type
+from repro.strategies import TUNED_SCHEDULES, register_tuned_schedule, tuned_schedule
+from repro.strategies.schedules import Schedule
+from repro.tune import schedule_from_actions
+from repro.tune.space import completion_steps
+
+SENV = {"rgb": harris_input_type()}
+
+
+def test_schedule_from_actions_appends_the_completion_suffix():
+    names = ["fuse", "split(32)+parallel"]
+    sched = schedule_from_actions(names, SENV)
+    assert isinstance(sched, Schedule)
+    assert sched.name.startswith("tuned-")
+    assert len(sched.steps) == len(names) + len(completion_steps(SENV))
+    assert [s.name for s in sched.steps[: len(names)]] == names
+
+
+def test_registered_discovery_replays_under_its_stable_name():
+    assert "tuned-harris-v1" in TUNED_SCHEDULES
+    sched = tuned_schedule("tuned-harris-v1", SENV)
+    assert sched.name == "tuned-harris-v1"
+    actions = TUNED_SCHEDULES["tuned-harris-v1"]
+    assert [s.name for s in sched.steps[: len(actions)]] == list(actions)
+    with pytest.raises(KeyError, match="tuned-harris-v1"):
+        tuned_schedule("tuned-nonexistent", SENV)
+
+
+def test_register_is_idempotent_but_rejects_silent_redefinition():
+    register_tuned_schedule("tuned-test-x", ["fuse"])
+    try:
+        register_tuned_schedule("tuned-test-x", ["fuse"])  # same actions: fine
+        with pytest.raises(ValueError, match="already registered"):
+            register_tuned_schedule("tuned-test-x", ["fuse", "vectorize(4)"])
+    finally:
+        TUNED_SCHEDULES.pop("tuned-test-x", None)

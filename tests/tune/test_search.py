@@ -1,0 +1,84 @@
+"""Search invariants: determinism and pruning before scoring.
+
+These are the autotuner's two contracts worth a regression test each:
+
+* **determinism** — the search draws no randomness; two runs with the
+  same seed expression, config and objective must produce *identical*
+  logs (best candidate hash included), or resumable logs and the CI
+  smoke job are meaningless;
+* **pruning order** — an action producing an ill-typed expression must
+  be pruned by the re-type-check *before* the candidate reaches the
+  cost model, or the search would happily optimize garbage the
+  typechecker rejects.
+"""
+
+import pytest
+
+from repro.elevate.core import Strategy, Success
+from repro.pipelines import harris, harris_input_type
+from repro.rise import Identifier
+from repro.tune import TuneConfig, beam_search, resolve_actions
+from repro.tune.space import Action
+
+SENV = {"rgb": harris_input_type()}
+
+
+@pytest.fixture(scope="module")
+def seed_expr():
+    return harris(Identifier("rgb"))
+
+
+def small_pool():
+    """Two real moves: enough for a two-step search, cheap to score."""
+    return [
+        a
+        for a in resolve_actions(["fuse", "split(32)+parallel"], SENV)
+    ]
+
+
+@pytest.fixture(scope="module")
+def two_runs(seed_expr):
+    """The same small search run twice, in fresh sessions."""
+    config = TuneConfig(beam=2, steps=2, seed=0)
+    first = beam_search(seed_expr, SENV, config=config, pool=small_pool())
+    second = beam_search(seed_expr, SENV, config=config, pool=small_pool())
+    return first, second
+
+
+def test_search_is_deterministic(two_runs):
+    first, second = two_runs
+    assert first.best.hash == second.best.hash
+    assert first.best.actions == second.best.actions
+    # the whole serialized log must match — frontier order, per-step
+    # history, prune accounting (memo hit counts differ only if the
+    # search walked a different path)
+    assert first.log_document() == second.log_document()
+
+
+def test_best_candidate_improves_on_seed(two_runs):
+    result, _ = two_runs
+    assert result.best.actions == ("fuse", "split(32)+parallel")
+    assert result.best.hash != result.seed_hash
+    assert result.best.n_multiple == 32  # the split's divisibility stuck
+
+
+def test_ill_typed_rewrites_never_reach_scoring(seed_expr):
+    calls = {"n": 0}
+
+    def bad(expr):
+        calls["n"] += 1
+        # a plainly ill-typed "rewrite": replace the whole program with a
+        # free identifier the environment does not type
+        return Success(Identifier("no_such_variable"))
+
+    pool = [Action("breakTypes", Strategy(bad, name="breakTypes"))]
+    result = beam_search(
+        seed_expr, SENV, config=TuneConfig(beam=2, steps=1, seed=0), pool=pool
+    )
+    assert calls["n"] >= 1  # the action genuinely ran
+    assert result.stats["pruned_ill_typed"] >= 1
+    # only the seed itself was ever scored: the ill-typed child was
+    # pruned by the re-type-check before the cost model saw it
+    assert result.stats["scored"] == 1
+    assert result.best.actions == ()
+    assert result.best.hash == result.seed_hash

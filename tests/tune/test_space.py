@@ -1,0 +1,54 @@
+"""The action pool: naming, grids, round-tripping recorded names."""
+
+import pytest
+
+from repro.pipelines import harris_input_type
+from repro.tune import default_action_pool, resolve_actions
+from repro.tune.export import discovered_name, size_multiples
+
+SENV = {"rgb": harris_input_type()}
+
+
+def test_pool_names_are_unique_and_cover_the_grids():
+    pool = default_action_pool(SENV)
+    names = [a.name for a in pool]
+    assert len(names) == len(set(names))
+    for c in (16, 32, 64):
+        assert f"split({c})+parallel" in names
+    for w in (4, 8):
+        assert f"vectorize({w})" in names
+    for fixed in ("fuse", "separateConvolutions", "circularBufferStages",
+                  "rotateValues", "stripParallel(2)"):
+        assert fixed in names
+
+
+def test_strategy_names_match_action_names():
+    # search logs, schedule step names and strategy identities must agree
+    for action in default_action_pool(SENV):
+        assert action.strategy.name == action.name
+
+
+def test_resolve_actions_round_trips_and_rejects_unknown():
+    names = ["fuse", "split(32)+parallel", "vectorize(4)"]
+    actions = resolve_actions(names, SENV)
+    assert [a.name for a in actions] == names
+    with pytest.raises(KeyError, match="split\\(7\\)"):
+        resolve_actions(["split(7)+parallel"], SENV)
+
+
+def test_size_multiples_accumulate_by_lcm():
+    n_mult, m_mult = size_multiples(
+        ["fuse", "split(32)+parallel", "stripParallel(2)", "vectorize(8)"], SENV
+    )
+    # n accumulates lcm(1, 32, 2) = 32 from split+strip, m takes the
+    # vector width; `fuse` imposes nothing.
+    assert (n_mult, m_mult) == (32, 8)
+
+
+def test_discovered_name_is_deterministic_and_distinguishes():
+    a = discovered_name(["fuse", "vectorize(4)"])
+    b = discovered_name(["fuse", "vectorize(4)"])
+    c = discovered_name(["fuse", "vectorize(8)"])
+    assert a == b
+    assert a != c
+    assert a.startswith("tuned-")

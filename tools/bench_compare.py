@@ -66,6 +66,12 @@ def main() -> int:
         "wall clocks on shared CI runners are noisy)",
     )
     parser.add_argument(
+        "--gate-tuned",
+        action="store_true",
+        help="also gate autotuner tuned| cells (informational by default: "
+        "a re-tuned search may land on a different discovered schedule)",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON output"
     )
     args = parser.parse_args()
@@ -90,6 +96,7 @@ def main() -> int:
         candidate=candidate,
         threshold=args.threshold,
         gate_wall=args.gate_wall,
+        gate_tuned=args.gate_tuned,
     )
     if args.json:
         print(

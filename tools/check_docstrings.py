@@ -23,6 +23,7 @@ CHECKED_PACKAGES = (
     REPO_ROOT / "src" / "repro" / "elevate",
     REPO_ROOT / "src" / "repro" / "engine",
     REPO_ROOT / "src" / "repro" / "verify",
+    REPO_ROOT / "src" / "repro" / "tune",
 )
 
 

@@ -7,6 +7,18 @@ repository (anchors are checked for in-file existence of a matching
 heading).  External links (http/https/mailto) are not fetched — the check
 must work offline.
 
+Fenced code blocks are stripped before both anchor collection and link
+extraction: a ``# comment`` line inside a ```bash block is not a heading,
+and treating it as one used to let links to long-deleted sections pass
+silently (the anchor check matched the comment instead of a real
+heading).  Links inside code fences are examples, not navigation, so
+they are not checked either.
+
+When ``docs/index.md`` exists, the checker additionally requires every
+other page under ``docs/`` to be linked from it — the index is the
+documentation map, and a page it does not reach is unreachable for
+readers too.
+
 Usage:  python tools/check_links.py [file-or-dir ...]
 """
 
@@ -24,7 +36,33 @@ DEFAULT_TARGETS = ("README.md", "docs", "CHANGES.md", "ROADMAP.md")
 #: image targets must resolve too.
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
+#: Opening/closing fence of a code block (``` or ~~~, any info string).
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
 SKIP_SCHEMES = ("http://", "https://", "mailto:", "#http")
+
+
+def strip_code_fences(text: str) -> str:
+    """The markdown text with fenced code blocks blanked out.
+
+    Fenced lines are replaced by empty lines (not removed), so line
+    numbers in future diagnostics stay meaningful.
+    """
+    out: list[str] = []
+    in_fence = False
+    fence = ""
+    for line in text.splitlines():
+        match = FENCE_RE.match(line)
+        if match and not in_fence:
+            in_fence, fence = True, match.group(1)
+            out.append("")
+            continue
+        if match and in_fence and match.group(1) == fence:
+            in_fence = False
+            out.append("")
+            continue
+        out.append("" if in_fence else line)
+    return "\n".join(out)
 
 
 def slugify(heading: str) -> str:
@@ -35,9 +73,14 @@ def slugify(heading: str) -> str:
 
 
 def anchors_in(path: Path) -> set[str]:
-    """All heading anchors defined by a markdown file."""
+    """All heading anchors defined by a markdown file.
+
+    Only real headings count: ``#`` lines inside fenced code blocks are
+    shell comments, not anchors.
+    """
     out: set[str] = set()
-    for line in path.read_text(encoding="utf-8").splitlines():
+    text = strip_code_fences(path.read_text(encoding="utf-8"))
+    for line in text.splitlines():
         if line.startswith("#"):
             out.add(slugify(line.lstrip("#")))
     return out
@@ -50,7 +93,7 @@ def check_file(path: Path) -> list[str]:
         rel = path.relative_to(REPO_ROOT)
     except ValueError:
         rel = path
-    text = path.read_text(encoding="utf-8")
+    text = strip_code_fences(path.read_text(encoding="utf-8"))
     for match in LINK_RE.finditer(text):
         target = match.group(1)
         if target.startswith(SKIP_SCHEMES):
@@ -69,6 +112,44 @@ def check_file(path: Path) -> list[str]:
     return errors
 
 
+def linked_targets(path: Path) -> set[Path]:
+    """Resolved file targets of every relative link in one markdown file."""
+    out: set[Path] = set()
+    text = strip_code_fences(path.read_text(encoding="utf-8"))
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_SCHEMES):
+            continue
+        target, _, _ = target.partition("#")
+        if target:
+            out.add((path.parent / target).resolve())
+    return out
+
+
+def orphan_docs(files: list[Path]) -> list[str]:
+    """Docs pages not linked from their ``index.md`` documentation map.
+
+    For every scanned ``index.md``, each sibling (and descendant) ``.md``
+    page of its directory must appear as a link target in the index;
+    directories without an index are exempt.
+    """
+    errors: list[str] = []
+    indexes = [f for f in files if f.name == "index.md"]
+    for index in indexes:
+        reachable = linked_targets(index)
+        pages = sorted(index.parent.rglob("*.md"))
+        for page in pages:
+            if page.resolve() == index.resolve():
+                continue
+            if page.resolve() not in reachable:
+                try:
+                    rel = page.relative_to(REPO_ROOT)
+                except ValueError:
+                    rel = page
+                errors.append(f"{rel}: not linked from {index.name} (orphan page)")
+    return errors
+
+
 def main(argv: list[str]) -> int:
     targets = argv[1:] or [str(REPO_ROOT / t) for t in DEFAULT_TARGETS]
     files: list[Path] = []
@@ -81,6 +162,7 @@ def main(argv: list[str]) -> int:
     errors: list[str] = []
     for f in files:
         errors.extend(check_file(f))
+    errors.extend(orphan_docs(files))
     if errors:
         print(f"broken links ({len(errors)}):")
         for e in errors:
