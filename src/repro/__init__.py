@@ -11,6 +11,20 @@ benchmark harness regenerating the paper's figures.
 
 __version__ = "1.0.0"
 
-from repro.engine import BatchResult, BatchRunner, CompiledPipeline, Engine, compile
+from repro.engine import (
+    BatchResult,
+    BatchRunner,
+    CompiledPipeline,
+    CompileRequest,
+    Engine,
+    compile,
+)
 
-__all__ = ["compile", "CompiledPipeline", "Engine", "BatchRunner", "BatchResult"]
+__all__ = [
+    "compile",
+    "CompileRequest",
+    "CompiledPipeline",
+    "Engine",
+    "BatchRunner",
+    "BatchResult",
+]

@@ -34,6 +34,7 @@ __all__ = [
     "DEFAULT_THRESHOLD",
     "WALL_CELL_PREFIX",
     "TUNED_CELL_PREFIX",
+    "SERVE_CELL_PREFIX",
     "Regression",
     "git_sha",
     "collect_sample",
@@ -205,6 +206,13 @@ WALL_CELL_PREFIX = "wall|"
 #: configuration, so by default their history informs but does not gate.
 TUNED_CELL_PREFIX = "tuned|"
 
+#: Prefix of serving-latency cells (informational unless gated):
+#: ``serve|<quantile>|<family>`` percentiles written by
+#: ``tools/loadtest.py``.  Like ``wall|`` they are measured wall clocks
+#: on whatever machine ran the loadtest, so by default they inform the
+#: trajectory without gating it.
+SERVE_CELL_PREFIX = "serve|"
+
 
 def compare_trajectory(
     trajectory: dict,
@@ -212,6 +220,7 @@ def compare_trajectory(
     threshold: float = DEFAULT_THRESHOLD,
     gate_wall: bool = False,
     gate_tuned: bool = False,
+    gate_serve: bool = False,
 ) -> tuple[list[Regression], dict]:
     """Compare a candidate sample against the trajectory's history.
 
@@ -227,7 +236,9 @@ def compare_trajectory(
     Autotuner ``tuned|`` cells are likewise excluded unless
     ``gate_tuned`` — a re-tuned search may legitimately land on a
     different (named) schedule, and an absent or renamed discovery must
-    not read as a kernel regression.
+    not read as a kernel regression.  Serving-latency ``serve|`` cells
+    (loadtest percentiles) are excluded unless ``gate_serve``, for the
+    same measured-on-a-shared-runner reason as ``wall|``.
 
     Returns ``(regressions, info)`` where ``info`` carries the baseline
     size for reporting; with fewer than one baseline sample there is
@@ -252,6 +263,8 @@ def compare_trajectory(
                     continue
             if cell.startswith(TUNED_CELL_PREFIX) and not gate_tuned:
                 continue
+            if cell.startswith(SERVE_CELL_PREFIX) and not gate_serve:
+                continue
             ms = float(ms)
             if cell not in baseline or ms < baseline[cell]:
                 baseline[cell] = ms
@@ -263,6 +276,7 @@ def compare_trajectory(
         "threshold": threshold,
         "gate_wall": gate_wall,
         "gate_tuned": gate_tuned,
+        "gate_serve": gate_serve,
     }
     return regressions, info
 

@@ -12,8 +12,10 @@ and reusable ``.so`` files for the ctypes bridge.
 Public surface (re-exported as ``repro.compile`` etc.):
 
 * :func:`repro.engine.compile` — the unified front door;
+* :class:`CompileRequest` — the typed, validated compile-request value
+  the serving layer queues and coalesces;
 * :class:`CompiledPipeline` — ``.run()``, ``.run_batch()``, ``.source``,
-  ``.report``;
+  ``.report()``;
 * :class:`BatchRunner` / :class:`BatchResult` — parallel fan-out over
   input batches (process pool for the Python backend, thread pool for
   the C backend);
@@ -47,6 +49,7 @@ from repro.engine.pipeline import (
     register_builder,
     reset_default_engine,
 )
+from repro.engine.request import BACKENDS, CompileRequest
 
 #: Schema identifier of the run report's ``engine`` section.
 ENGINE_REPORT_SCHEMA = "repro.engine.report/v1"
@@ -55,6 +58,8 @@ __all__ = [
     "ENGINE_VERSION",
     "ENGINE_REPORT_SCHEMA",
     "compile",
+    "CompileRequest",
+    "BACKENDS",
     "CompiledPipeline",
     "Engine",
     "default_engine",

@@ -3,7 +3,9 @@
 One entry point replaces the five differently-shaped ones that grew with
 the reproduction (``codegen.compile_program``, ``compile_harris_halide``
 / ``_opencv`` / ``_lift``, ``exec.run_program``, ``exec.cbridge.
-run_program_c``).  It accepts three kinds of source:
+run_program_c``).  It accepts a :class:`~repro.engine.request.
+CompileRequest` — the typed request object the serving layer speaks —
+or the equivalent keywords, over three kinds of source:
 
 * a high-level RISE :class:`~repro.rise.expr.Expr` plus an optional
   optimization strategy/:class:`~repro.strategies.schedules.Schedule`;
@@ -14,16 +16,22 @@ run_program_c``).  It accepts three kinds of source:
 Every compile is content-addressed (see :mod:`repro.engine.hashing`) and
 served through an :class:`~repro.engine.cache.EngineCache`: a warm call
 touches no rewrite, typecheck or lowering phase at all — the test suite
-asserts zero ``lower`` phases on the hit path.  The returned
-:class:`CompiledPipeline` runs single inputs (``.run``) or parallel
-batches (``.run_batch``), exposes the generated source and reports its
-own cache provenance.
+asserts zero ``lower`` phases on the hit path.  Concurrent cold calls
+for the same key are **coalesced**: within a process, follower threads
+block on the leader's in-flight build (``engine.compile.coalesced``
+counters); across processes sharing a disk store, a per-key build lock
+elects exactly one builder and everyone else warm-starts from the
+published artifact.  The returned :class:`CompiledPipeline` runs single
+inputs (``.run``) or parallel batches (``.run_batch``), exposes the
+generated source and reports its own cache provenance via ``.report()``.
 """
 
 from __future__ import annotations
 
+import contextlib
 import importlib
 import json
+import threading
 import time
 from typing import Any, Mapping, Sequence
 
@@ -40,6 +48,7 @@ from repro.engine.hashing import (
     structural_hash,
     type_env_signature,
 )
+from repro.engine.request import CompileRequest
 from repro.observe.core import count, span
 from repro.observe.metrics import inc, observe_value, set_gauge
 from repro.rise.expr import Expr
@@ -56,7 +65,7 @@ __all__ = [
 
 #: Builder name -> (module, attribute) of a zero-setup program builder.
 #: Lazily imported so the engine has no import-time dependency on the
-#: baseline compiler packages (which themselves shim back onto the engine).
+#: baseline compiler packages (which themselves route through the engine).
 BUILDER_REGISTRY: dict[str, tuple[str, str]] = {
     "harris-halide": ("repro.halide.harris", "build_harris_halide_program"),
     "harris-opencv": ("repro.opencv.pipeline", "build_harris_opencv_program"),
@@ -69,30 +78,44 @@ def register_builder(name: str, module: str, attribute: str) -> None:
     BUILDER_REGISTRY[name] = (module, attribute)
 
 
+class _Flight:
+    """One in-flight build that follower threads can wait on."""
+
+    __slots__ = ("done", "entry", "status", "error")
+
+    def __init__(self):
+        self.done = threading.Event()
+        self.entry: CacheEntry | None = None
+        self.status: str | None = None
+        self.error: BaseException | None = None
+
+
 class CompiledPipeline:
     """A compiled, cached, runnable pipeline — the engine's user-facing object.
 
     Obtained from :func:`compile`; wraps one cache entry (the imperative
-    program plus backend artifacts) together with default size bindings.
+    program plus backend artifacts) together with the originating
+    :class:`~repro.engine.request.CompileRequest`.
     """
 
     def __init__(
         self,
         engine: "Engine",
         entry: CacheEntry,
-        sizes: Mapping[str, int] | None,
+        request: CompileRequest,
         cache_status: str,
         compile_ms: float,
-        threads: int | None = None,
+        sizes: Mapping[str, int] | None = None,
     ):
         self._engine = engine
         self._entry = entry
-        self.sizes = dict(sizes) if sizes else {}
+        self.request = request
+        self.sizes = dict(sizes if sizes is not None else (request.sizes or {}))
         self.cache_status = cache_status
         self.compile_ms = compile_ms
         #: Default thread count for PARALLEL loops (None = resolve per run
         #: from $REPRO_THREADS / $OMP_NUM_THREADS / cpu count).
-        self.threads = threads
+        self.threads = request.threads
 
     # -- introspection ---------------------------------------------------
 
@@ -129,10 +152,11 @@ class CompiledPipeline:
 
         return program_to_python(self.program, self.resolve_run_sizes(None))
 
-    @property
     def report(self) -> dict:
-        """Provenance of this handle: cache status, key, timings, engine stats."""
+        """Provenance of this handle: the echoed request, cache status,
+        key, timings and engine statistics."""
         return {
+            "request": self.request.to_dict(),
             "key": self.key,
             "program": self.program.name,
             "backend": self.backend,
@@ -147,10 +171,10 @@ class CompiledPipeline:
         return CompiledPipeline(
             self._engine,
             self._entry,
-            merged,
+            self.request,
             self.cache_status,
             self.compile_ms,
-            threads=self.threads,
+            sizes=merged,
         )
 
     def resolve_run_sizes(self, sizes: Mapping[str, int] | None) -> dict[str, int]:
@@ -245,6 +269,8 @@ class Engine:
     default engine (see :func:`default_engine`) reads its store location
     from ``$REPRO_CACHE_DIR``; private engines take an explicit
     ``cache_dir`` (tests use a tmpdir) or ``None`` for memory-only.
+    ``max_disk_entries`` / ``max_disk_bytes`` bound the disk tier (see
+    :meth:`ArtifactStore.enforce_limits`).
     """
 
     def __init__(
@@ -252,17 +278,27 @@ class Engine:
         cache_dir=None,
         memory_slots: int = 64,
         use_env_cache_dir: bool = False,
+        max_disk_entries: int | None = None,
+        max_disk_bytes: int | None = None,
     ):
         if cache_dir is None and use_env_cache_dir:
             cache_dir = default_cache_dir()
-        store = ArtifactStore(cache_dir) if cache_dir is not None else None
+        store = (
+            ArtifactStore(
+                cache_dir, max_entries=max_disk_entries, max_bytes=max_disk_bytes
+            )
+            if cache_dir is not None
+            else None
+        )
         self.cache = EngineCache(store, memory_slots=memory_slots)
+        self._inflight: dict[str, _Flight] = {}
+        self._inflight_lock = threading.Lock()
 
     # -- the front door --------------------------------------------------
 
     def compile(
         self,
-        source: Expr | ImpProgram | str,
+        source: CompileRequest | Expr | ImpProgram | str,
         *,
         strategy=None,
         backend: str = "python",
@@ -275,11 +311,15 @@ class Engine:
     ) -> CompiledPipeline:
         """Compile (or fetch from cache) and return a runnable pipeline.
 
-        ``source`` is a RISE expression (give ``type_env``, and optionally
-        a ``strategy``/Schedule applied before lowering), an already
-        lowered :class:`~repro.codegen.ir.ImpProgram`, or a registered
-        builder name (``options`` are its keyword arguments).  ``sizes``
-        binds default run-time sizes; it never affects the cache key.
+        ``source`` is either a ready-made :class:`CompileRequest` (the
+        serving layer's calling convention — keywords must then be left
+        at their defaults) or one of the three source kinds, with the
+        keywords assembled into a request internally: a RISE expression
+        (give ``type_env``, and optionally a ``strategy``/Schedule applied
+        before lowering), an already lowered :class:`~repro.codegen.ir.
+        ImpProgram`, or a registered builder name (``options`` are its
+        keyword arguments).  ``sizes`` binds default run-time sizes; it
+        never affects the cache key.
 
         ``threads`` pins a default thread count for ``PARALLEL`` loops on
         the returned handle.  Thread configuration is part of the cache
@@ -289,45 +329,119 @@ class Engine:
         a sequential ``.so`` cached on an OpenMP-less host is never reused
         by an OpenMP-capable build — and vice versa — and an explicit
         thread pin is keyed separately from auto resolution.
+
+        Identical concurrent compiles coalesce onto one build: follower
+        threads wait for the leader and return ``cache_status ==
+        "coalesced"``; across processes the store's build lock elects a
+        single builder per key.
         """
-        if backend not in ("python", "c"):
-            raise ValueError(f"unknown backend {backend!r}")
-        if backend == "c":
+        if isinstance(source, CompileRequest):
+            request = source
+        else:
+            request = CompileRequest(
+                source=source,
+                strategy=strategy,
+                backend=backend,
+                sizes=sizes,
+                type_env=type_env,
+                name=name,
+                options=options,
+                cflags=cflags,
+                threads=threads,
+            )
+        return self.compile_request(request)
+
+    def compile_request(self, request: CompileRequest) -> CompiledPipeline:
+        """Serve one :class:`CompileRequest` (see :meth:`compile`)."""
+        if request.backend == "c":
             from repro.exec.cbridge import effective_cflags
 
-            cflags = effective_cflags(tuple(cflags))
-        key = self._key_for(source, strategy, backend, type_env, options, cflags, threads)
+            request = request.replace(cflags=effective_cflags(tuple(request.cflags)))
+        key = self._key_for(
+            request.source,
+            request.strategy,
+            request.backend,
+            request.type_env,
+            request.options,
+            request.cflags,
+            request.threads,
+        )
         start = time.perf_counter()
-        with span("engine.compile", backend=backend) as compile_span:
+        with span("engine.compile", backend=request.backend) as compile_span:
             entry, tier = self.cache.get(key)
             if entry is not None:
                 status = f"hit-{tier}"
-                compile_span.meta["cache"] = status
-                compile_span.meta["key"] = key
-                elapsed_ms = (time.perf_counter() - start) * 1e3
-                observe_value("engine.compile.latency_ms", elapsed_ms, cache=status)
-                return CompiledPipeline(
-                    self, entry, sizes, status, elapsed_ms, threads=threads
-                )
-            prog = self._build_program(source, strategy, type_env, name, options)
-            entry = CacheEntry(
-                key=key,
-                program=prog,
-                backend=backend,
-                meta={"cflags": list(cflags), "threads": threads},
-            )
-            if backend == "c":
-                self._attach_library(entry, cflags)
-            self.cache.put(entry)
-            count("engine.compiles")
-            compile_span.meta["cache"] = "miss"
+            else:
+                entry, status = self._build_coalesced(key, request)
+            compile_span.meta["cache"] = status
             compile_span.meta["key"] = key
         elapsed_ms = (time.perf_counter() - start) * 1e3
-        inc("engine.compiles", backend=backend)
-        observe_value("engine.compile.latency_ms", elapsed_ms, cache="miss")
-        return CompiledPipeline(self, entry, sizes, "miss", elapsed_ms, threads=threads)
+        observe_value("engine.compile.latency_ms", elapsed_ms, cache=status)
+        return CompiledPipeline(self, entry, request, status, elapsed_ms)
 
     # -- internals -------------------------------------------------------
+
+    def _build_coalesced(
+        self, key: str, request: CompileRequest
+    ) -> tuple[CacheEntry, str]:
+        """Build ``key`` exactly once per process (and, with a disk
+        store, once across processes), coalescing concurrent callers.
+
+        The first caller becomes the *leader* and builds; followers wait
+        on the leader's flight and share its entry (``"coalesced"``).
+        The leader holds the store's per-key build lock for the duration,
+        so a cold key compiled by N processes is built by exactly one —
+        everyone else re-checks the cache under the lock and finds the
+        published artifact.
+        """
+        with self._inflight_lock:
+            flight = self._inflight.get(key)
+            leader = flight is None
+            if leader:
+                flight = self._inflight[key] = _Flight()
+        if not leader:
+            flight.done.wait()
+            count("engine.compile.coalesced")
+            inc("engine.compile.coalesced")
+            if flight.error is not None:
+                raise flight.error
+            return flight.entry, "coalesced"
+        try:
+            store = self.cache.store
+            build_lock = store.build_lock(key) if store is not None else contextlib.nullcontext()
+            with build_lock:
+                # another process may have published while we waited
+                entry, tier = self.cache.get(key, count_miss=False)
+                if entry is not None:
+                    flight.entry, flight.status = entry, f"hit-{tier}"
+                    return entry, f"hit-{tier}"
+                prog = self._build_program(
+                    request.source,
+                    request.strategy,
+                    request.type_env,
+                    request.name,
+                    request.options,
+                )
+                entry = CacheEntry(
+                    key=key,
+                    program=prog,
+                    backend=request.backend,
+                    meta={"cflags": list(request.cflags), "threads": request.threads},
+                )
+                if request.backend == "c":
+                    self._attach_library(entry, request.cflags)
+                self.cache.put(entry)
+            count("engine.compiles")
+            inc("engine.compiles", backend=request.backend)
+            flight.entry, flight.status = entry, "miss"
+            return entry, "miss"
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._inflight_lock:
+                self._inflight.pop(key, None)
+            flight.done.set()
 
     def _key_for(
         self, source, strategy, backend, type_env, options, cflags, threads=None
@@ -442,7 +556,7 @@ def reset_default_engine(cache_dir=None, memory_slots: int = 64) -> Engine:
 
 
 def compile(
-    source: Expr | ImpProgram | str,
+    source: CompileRequest | Expr | ImpProgram | str,
     *,
     strategy=None,
     backend: str = "python",
@@ -456,14 +570,20 @@ def compile(
 ) -> CompiledPipeline:
     """Compile through the default (or given) engine; see :meth:`Engine.compile`.
 
-    This is the single front door re-exported as ``repro.compile``::
+    This is the single front door re-exported as ``repro.compile``.  Both
+    calling conventions are equivalent::
 
         pipeline = repro.compile(harris(rgb), strategy=cbuf_version(env),
                                  type_env=env, sizes={"n": 32, "m": 64})
+        pipeline = repro.compile(CompileRequest(
+            source=harris(rgb), strategy=cbuf_version(env),
+            type_env=env, sizes={"n": 32, "m": 64}))
         out = pipeline.run(rgb=img)
         batch = pipeline.run_batch([{"rgb": img} for img in images])
     """
     eng = engine if engine is not None else default_engine()
+    if isinstance(source, CompileRequest):
+        return eng.compile_request(source)
     return eng.compile(
         source,
         strategy=strategy,

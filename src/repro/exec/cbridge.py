@@ -9,10 +9,9 @@ builds a ``.so`` (into a caller-supplied directory — normally the
 engine's artifact store — or a tempdir owned by the returned handle) and
 :class:`CLibrary` owns both the loaded ``ctypes.CDLL`` and the backing
 file, unloading and deleting them in :meth:`CLibrary.close`.  The legacy
-:func:`run_program_c` used to recompile into a fresh tempdir on every
-call and leak the loaded handle past the tempdir's lifetime; it is now a
-deprecated shim over :func:`repro.engine.compile`, which reuses one
-library per compiled program.
+:func:`run_program_c` (which recompiled into a fresh tempdir on every
+call) is retired: it raises with a pointer at :func:`repro.compile`,
+which reuses one cached library per compiled program.
 """
 
 from __future__ import annotations
@@ -23,7 +22,6 @@ import shutil
 import subprocess
 import tempfile
 import time
-import warnings
 import weakref
 from pathlib import Path
 from typing import Mapping
@@ -330,18 +328,15 @@ def run_program_c(
     inputs: Mapping[str, np.ndarray],
     extra_flags: tuple[str, ...] = DEFAULT_CFLAGS,
 ) -> np.ndarray:
-    """Deprecated: compile-and-run in one shot through the engine.
+    """Removed: compile through the engine front door instead.
 
-    Use ``repro.compile(prog, backend="c").run(...)`` instead — the
-    engine caches the compiled library per program instead of rebuilding
-    into a fresh tempdir (and leaking the loaded handle) on every call.
+    This pre-engine entry point spent two releases as a
+    ``DeprecationWarning`` shim and is now retired; calling it raises
+    with the migration below — the engine caches the compiled library
+    per program instead of rebuilding into a fresh tempdir per call.
     """
-    warnings.warn(
-        "run_program_c is deprecated; use repro.compile(prog, backend='c').run(...)",
-        DeprecationWarning,
-        stacklevel=2,
+    raise RuntimeError(
+        "run_program_c was removed; migrate to the engine front door:\n"
+        "    repro.compile(prog, backend='c', sizes=sizes,"
+        " cflags=tuple(extra_flags)).run(**inputs)"
     )
-    from repro.engine import compile as engine_compile
-
-    pipeline = engine_compile(prog, backend="c", sizes=sizes, cflags=tuple(extra_flags))
-    return pipeline.run(**inputs)

@@ -13,7 +13,6 @@ rotating registers) the C backend emits.
 from __future__ import annotations
 
 import time
-import warnings
 from typing import Mapping
 
 import numpy as np
@@ -429,18 +428,14 @@ def run_program(
     inputs: Mapping[str, np.ndarray],
     intermediates: Mapping[str, tuple] | None = None,
 ) -> np.ndarray:
-    """Deprecated: run a compiled program through the engine front door.
+    """Removed: compile through the engine front door instead.
 
-    Use ``repro.compile(prog, backend="python").run(...)`` instead; the
-    engine wraps :func:`execute_program` with the compile cache and the
-    unified :class:`~repro.engine.pipeline.CompiledPipeline` API.
+    This pre-engine entry point spent two releases as a
+    ``DeprecationWarning`` shim and is now retired; calling it raises
+    with the migration below, because silently keeping a second compile
+    path would bypass the cache, coalescing and request validation.
     """
-    warnings.warn(
-        "run_program is deprecated; use repro.compile(prog).run(...)",
-        DeprecationWarning,
-        stacklevel=2,
+    raise RuntimeError(
+        "run_program was removed; migrate to the engine front door:\n"
+        "    repro.compile(prog, sizes=sizes).run(**inputs)"
     )
-    from repro.engine import compile as engine_compile
-
-    pipeline = engine_compile(prog, backend="python", sizes=sizes)
-    return pipeline.run(**inputs)

@@ -16,7 +16,6 @@ the reference.
 
 from __future__ import annotations
 
-import warnings
 
 from repro.nat import Nat, nat
 from repro.codegen.ir import ImpProgram
@@ -111,18 +110,14 @@ def build_harris_halide_program(vec: int = 4, split: int = 32) -> ImpProgram:
 
 
 def compile_harris_halide(vec: int = 4, split: int = 32) -> ImpProgram:
-    """Deprecated: use ``repro.compile("harris-halide", options=...)``.
+    """Removed: compile through the engine front door instead.
 
-    Kept as a thin shim over the engine so existing callers still get an
-    :class:`~repro.codegen.ir.ImpProgram` (now served from the compile
-    cache on repeat calls).
+    This pre-engine entry point spent two releases as a
+    ``DeprecationWarning`` shim and is now retired; calling it raises
+    with the migration below.
     """
-    warnings.warn(
-        'compile_harris_halide is deprecated; use repro.compile("harris-halide", '
-        "options={'vec': ..., 'split': ...})",
-        DeprecationWarning,
-        stacklevel=2,
+    raise RuntimeError(
+        "compile_harris_halide was removed; migrate to the engine front door:\n"
+        "    repro.compile('harris-halide',"
+        " options={'vec': vec, 'split': split}).program"
     )
-    from repro.engine import compile as engine_compile
-
-    return engine_compile("harris-halide", options={"vec": vec, "split": split}).program

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import warnings
 from typing import Mapping
 
 from repro.elevate.core import apply_once, normalize, try_
@@ -106,17 +105,13 @@ def build_harris_lift_program(vec: int = 4) -> ImpProgram:
 
 
 def compile_harris_lift(vec: int = 4) -> ImpProgram:
-    """Deprecated: use ``repro.compile("harris-lift", options=...)``.
+    """Removed: compile through the engine front door instead.
 
-    Thin shim over the engine; repeat calls are served from the compile
-    cache instead of re-running the per-operator lowering.
+    This pre-engine entry point spent two releases as a
+    ``DeprecationWarning`` shim and is now retired; calling it raises
+    with the migration below.
     """
-    warnings.warn(
-        'compile_harris_lift is deprecated; use repro.compile("harris-lift", '
-        "options={'vec': ...})",
-        DeprecationWarning,
-        stacklevel=2,
+    raise RuntimeError(
+        "compile_harris_lift was removed; migrate to the engine front door:\n"
+        "    repro.compile('harris-lift', options={'vec': vec}).program"
     )
-    from repro.engine import compile as engine_compile
-
-    return engine_compile("harris-lift", options={"vec": vec}).program

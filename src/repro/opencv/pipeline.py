@@ -23,7 +23,6 @@ costed by exactly the same machinery as the compiled pipelines.
 
 from __future__ import annotations
 
-import warnings
 
 from repro.nat import Nat, nat
 from repro.codegen.ir import (
@@ -362,17 +361,13 @@ def build_harris_opencv_program(vec: int = 4) -> ImpProgram:
 
 
 def compile_harris_opencv(vec: int = 4) -> ImpProgram:
-    """Deprecated: use ``repro.compile("harris-opencv", options=...)``.
+    """Removed: compile through the engine front door instead.
 
-    Thin shim over the engine; repeat calls are served from the compile
-    cache instead of rebuilding the whole library pipeline.
+    This pre-engine entry point spent two releases as a
+    ``DeprecationWarning`` shim and is now retired; calling it raises
+    with the migration below.
     """
-    warnings.warn(
-        'compile_harris_opencv is deprecated; use repro.compile("harris-opencv", '
-        "options={'vec': ...})",
-        DeprecationWarning,
-        stacklevel=2,
+    raise RuntimeError(
+        "compile_harris_opencv was removed; migrate to the engine front door:\n"
+        "    repro.compile('harris-opencv', options={'vec': vec}).program"
     )
-    from repro.engine import compile as engine_compile
-
-    return engine_compile("harris-opencv", options={"vec": vec}).program

@@ -1,0 +1,50 @@
+"""Compile-as-a-service: the async front door over the engine.
+
+``repro.compile()`` is a library call; :mod:`repro.serve` turns it into
+a *service* fit for heavy concurrent traffic, completing the serving
+spine on top of three engine-level guarantees:
+
+* the disk artifact store is multiprocess-safe (atomic publish,
+  advisory locking, bounded eviction — :mod:`repro.engine.cache`);
+* identical in-flight compiles coalesce onto one build, in-process and
+  across processes (:mod:`repro.engine.pipeline`);
+* every request is a typed, validated value
+  (:class:`repro.engine.request.CompileRequest`) that can be queued,
+  logged and echoed back.
+
+This package adds the traffic-facing pieces:
+
+* :class:`Server` (:mod:`repro.serve.server`) — an asyncio admission
+  gate: a bounded queue (overflow rejected immediately with
+  :class:`ServerBusy`, the 429 of this API), per-request deadlines
+  (:class:`DeadlineExceeded`), and a worker pool draining requests
+  through the engine;
+* :mod:`repro.serve.aot` — ahead-of-time prebuilding of a named kernel
+  library (the Harris schedule variants across backends) into a shared
+  artifact store, so serving never pays JIT latency — the Halide
+  deployment posture ("AOT is generally preferred... commonly used for
+  mobile platforms");
+* :mod:`repro.serve.loadtest` — a mixed cold/warm traffic generator
+  measuring p50/p99 compile and run latencies and appending ``serve|``
+  cells to the benchmark trajectory ledger.
+
+CLIs: ``tools/aot.py`` (prebuild at install time) and
+``tools/loadtest.py`` (hammer a server; optionally gate on the ledger).
+"""
+
+from repro.serve.aot import AOT_MANIFEST, harris_kernel_requests, load_manifest, prebuild
+from repro.serve.loadtest import LoadtestResult, run_loadtest
+from repro.serve.server import DeadlineExceeded, Server, ServerBusy, ServerError
+
+__all__ = [
+    "Server",
+    "ServerError",
+    "ServerBusy",
+    "DeadlineExceeded",
+    "prebuild",
+    "load_manifest",
+    "harris_kernel_requests",
+    "AOT_MANIFEST",
+    "run_loadtest",
+    "LoadtestResult",
+]

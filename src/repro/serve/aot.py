@@ -1,0 +1,158 @@
+"""Ahead-of-time prebuilding of the named kernel library.
+
+JIT latency is the cold-start tax of a compile service: the first
+request for a schedule pays rewriting, typechecking, lowering and (for
+the C backend) a real compiler invocation.  This module pays that tax
+at *install time* instead — the deployment posture Halide recommends
+for mobile targets ("AOT is generally preferred... commonly used for
+mobile platforms"): :func:`prebuild` compiles a named set of kernels
+(the Harris schedule variants of the paper's evaluation, times the
+available backends) into a shared artifact store, then writes an
+``aot_manifest.json`` at the store root mapping kernel names to cache
+keys.  Any later process pointing an engine at the same store —
+including every :class:`~repro.serve.server.Server` worker — warm-starts
+each of those kernels from disk without running a single compiler phase.
+
+The manifest is provenance, not a lookup table the engine needs: the
+store stays content-addressed, and a serving process reconstructs the
+same keys from the same :class:`~repro.engine.request.CompileRequest`
+values.  ``tools/aot.py`` is the install-time CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro.engine.pipeline import Engine
+from repro.engine.request import CompileRequest
+
+__all__ = [
+    "AOT_MANIFEST",
+    "MANIFEST_SCHEMA",
+    "harris_kernel_requests",
+    "prebuild",
+    "load_manifest",
+]
+
+#: Manifest filename at the artifact-store root.
+AOT_MANIFEST = "aot_manifest.json"
+
+#: Schema identifier of the manifest document.
+MANIFEST_SCHEMA = "repro.serve.aot/v1"
+
+#: Row-chunk size of the serving kernel grid.  Smaller than the bench
+#: default (32) on purpose: every schedule in the ladder then runs on
+#: any image whose inner height is a multiple of ``chunk * strip`` = 8,
+#: which the serving-path tests and the loadtest image satisfy.
+DEFAULT_AOT_CHUNK = 4
+
+
+def harris_kernel_requests(
+    backends: Sequence[str] = ("python",),
+    chunk: int | None = None,
+    vec: int | None = None,
+    sizes: dict | None = None,
+) -> list[tuple[str, CompileRequest]]:
+    """The named Harris kernel set: schedule variants x ``backends``.
+
+    Returns ``(kernel_name, request)`` pairs covering the paper's
+    schedule ladder — naive, cbuf (listing 5), cbuf+rot (listing 9) and
+    their strip-parallel forms — one per requested backend.  ``sizes``
+    binds default run sizes on the handles (it never affects keys).
+    """
+    from repro.pipelines import harris, harris_input_type
+    from repro.rise import Identifier
+    from repro.strategies.schedules import (
+        DEFAULT_VEC,
+        cbuf_par_version,
+        cbuf_rrot_par_version,
+        cbuf_rrot_version,
+        cbuf_version,
+        naive_version,
+    )
+
+    chunk = chunk if chunk is not None else DEFAULT_AOT_CHUNK
+    vec = vec if vec is not None else DEFAULT_VEC
+    env = {"rgb": harris_input_type()}
+    expr = harris(Identifier("rgb"))
+    schedules = [
+        ("harris-naive", naive_version(env)),
+        ("harris-cbuf", cbuf_version(env, chunk=chunk, vec=vec)),
+        ("harris-cbuf-rot", cbuf_rrot_version(env, chunk=chunk, vec=vec)),
+        ("harris-cbuf-par", cbuf_par_version(env, chunk=chunk, vec=vec)),
+        ("harris-cbuf-rot-par", cbuf_rrot_par_version(env, chunk=chunk, vec=vec)),
+    ]
+    requests: list[tuple[str, CompileRequest]] = []
+    for backend in backends:
+        for label, schedule in schedules:
+            requests.append(
+                (
+                    f"{label}@{backend}",
+                    CompileRequest(
+                        source=expr,
+                        strategy=schedule,
+                        type_env=env,
+                        backend=backend,
+                        sizes=sizes,
+                        name=label.replace("-", "_"),
+                    ),
+                )
+            )
+    return requests
+
+
+def prebuild(
+    cache_dir: Path | str,
+    requests: Sequence[tuple[str, CompileRequest]] | None = None,
+    backends: Sequence[str] = ("python",),
+    engine: Engine | None = None,
+) -> dict:
+    """Compile every named kernel into ``cache_dir``; returns the manifest.
+
+    ``requests`` defaults to :func:`harris_kernel_requests` over
+    ``backends``.  Re-running over a warm store is cheap and idempotent:
+    already-published kernels are cache hits, and the manifest records
+    per-kernel cache status so an install script can verify that a
+    second pass performed zero builds.
+    """
+    cache_dir = Path(cache_dir)
+    if requests is None:
+        requests = harris_kernel_requests(backends=backends)
+    eng = engine if engine is not None else Engine(cache_dir=cache_dir)
+    kernels = []
+    for kernel_name, request in requests:
+        pipeline = eng.compile_request(request)
+        kernels.append(
+            {
+                "kernel": kernel_name,
+                "key": pipeline.key,
+                "backend": pipeline.backend,
+                "program": pipeline.program.name,
+                "cache": pipeline.cache_status,
+                "compile_ms": round(pipeline.compile_ms, 3),
+            }
+        )
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "built_at": round(time.time(), 3),
+        "store": str(cache_dir),
+        "kernels": kernels,
+    }
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    (cache_dir / AOT_MANIFEST).write_text(json.dumps(manifest, indent=2) + "\n")
+    return manifest
+
+
+def load_manifest(cache_dir: Path | str) -> dict:
+    """Read and schema-check the manifest under ``cache_dir``."""
+    path = Path(cache_dir) / AOT_MANIFEST
+    doc = json.loads(path.read_text())
+    if doc.get("schema") != MANIFEST_SCHEMA:
+        raise ValueError(
+            f"{path}: unknown AOT manifest schema {doc.get('schema')!r} "
+            f"(expected {MANIFEST_SCHEMA!r})"
+        )
+    return doc

@@ -1,0 +1,279 @@
+"""The asyncio compile server: admission control + deadlines over the engine.
+
+A :class:`Server` is a front door, not a network endpoint: callers
+``await server.submit(request)`` and get back the same
+:class:`~repro.engine.pipeline.CompiledPipeline` the library API
+returns.  (An HTTP framing would be a thin codec on top; the admission
+semantics live here so every transport inherits them.)
+
+Admission model — the load-shedding discipline of a serving system:
+
+* **Bounded queue.** At most ``max_queue`` requests wait; an arrival
+  beyond that is rejected *immediately* with :class:`ServerBusy`
+  (429-style) instead of growing an unbounded backlog.  Rejecting at
+  the door keeps tail latency of admitted requests bounded.
+* **Per-request deadlines.** A request carries a deadline (explicit or
+  the server default); if it is still queued — or its build is still
+  running — when the deadline passes, the *caller* gets
+  :class:`DeadlineExceeded` right then.  The underlying build is not
+  cancelled: it completes and populates the shared cache, so the retry
+  that follows a deadline is a warm hit.
+* **Worker pool.** ``workers`` threads drain the queue through
+  ``Engine.compile_request``; the engine's singleflight layer coalesces
+  duplicates, so a thundering herd on one key occupies one worker.
+
+Everything is measured: ``serve.requests`` / ``serve.rejected`` /
+``serve.deadline_exceeded`` / ``serve.completed`` / ``serve.failed``
+counters, a ``serve.queue_depth`` gauge and ``serve.wait_ms`` /
+``serve.compile_ms`` histograms in :mod:`repro.observe.metrics`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.engine.pipeline import CompiledPipeline, Engine, default_engine
+from repro.engine.request import CompileRequest
+from repro.observe.metrics import inc, observe_value, set_gauge
+
+__all__ = ["Server", "ServerError", "ServerBusy", "DeadlineExceeded"]
+
+
+class ServerError(RuntimeError):
+    """Base class of serve-layer failures; carries an HTTP-style status."""
+
+    status = 500
+
+
+class ServerBusy(ServerError):
+    """Admission rejected: the bounded queue is full (429-style)."""
+
+    status = 429
+
+
+class DeadlineExceeded(ServerError):
+    """The request's deadline passed before its pipeline was ready (504-style)."""
+
+    status = 504
+
+
+@dataclass
+class _Ticket:
+    """One admitted request waiting for a worker."""
+
+    request: CompileRequest
+    future: asyncio.Future
+    enqueued_at: float
+    deadline_at: float | None
+
+
+@dataclass
+class ServerStats:
+    """Aggregate admission counters for one server instance."""
+
+    submitted: int = 0
+    rejected: int = 0
+    deadline_exceeded: int = 0
+    completed: int = 0
+    failed: int = 0
+    queue_high_water: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "deadline_exceeded": self.deadline_exceeded,
+            "completed": self.completed,
+            "failed": self.failed,
+            "queue_high_water": self.queue_high_water,
+        }
+
+
+class Server:
+    """An asyncio compile service over one :class:`~repro.engine.pipeline.Engine`.
+
+    Usage::
+
+        async with Server(engine, max_queue=64, workers=4) as server:
+            pipeline = await server.submit(request, deadline_s=2.0)
+            out = pipeline.run(rgb=img)
+
+    ``default_deadline_s`` applies to submissions without an explicit
+    deadline (``None`` = no deadline).  The server owns a private thread
+    pool; the engine — and therefore the cache — may be shared with
+    other servers and with direct library callers.
+    """
+
+    def __init__(
+        self,
+        engine: Engine | None = None,
+        max_queue: int = 64,
+        workers: int = 4,
+        default_deadline_s: float | None = None,
+    ):
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.engine = engine if engine is not None else default_engine()
+        self.max_queue = max_queue
+        self.workers = workers
+        self.default_deadline_s = default_deadline_s
+        self.stats = ServerStats()
+        self._queue: asyncio.Queue[_Ticket | None] | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._worker_tasks: list[asyncio.Task] = []
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Whether the server is accepting submissions."""
+        return self._queue is not None
+
+    async def start(self) -> "Server":
+        """Spin up the worker pool; idempotent."""
+        if self.running:
+            return self
+        self._queue = asyncio.Queue(maxsize=self.max_queue)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve"
+        )
+        self._worker_tasks = [
+            asyncio.create_task(self._worker(), name=f"repro-serve-worker-{i}")
+            for i in range(self.workers)
+        ]
+        return self
+
+    async def stop(self) -> None:
+        """Drain and shut down: queued requests finish, new ones are refused."""
+        if not self.running:
+            return
+        queue, self._queue = self._queue, None
+        for _ in self._worker_tasks:
+            queue.put_nowait(None)
+        await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+        self._worker_tasks = []
+        self._executor.shutdown(wait=True)
+        self._executor = None
+
+    async def __aenter__(self) -> "Server":
+        """``async with Server(...)`` starts the worker pool."""
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        """Leaving the context drains and stops the server."""
+        await self.stop()
+
+    # -- the front door ---------------------------------------------------
+
+    async def submit(
+        self, request: CompileRequest, deadline_s: float | None = None
+    ) -> CompiledPipeline:
+        """Admit one request; resolves to its compiled pipeline.
+
+        Raises :class:`ServerBusy` when the queue is full,
+        :class:`DeadlineExceeded` when the (explicit or default)
+        deadline passes first, and re-raises any compile error.
+        """
+        if not isinstance(request, CompileRequest):
+            raise TypeError(
+                f"Server.submit takes a CompileRequest, got {type(request).__name__}"
+            )
+        if not self.running:
+            raise ServerError("server is not running (use 'async with Server(...)')")
+        deadline_s = deadline_s if deadline_s is not None else self.default_deadline_s
+        now = time.perf_counter()
+        ticket = _Ticket(
+            request=request,
+            future=asyncio.get_running_loop().create_future(),
+            enqueued_at=now,
+            deadline_at=(now + deadline_s) if deadline_s is not None else None,
+        )
+        try:
+            self._queue.put_nowait(ticket)
+        except asyncio.QueueFull:
+            self.stats.rejected += 1
+            inc("serve.rejected")
+            raise ServerBusy(
+                f"queue full ({self.max_queue} waiting); retry with backoff"
+            ) from None
+        self.stats.submitted += 1
+        depth = self._queue.qsize()
+        self.stats.queue_high_water = max(self.stats.queue_high_water, depth)
+        inc("serve.requests")
+        set_gauge("serve.queue_depth", depth)
+        try:
+            if deadline_s is None:
+                return await ticket.future
+            # shield: a timeout must not cancel the build — it completes
+            # and warms the cache for the caller's retry.
+            return await asyncio.wait_for(
+                asyncio.shield(ticket.future), timeout=deadline_s
+            )
+        except asyncio.TimeoutError:
+            self.stats.deadline_exceeded += 1
+            inc("serve.deadline_exceeded")
+            raise DeadlineExceeded(
+                f"deadline of {deadline_s:.3f}s exceeded for {request.describe()}"
+            ) from None
+
+    # -- workers ----------------------------------------------------------
+
+    async def _worker(self) -> None:
+        queue = self._queue
+        loop = asyncio.get_running_loop()
+        while True:
+            ticket = await queue.get()
+            if ticket is None:
+                return
+            wait_ms = (time.perf_counter() - ticket.enqueued_at) * 1e3
+            observe_value("serve.wait_ms", wait_ms)
+            set_gauge("serve.queue_depth", queue.qsize())
+            if (
+                ticket.deadline_at is not None
+                and time.perf_counter() >= ticket.deadline_at
+            ):
+                # expired while queued: don't waste a worker on it (the
+                # submitter's wait_for has already fired or is about to).
+                if not ticket.future.done():
+                    ticket.future.set_exception(
+                        DeadlineExceeded(
+                            f"deadline passed after {wait_ms:.1f}ms in queue"
+                        )
+                    )
+                continue
+            start = time.perf_counter()
+            try:
+                pipeline = await loop.run_in_executor(
+                    self._executor, self.engine.compile_request, ticket.request
+                )
+            except Exception as exc:
+                self.stats.failed += 1
+                inc("serve.failed")
+                if not ticket.future.done():
+                    ticket.future.set_exception(exc)
+                continue
+            compile_ms = (time.perf_counter() - start) * 1e3
+            self.stats.completed += 1
+            inc("serve.completed")
+            observe_value(
+                "serve.compile_ms", compile_ms, cache=pipeline.cache_status
+            )
+            if not ticket.future.done():
+                ticket.future.set_result(pipeline)
+
+    def to_dict(self) -> dict:
+        """JSON-ready server configuration + admission statistics."""
+        return {
+            "max_queue": self.max_queue,
+            "workers": self.workers,
+            "default_deadline_s": self.default_deadline_s,
+            "running": self.running,
+            **self.stats.to_dict(),
+            "engine": self.engine.stats(),
+        }

@@ -3,10 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.exec import run_program
+import repro
 from repro.image import synthetic_rgb, reference
-from repro.lift import compile_harris_lift, compile_pipeline_per_operator
-from repro.opencv import compile_harris_opencv
+from repro.lift import compile_pipeline_per_operator
 
 
 @pytest.fixture(scope="module")
@@ -18,12 +17,12 @@ def image():
 class TestOpenCV:
     @pytest.fixture(scope="class")
     def prog(self):
-        return compile_harris_opencv()
+        return repro.compile("harris-opencv").program
 
     def test_correct(self, prog, image):
         img, ref = image
         hwc = np.ascontiguousarray(img.transpose(1, 2, 0))
-        out = run_program(prog, {"n": 12, "m": 16}, {"rgb_hwc": hwc})
+        out = repro.compile("harris-opencv", sizes={"n": 12, "m": 16}).run(rgb_hwc=hwc)
         np.testing.assert_allclose(out.reshape(12, 16), ref, rtol=1e-3, atol=1e-4)
 
     def test_one_kernel_per_library_call(self, prog):
@@ -59,11 +58,11 @@ class TestOpenCV:
 class TestLift:
     @pytest.fixture(scope="class")
     def prog(self):
-        return compile_harris_lift()
+        return repro.compile("harris-lift").program
 
     def test_correct(self, prog, image):
         img, ref = image
-        out = run_program(prog, {"n": 12, "m": 16}, {"rgb": img})
+        out = repro.compile("harris-lift", sizes={"n": 12, "m": 16}).run(rgb=img)
         np.testing.assert_allclose(out.reshape(12, 16), ref, rtol=1e-3, atol=1e-4)
 
     def test_one_kernel_per_operator(self, prog):
@@ -93,7 +92,7 @@ class TestLift:
             name="sobelmag",
         )
         # sobel_magnitude applies one 3x3 stage: output is [n+2][m+2]
-        out = run_program(prog, {"n": 8, "m": 10}, {"img": img2d})
+        out = repro.compile(prog, sizes={"n": 8, "m": 10}).run(img=img2d)
         expected = reference.sobel_x(img2d) ** 2 + reference.sobel_y(img2d) ** 2
         np.testing.assert_allclose(
             out.reshape(expected.shape), expected, rtol=1e-3, atol=1e-4

@@ -5,8 +5,8 @@ as the RISE interpreter."""
 import numpy as np
 import pytest
 
+import repro
 from repro.codegen import CodegenError, compile_program
-from repro.exec import run_program
 from repro.nat import nat
 from repro.rise import Identifier, array, array2d, f32
 from repro.rise.dsl import (
@@ -45,7 +45,7 @@ img = Identifier("img")
 
 def compile_run(prog_expr, type_env, sizes, inputs):
     prog = compile_program(prog_expr, type_env, "k")
-    return run_program(prog, sizes, inputs)
+    return repro.compile(prog, sizes=sizes).run(**inputs)
 
 
 class TestElementaryPatterns:

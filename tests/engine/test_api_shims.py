@@ -1,14 +1,10 @@
-"""The deprecated entry points survive as shims over ``repro.compile``:
-they must warn, and they must return exactly what the new API returns."""
+"""The pre-engine entry points are retired: after two releases as
+``DeprecationWarning`` shims they now raise with a migration hint that
+names the ``repro.compile`` front door."""
 
-import numpy as np
 import pytest
 
-import repro
 from repro.codegen import compile_program
-from repro.exec import execute_program, run_program
-from repro.exec.cbridge import run_program_c
-from repro.image import synthetic_rgb
 from repro.pipelines import harris, harris_input_type
 from repro.rise import Identifier
 from repro.strategies import cbuf_version
@@ -24,54 +20,47 @@ def prog():
     )
 
 
-@pytest.fixture(scope="module")
-def img():
-    return synthetic_rgb(16, 20, seed=9)
+class TestRetiredRunners:
+    def test_run_program_raises_with_hint(self, prog):
+        from repro.exec import run_program
+
+        with pytest.raises(RuntimeError, match=r"run_program was removed"):
+            run_program(prog, SIZES, {})
+
+    def test_run_program_c_raises_with_hint(self, prog):
+        from repro.exec.cbridge import run_program_c
+
+        with pytest.raises(RuntimeError, match=r"run_program_c was removed"):
+            run_program_c(prog, SIZES, {})
+
+    def test_hints_point_at_the_front_door(self, prog):
+        from repro.exec import run_program
+
+        with pytest.raises(RuntimeError, match=r"repro\.compile"):
+            run_program(prog, SIZES, {})
 
 
-class TestRunProgramShims:
-    def test_run_program_warns_and_matches(self, prog, img):
-        expected = execute_program(prog, SIZES, {"rgb": img})
-        with pytest.warns(DeprecationWarning, match="run_program is deprecated"):
-            out = run_program(prog, SIZES, {"rgb": img})
-        np.testing.assert_array_equal(out, expected)
-
-    @pytest.mark.requires_gcc
-    def test_run_program_c_warns_and_matches(self, prog, img):
-        pipeline = repro.compile(prog, backend="c", sizes=SIZES)
-        expected = pipeline.run(rgb=img)
-        with pytest.warns(DeprecationWarning, match="run_program_c is deprecated"):
-            out = run_program_c(prog, SIZES, {"rgb": img})
-        np.testing.assert_array_equal(out, expected)
-
-
-class TestBaselineCompileShims:
+class TestRetiredBaselineCompilers:
     @pytest.mark.parametrize(
-        "module, shim_name, builder_name, options",
+        "module, shim_name",
         [
-            ("repro.halide", "compile_harris_halide", "harris-halide",
-             {"vec": 4, "split": 4}),
-            ("repro.opencv", "compile_harris_opencv", "harris-opencv",
-             {"vec": 4}),
-            ("repro.lift", "compile_harris_lift", "harris-lift",
-             {"vec": 4}),
+            ("repro.halide", "compile_harris_halide"),
+            ("repro.opencv", "compile_harris_opencv"),
+            ("repro.lift", "compile_harris_lift"),
         ],
     )
-    def test_shim_warns_and_matches_engine(
-        self, module, shim_name, builder_name, options, img
-    ):
+    def test_shim_raises_with_hint(self, module, shim_name):
         import importlib
 
         shim = getattr(importlib.import_module(module), shim_name)
-        with pytest.warns(DeprecationWarning, match=shim_name):
-            prog = shim(**options)
-        pipeline = repro.compile(builder_name, options=options, sizes=SIZES)
-        # the engine cached the shim's compile, so both are one artifact
-        assert repr(prog) == repr(pipeline.program)
-        if builder_name == "harris-opencv":
-            inputs = {"rgb_hwc": np.ascontiguousarray(img.transpose(1, 2, 0))}
-        else:
-            inputs = {"rgb": img}
-        np.testing.assert_array_equal(
-            execute_program(prog, SIZES, inputs), pipeline.run(**inputs)
+        with pytest.raises(RuntimeError, match=rf"{shim_name} was removed"):
+            shim()
+
+    def test_builders_replace_the_shims(self):
+        """The migration target named in every hint actually works."""
+        import repro
+
+        pipeline = repro.compile(
+            "harris-halide", options={"vec": 4, "split": 4}, sizes=SIZES
         )
+        assert pipeline.program.functions

@@ -1,0 +1,193 @@
+"""Concurrent compiles build each key exactly once.
+
+Two layers, two tests:
+
+* **threads** — N threads racing on one engine coalesce onto a single
+  in-flight build (the singleflight layer): one ``"miss"``, N-1
+  ``"coalesced"``, and the ``engine.compile.coalesced`` counter says so.
+* **processes** — N processes racing on one shared artifact store elect
+  exactly one builder per key through the store's build lock: one
+  ``"miss"`` across the fleet, everyone else warm-starts ``"hit-disk"``,
+  and every process gets a correct, uncorrupted program.
+"""
+
+import multiprocessing
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine import CompileRequest, Engine
+from repro.rise import Identifier, array, f32
+from repro.rise.dsl import fun, lit, map_seq
+
+xs = Identifier("xs")
+ENV = {"xs": array("n", f32)}
+
+
+def _scale_request(factor: float) -> CompileRequest:
+    return CompileRequest(
+        source=map_seq(fun(lambda v: v * lit(factor)), xs),
+        type_env=ENV,
+        name=f"scale{int(factor)}",
+    )
+
+
+class _GatedEngine(Engine):
+    """An engine whose build blocks until the test releases it."""
+
+    def __init__(self, started: threading.Event, release: threading.Event):
+        super().__init__()
+        self._started = started
+        self._release = release
+
+    def _build_program(self, *args, **kwargs):
+        self._started.set()
+        assert self._release.wait(timeout=30), "test never released the build"
+        return super()._build_program(*args, **kwargs)
+
+
+class TestThreadCoalescing:
+    N = 8
+
+    def test_n_threads_one_build(self, fresh_metrics_registry):
+        started, release = threading.Event(), threading.Event()
+        engine = _GatedEngine(started, release)
+        request = _scale_request(2.0)
+        statuses: list[str] = []
+        statuses_lock = threading.Lock()
+        followers_ready = threading.Barrier(self.N, timeout=30)
+
+        def leader():
+            pipeline = engine.compile(request)
+            with statuses_lock:
+                statuses.append(pipeline.cache_status)
+
+        def follower():
+            followers_ready.wait()
+            pipeline = engine.compile(request)
+            with statuses_lock:
+                statuses.append(pipeline.cache_status)
+
+        threads = [threading.Thread(target=leader)]
+        threads[0].start()
+        assert started.wait(timeout=30), "leader never reached the build"
+        threads += [
+            threading.Thread(target=follower) for _ in range(self.N - 1)
+        ]
+        for t in threads[1:]:
+            t.start()
+        followers_ready.wait()  # all followers are past the barrier...
+        release.wait(0.25)  # ...and through key computation into the flight
+        release.set()
+        for t in threads:
+            t.join(timeout=30)
+            assert not t.is_alive()
+
+        assert sorted(statuses) == ["coalesced"] * (self.N - 1) + ["miss"]
+        coalesced = fresh_metrics_registry.counter("engine.compile.coalesced")
+        assert coalesced.snapshot()["value"] == self.N - 1
+        # every request missed the lookup, but only one build was stored
+        assert engine.cache.stats.misses == self.N
+        assert engine.cache.stats.stores == 1
+
+    def test_followers_share_the_leaders_failure(self, fresh_metrics_registry):
+        started, release = threading.Event(), threading.Event()
+        engine = _GatedEngine(started, release)
+        request = CompileRequest(source="no-such-builder")
+        errors: list[BaseException] = []
+        errors_lock = threading.Lock()
+
+        def call():
+            try:
+                engine.compile(request)
+            except BaseException as exc:  # noqa: BLE001 - recorded for assert
+                with errors_lock:
+                    errors.append(exc)
+
+        first = threading.Thread(target=call)
+        first.start()
+        assert started.wait(timeout=30)
+        second = threading.Thread(target=call)
+        second.start()
+        release.wait(0.25)
+        release.set()
+        first.join(timeout=30)
+        second.join(timeout=30)
+        assert len(errors) == 2
+        assert all(isinstance(e, KeyError) for e in errors)
+
+
+# -- multiprocess stress ------------------------------------------------------
+
+
+def _stress_worker(cache_dir, order, barrier, results):
+    """Compile every request (rotated start) against the shared store."""
+    engine = Engine(cache_dir=cache_dir)
+    data = np.arange(6.0, dtype=np.float32)
+    barrier.wait(timeout=60)
+    out = []
+    for factor in order:
+        pipeline = engine.compile(_scale_request(float(factor)))
+        result = pipeline.run(sizes={"n": 6}, xs=data)
+        correct = bool(np.allclose(result, data * factor))
+        out.append((factor, pipeline.cache_status, correct))
+    results.put(out)
+
+
+class TestMultiprocessStore:
+    PROCESSES = 8
+    FACTORS = (2, 3, 5)
+
+    def test_eight_processes_build_each_key_once(self, tmp_path):
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(self.PROCESSES)
+        results = ctx.Queue()
+        procs = []
+        for i in range(self.PROCESSES):
+            # rotate the start key so several keys build concurrently
+            order = [
+                self.FACTORS[(i + j) % len(self.FACTORS)]
+                for j in range(len(self.FACTORS))
+            ]
+            procs.append(
+                ctx.Process(
+                    target=_stress_worker,
+                    args=(str(tmp_path / "store"), order, barrier, results),
+                )
+            )
+        for p in procs:
+            p.start()
+        rows = []
+        for _ in procs:
+            rows.extend(results.get(timeout=120))
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+
+        assert len(rows) == self.PROCESSES * len(self.FACTORS)
+        assert all(correct for _, _, correct in rows), "corrupt load observed"
+        for factor in self.FACTORS:
+            statuses = sorted(s for f, s, _ in rows if f == factor)
+            assert statuses.count("miss") == 1, (
+                f"key for factor {factor} built {statuses.count('miss')} times: "
+                f"{statuses}"
+            )
+            assert set(statuses) <= {"miss", "hit-disk", "hit-memory"}
+
+    def test_store_holds_exactly_the_built_keys(self, tmp_path):
+        store_dir = tmp_path / "store2"
+        engine = Engine(cache_dir=store_dir)
+        for factor in self.FACTORS:
+            engine.compile(_scale_request(float(factor)))
+        published = list(engine.cache.store.entries())
+        assert len(published) == len(self.FACTORS)
+        for key, adir in published:
+            assert (adir / "meta.json").is_file()
+            assert (adir / "program.pkl").is_file()
+        # a second engine over the same store warm-starts every key
+        warm = Engine(cache_dir=store_dir)
+        for factor in self.FACTORS:
+            assert warm.compile(_scale_request(float(factor))).cache_status == (
+                "hit-disk"
+            )

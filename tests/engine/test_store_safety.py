@@ -1,0 +1,140 @@
+"""ArtifactStore durability: atomic publish, bounded eviction, orphan sweep.
+
+The store's contract is "a reader sees a complete artifact or nothing":
+a failed save (pickling included) must leave the published tree and the
+staging area clean, eviction must unpublish atomically, and crashed
+writers' staging dirs must be reclaimed — with the ``engine.cache.*``
+metrics recording each of those events.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.codegen import compile_program
+from repro.engine.cache import ArtifactStore, CacheEntry, FileLock
+from repro.rise import Identifier, array, f32
+from repro.rise.dsl import fun, lit, map_seq
+
+
+@pytest.fixture(scope="module")
+def program():
+    xs = Identifier("xs")
+    return compile_program(
+        map_seq(fun(lambda v: v * lit(2.0)), xs), {"xs": array("n", f32)}, "dbl"
+    )
+
+
+def _entry(program, key: str) -> CacheEntry:
+    return CacheEntry(key=key, program=program, backend="python")
+
+
+class _Unpicklable:
+    def __reduce__(self):
+        raise RuntimeError("refuses to pickle")
+
+
+class TestAtomicSave:
+    def test_failed_pickle_leaves_no_partial_artifact(self, tmp_path, program):
+        store = ArtifactStore(tmp_path)
+        bad = CacheEntry(key="ff" * 20, program=_Unpicklable(), backend="python")
+        with pytest.raises(RuntimeError, match="refuses to pickle"):
+            store.save(bad)
+        assert not store.contains(bad.key)
+        assert list(store.entries()) == []
+        tmp_root = tmp_path / ".tmp"
+        leftovers = list(tmp_root.iterdir()) if tmp_root.is_dir() else []
+        assert leftovers == [], "staging dir leaked after failed save"
+
+    def test_save_then_load_roundtrip(self, tmp_path, program):
+        store = ArtifactStore(tmp_path)
+        key = "ab" * 20
+        meta = store.save(_entry(program, key))
+        assert meta["backend"] == "python"
+        assert meta["artifact_bytes"] > 0
+        loaded = store.load(key)
+        assert loaded is not None
+        assert loaded.program.name == program.name
+
+    def test_publish_race_returns_winners_meta(self, tmp_path, program):
+        store = ArtifactStore(tmp_path)
+        key = "cd" * 20
+        first = store.save(_entry(program, key))
+        second = store.save(_entry(program, key))  # loses the race by arriving late
+        assert second["key"] == first["key"]
+        assert store.contains(key)
+
+
+class TestEviction:
+    def test_evict_removes_and_counts(self, tmp_path, program, fresh_metrics_registry):
+        store = ArtifactStore(tmp_path)
+        key = "ee" * 20
+        store.save(_entry(program, key))
+        assert store.evict(key)
+        assert not store.contains(key)
+        assert not store.evict(key)  # second call: already gone
+        evictions = fresh_metrics_registry.counter(
+            "engine.cache.evictions", tier="disk"
+        )
+        assert evictions.snapshot()["value"] == 1
+
+    def test_max_entries_drops_oldest_and_keeps_newest(self, tmp_path, program):
+        store = ArtifactStore(tmp_path, max_entries=2)
+        keys = [f"{i:02d}" * 20 for i in range(4)]
+        for key in keys:
+            store.save(_entry(program, key))
+            time.sleep(0.01)  # distinct publish mtimes for age ordering
+        published = {key for key, _ in store.entries()}
+        assert len(published) == 2
+        assert keys[-1] in published, "the just-published key must survive"
+        assert keys[0] not in published, "the oldest key must go first"
+
+    def test_max_bytes_bounds_the_store(self, tmp_path, program):
+        store = ArtifactStore(tmp_path, max_bytes=1)  # nothing fits but `keep`
+        a, b = "aa" * 20, "bb" * 20
+        store.save(_entry(program, a))
+        store.save(_entry(program, b))
+        published = {key for key, _ in store.entries()}
+        assert published == {b}
+
+
+class TestOrphanSweep:
+    def test_old_staging_dirs_reclaimed_fresh_kept(
+        self, tmp_path, fresh_metrics_registry
+    ):
+        store = ArtifactStore(tmp_path)
+        tmp_root = tmp_path / ".tmp"
+        tmp_root.mkdir(parents=True)
+        old = tmp_root / "deadkey.123.abc"
+        old.mkdir()
+        stale = time.time() - 7200
+        os.utime(old, (stale, stale))
+        fresh = tmp_root / "livekey.456.def"
+        fresh.mkdir()
+        reclaimed = store.sweep_orphans()
+        assert reclaimed == 1
+        assert not old.exists()
+        assert fresh.exists(), "a live writer's staging dir must survive"
+        swept = fresh_metrics_registry.counter("engine.cache.orphans_swept")
+        assert swept.snapshot()["value"] == 1
+
+    def test_first_save_sweeps(self, tmp_path, program):
+        store = ArtifactStore(tmp_path)
+        tmp_root = tmp_path / ".tmp"
+        tmp_root.mkdir(parents=True)
+        old = tmp_root / "deadkey.123.abc"
+        old.mkdir()
+        stale = time.time() - 7200
+        os.utime(old, (stale, stale))
+        store.save(_entry(program, "0f" * 20))
+        assert not old.exists()
+
+
+class TestFileLock:
+    def test_lock_creates_file_and_is_reusable(self, tmp_path):
+        path = tmp_path / "locks" / "k.lock"
+        with FileLock(path):
+            assert path.is_file()
+        with FileLock(path, shared=True):
+            pass  # shared re-acquisition after release works

@@ -6,8 +6,8 @@ import pytest
 
 from repro.codegen import compile_program
 from repro.codegen.cprint import nat_to_c, program_to_c
-from repro.exec import program_to_python, run_program
-from repro.exec.cbridge import run_program_c
+import repro
+from repro.exec import program_to_python
 from repro.nat import nat
 from repro.rise import Identifier, array, array2d, f32
 from repro.rise.dsl import fun, lit, map_seq, reduce_seq, slide
@@ -29,16 +29,18 @@ class TestPythonBackend:
         assert "def dbl(" in source
 
     def test_run(self, double_prog):
-        out = run_program(double_prog, {"n": 4}, {"xs": np.arange(4.0)})
+        out = repro.compile(double_prog, sizes={"n": 4}).run(xs=np.arange(4.0))
         np.testing.assert_allclose(out, np.arange(4.0) * 2)
 
     def test_input_shapes_flattened(self, double_prog):
-        out = run_program(double_prog, {"n": 4}, {"xs": np.arange(4.0).reshape(2, 2)})
+        out = repro.compile(double_prog, sizes={"n": 4}).run(
+            xs=np.arange(4.0).reshape(2, 2)
+        )
         assert out.shape == (4,)
 
     def test_missing_input_raises(self, double_prog):
         with pytest.raises(KeyError):
-            run_program(double_prog, {"n": 4}, {})
+            repro.compile(double_prog, sizes={"n": 4}).run()
 
     def test_float32_semantics(self):
         # accumulation happens in float32, like the generated C
@@ -49,7 +51,7 @@ class TestPythonBackend:
                      Identifier("img"))
         compiled = compile_program(wrapped, {"img": array2d(1, "m", f32)}, "k")
         data = np.full(10_000, 0.1, dtype=np.float32).reshape(1, -1)
-        out = run_program(compiled, {"m": 10_000}, {"img": data})
+        out = repro.compile(compiled, sizes={"m": 10_000}).run(img=data)
         expected = np.float32(0)
         for _ in range(10_000):
             expected = np.float32(expected + np.float32(0.1))
@@ -100,7 +102,9 @@ class TestCPrinter:
 @pytest.mark.requires_gcc
 class TestCBridge:
     def test_simple_program(self, double_prog):
-        out = run_program_c(double_prog, {"n": 6}, {"xs": np.arange(6.0)})
+        out = repro.compile(double_prog, backend="c", sizes={"n": 6}).run(
+            xs=np.arange(6.0)
+        )
         np.testing.assert_allclose(out, np.arange(6.0) * 2)
 
     def test_agrees_with_python_backend(self):
@@ -110,6 +114,6 @@ class TestCBridge:
         )
         prog = compile_program(prog_expr, {"xs": array("n", f32)}, "sums")
         data = np.linspace(-2, 2, 9).astype(np.float32)
-        py = run_program(prog, {"n": 9}, {"xs": data})
-        c = run_program_c(prog, {"n": 9}, {"xs": data})
+        py = repro.compile(prog, sizes={"n": 9}).run(xs=data)
+        c = repro.compile(prog, backend="c", sizes={"n": 9}).run(xs=data)
         np.testing.assert_allclose(py, c, rtol=1e-6)

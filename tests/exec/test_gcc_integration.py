@@ -6,12 +6,9 @@ equivalent of running the paper's artifact end to end."""
 import numpy as np
 import pytest
 
+import repro
 from repro.codegen import compile_program
-from repro.exec.cbridge import run_program_c
-from repro.halide import compile_harris_halide
 from repro.image import synthetic_rgb, reference
-from repro.lift import compile_harris_lift
-from repro.opencv import compile_harris_opencv
 from repro.pipelines import harris, harris_input_type
 from repro.rise import Identifier
 from repro.strategies import cbuf_rrot_version, cbuf_version
@@ -34,50 +31,58 @@ def _sizes(ref):
 class TestAllImplementationsThroughGcc:
     def test_rise_cbuf(self, image):
         img, ref = image
-        prog = compile_program(
-            cbuf_version(SENV, chunk=4).apply(harris(Identifier("rgb"))), SENV, "cbuf"
-        )
-        out = run_program_c(prog, _sizes(ref), {"rgb": img})
+        out = repro.compile(
+            harris(Identifier("rgb")),
+            strategy=cbuf_version(SENV, chunk=4),
+            type_env=SENV,
+            backend="c",
+            sizes=_sizes(ref),
+            name="cbuf",
+        ).run(rgb=img)
         np.testing.assert_allclose(out.reshape(ref.shape), ref, rtol=1e-3, atol=1e-4)
 
     def test_rise_cbuf_rrot(self, image):
         img, ref = image
-        prog = compile_program(
-            cbuf_rrot_version(SENV, chunk=4).apply(harris(Identifier("rgb"))),
-            SENV,
-            "rot",
-        )
-        out = run_program_c(prog, _sizes(ref), {"rgb": img})
+        out = repro.compile(
+            harris(Identifier("rgb")),
+            strategy=cbuf_rrot_version(SENV, chunk=4),
+            type_env=SENV,
+            backend="c",
+            sizes=_sizes(ref),
+            name="rot",
+        ).run(rgb=img)
         np.testing.assert_allclose(out.reshape(ref.shape), ref, rtol=1e-3, atol=1e-4)
 
     def test_halide(self, image):
         img, ref = image
-        prog = compile_harris_halide(vec=4, split=4)
-        out = run_program_c(prog, _sizes(ref), {"rgb": img})
+        out = repro.compile(
+            "harris-halide", options={"vec": 4, "split": 4}, backend="c",
+            sizes=_sizes(ref),
+        ).run(rgb=img)
         np.testing.assert_allclose(out.reshape(ref.shape), ref, rtol=1e-3, atol=1e-4)
 
     def test_lift(self, image):
         img, ref = image
-        prog = compile_harris_lift()
-        out = run_program_c(prog, _sizes(ref), {"rgb": img})
+        out = repro.compile(
+            "harris-lift", backend="c", sizes=_sizes(ref)
+        ).run(rgb=img)
         np.testing.assert_allclose(out.reshape(ref.shape), ref, rtol=1e-3, atol=1e-4)
 
     def test_opencv(self, image):
         img, ref = image
-        prog = compile_harris_opencv()
         hwc = np.ascontiguousarray(img.transpose(1, 2, 0))
-        out = run_program_c(prog, _sizes(ref), {"rgb_hwc": hwc})
+        out = repro.compile(
+            "harris-opencv", backend="c", sizes=_sizes(ref)
+        ).run(rgb_hwc=hwc)
         np.testing.assert_allclose(out.reshape(ref.shape), ref, rtol=1e-3, atol=1e-4)
 
     def test_c_and_python_backends_bitwise_close(self, image):
-        from repro.exec import run_program
-
         img, ref = image
         prog = compile_program(
             cbuf_rrot_version(SENV, chunk=4).apply(harris(Identifier("rgb"))),
             SENV,
             "rot2",
         )
-        py = run_program(prog, _sizes(ref), {"rgb": img})
-        c = run_program_c(prog, _sizes(ref), {"rgb": img})
+        py = repro.compile(prog, sizes=_sizes(ref)).run(rgb=img)
+        c = repro.compile(prog, backend="c", sizes=_sizes(ref)).run(rgb=img)
         np.testing.assert_allclose(py, c, rtol=1e-5, atol=1e-6)

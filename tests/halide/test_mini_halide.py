@@ -3,10 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.halide import Func, HVar, ImageParam, compile_halide, compile_harris_halide
+from repro.halide import Func, HVar, ImageParam, compile_halide
 from repro.halide.hir import _offset_of
 from repro.halide.lower import _infer_bounds, HalideLowerError
-from repro.exec import run_program
+import repro
 from repro.image import synthetic_rgb, reference
 from repro.nat import nat
 
@@ -74,22 +74,27 @@ class TestBoundsInference:
 class TestHarrisBaseline:
     @pytest.fixture(scope="class")
     def prog(self):
-        return compile_harris_halide(vec=4, split=4)
+        return repro.compile(
+            "harris-halide", options={"vec": 4, "split": 4}
+        ).program
 
     def test_single_kernel(self, prog):
         assert len(prog.functions) == 1
 
     def test_correct(self, prog):
         img = synthetic_rgb(16, 20)
-        out = run_program(prog, {"n": 12, "m": 16}, {"rgb": img})
+        out = repro.compile(
+            "harris-halide", options={"vec": 4, "split": 4}, sizes={"n": 12, "m": 16}
+        ).run(rgb=img)
         np.testing.assert_allclose(
             out.reshape(12, 16), reference.harris(img), rtol=1e-3, atol=1e-4
         )
 
     def test_other_split(self):
-        prog = compile_harris_halide(vec=4, split=2)
         img = synthetic_rgb(14, 16)
-        out = run_program(prog, {"n": 10, "m": 12}, {"rgb": img})
+        out = repro.compile(
+            "harris-halide", options={"vec": 4, "split": 2}, sizes={"n": 10, "m": 12}
+        ).run(rgb=img)
         np.testing.assert_allclose(
             out.reshape(10, 12), reference.harris(img), rtol=1e-3, atol=1e-4
         )

@@ -50,7 +50,7 @@ class TestTracedEqualsUntraced:
     def test_execution_identical_under_observing(self):
         import numpy as np
 
-        from repro.exec import run_program
+        import repro
         from repro.image import synthetic_rgb
         from repro.rise import array, f32
         from repro.rise.dsl import fun, lit, map_seq
@@ -62,7 +62,8 @@ class TestTracedEqualsUntraced:
             "dbl",
         )
         data = synthetic_rgb(4, 4, seed=3)[0, 0].astype(np.float32)
-        plain = run_program(prog, {"n": data.size}, {"xs": data})
+        pipeline = repro.compile(prog, sizes={"n": data.size})
+        plain = pipeline.run(xs=data)
         with observing():
-            observed = run_program(prog, {"n": data.size}, {"xs": data})
+            observed = pipeline.run(xs=data)
         np.testing.assert_array_equal(plain, observed)

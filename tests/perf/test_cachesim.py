@@ -41,8 +41,8 @@ class TestLRUCache:
 
 @pytest.fixture(scope="module")
 def small_programs():
+    import repro
     from repro.codegen import compile_program
-    from repro.lift import compile_harris_lift
     from repro.pipelines import harris, harris_input_type
     from repro.rise import Identifier
     from repro.strategies import cbuf_version
@@ -51,7 +51,7 @@ def small_programs():
     cbuf = compile_program(
         cbuf_version(senv, chunk=4).apply(harris(Identifier("rgb"))), senv, "cbuf"
     )
-    lift = compile_harris_lift()
+    lift = repro.compile("harris-lift").program
     return cbuf, lift
 
 

@@ -1,0 +1,87 @@
+"""Loadtest harness: percentile math, cell naming, and an end-to-end smoke
+run over a prebuilt store (small counts — the latency *numbers* are not
+asserted, the structural invariants are)."""
+
+import math
+
+import pytest
+
+from repro.serve import prebuild, run_loadtest
+from repro.serve.loadtest import LoadtestResult, percentile, serve_cells
+
+
+class TestPercentile:
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 0.5))
+
+    def test_single_sample(self):
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_interpolates(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(samples, 0.5) == 2.5
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 1.0) == 4.0
+        assert percentile(list(reversed(samples)), 0.5) == 2.5  # sorts first
+
+
+class TestCells:
+    def test_only_sampled_families_render(self):
+        result = LoadtestResult(cold_jit_ms=[10.0, 12.0])
+        cells = serve_cells(result)
+        assert set(cells) == {"serve|p50|cold_jit_ms", "serve|p99|cold_jit_ms"}
+
+    def test_cell_prefix_matches_the_regression_gate(self):
+        from repro.bench.regress import SERVE_CELL_PREFIX
+
+        result = LoadtestResult(aot_warm_run_ms=[1.0])
+        assert all(c.startswith(SERVE_CELL_PREFIX) for c in serve_cells(result))
+
+
+class TestCheck:
+    def test_warm_build_is_a_violation(self):
+        result = LoadtestResult(warm_cache_statuses={"miss": 2, "hit-disk": 6})
+        assert any("cold" in p for p in result.check())
+
+    def test_inverted_latencies_are_a_violation(self):
+        result = LoadtestResult(
+            cold_jit_ms=[1.0], aot_warm_run_ms=[5.0],
+            warm_cache_statuses={"hit-disk": 1},
+        )
+        assert any("not below" in p for p in result.check())
+
+    def test_healthy_run_is_clean(self):
+        result = LoadtestResult(
+            cold_jit_ms=[100.0], aot_warm_run_ms=[2.0],
+            warm_cache_statuses={"hit-disk": 4, "hit-memory": 4},
+        )
+        assert result.check() == []
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def result(self, tmp_path_factory):
+        store = tmp_path_factory.mktemp("aot") / "store"
+        prebuild(store)
+        return run_loadtest(store, warm=6, cold=2, workers=2)
+
+    def test_smoke_run_is_healthy(self, result):
+        assert result.check() == []
+        assert result.rejected == 0
+        assert result.deadline_exceeded == 0
+
+    def test_cells_cover_all_three_families(self, result):
+        cells = result.cells()
+        for family in ("cold_jit_ms", "warm_compile_ms", "aot_warm_run_ms"):
+            assert f"serve|p99|{family}" in cells
+
+    def test_warm_traffic_hit_the_prebuilt_store(self, result):
+        assert result.warm_cache_statuses.get("miss", 0) == 0
+        assert sum(result.warm_cache_statuses.values()) == 6
+
+    def test_summary_is_json_ready(self, result):
+        import json
+
+        doc = json.loads(json.dumps(result.to_dict()))
+        assert doc["samples"]["cold_jit"] == 2
+        assert doc["server"]["completed"] >= 8

@@ -7,8 +7,8 @@ structure."""
 import numpy as np
 import pytest
 
+import repro
 from repro.codegen import compile_program
-from repro.exec import run_program
 from repro.image import synthetic_rgb, reference
 from repro.pipelines import blur_input_type, blur_pipeline
 from repro.rise import Identifier
@@ -38,7 +38,7 @@ class TestBlurGeneralization:
         schedule = make(SENV, chunk=4, vec=4)
         low = schedule.apply(blur_pipeline(Identifier("img")))
         prog = compile_program(low, SENV, "blur")
-        out = run_program(prog, {"n": 12, "m": 16}, {"img": image})
+        out = repro.compile(prog, sizes={"n": 12, "m": 16}).run(img=image)
         np.testing.assert_allclose(out.reshape(12, 16), expected, rtol=1e-3, atol=1e-4)
 
     def test_cbuf_structure_transfers(self, blur_case):

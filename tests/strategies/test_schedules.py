@@ -5,8 +5,8 @@ reference — the repository's PSNR-style validation)."""
 import numpy as np
 import pytest
 
+import repro
 from repro.codegen import compile_program
-from repro.exec import run_program
 from repro.image import synthetic_rgb, reference
 from repro.pipelines import harris, harris_input_type
 from repro.rise import Identifier, evaluate, from_numpy, to_numpy
@@ -47,7 +47,7 @@ class TestScheduleSemantics:
     def test_compiled_code_matches_reference(self, lowered, small_image, name):
         img, ref = small_image
         prog = compile_program(lowered[name], SENV, "k")
-        out = run_program(prog, {"n": 12, "m": 16}, {"rgb": img})
+        out = repro.compile(prog, sizes={"n": 12, "m": 16}).run(rgb=img)
         np.testing.assert_allclose(out.reshape(12, 16), ref, rtol=1e-3, atol=1e-4)
 
 
@@ -102,7 +102,7 @@ class TestChunkSizes:
         sched = cbuf_version(SENV, chunk=chunk, vec=4)
         low = sched.apply(harris(Identifier("rgb")))
         prog = compile_program(low, SENV, "k")
-        out = run_program(prog, {"n": rows, "m": ref.shape[1]}, {"rgb": img})
+        out = repro.compile(prog, sizes={"n": rows, "m": ref.shape[1]}).run(rgb=img)
         np.testing.assert_allclose(out.reshape(ref.shape), ref, rtol=1e-3, atol=1e-4)
 
     def test_vector_width_two(self, small_image):
@@ -110,5 +110,5 @@ class TestChunkSizes:
         sched = cbuf_version(SENV, chunk=4, vec=2)
         low = sched.apply(harris(Identifier("rgb")))
         prog = compile_program(low, SENV, "k")
-        out = run_program(prog, {"n": 12, "m": 16}, {"rgb": img})
+        out = repro.compile(prog, sizes={"n": 12, "m": 16}).run(rgb=img)
         np.testing.assert_allclose(out.reshape(12, 16), ref, rtol=1e-3, atol=1e-4)

@@ -72,6 +72,12 @@ def main() -> int:
         "a re-tuned search may land on a different discovered schedule)",
     )
     parser.add_argument(
+        "--gate-serve",
+        action="store_true",
+        help="also gate serving-latency serve| cells (informational by "
+        "default: loadtest percentiles are measured wall clocks)",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON output"
     )
     args = parser.parse_args()
@@ -97,6 +103,7 @@ def main() -> int:
         threshold=args.threshold,
         gate_wall=args.gate_wall,
         gate_tuned=args.gate_tuned,
+        gate_serve=args.gate_serve,
     )
     if args.json:
         print(

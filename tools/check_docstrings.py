@@ -22,6 +22,7 @@ CHECKED_PACKAGES = (
     REPO_ROOT / "src" / "repro" / "observe",
     REPO_ROOT / "src" / "repro" / "elevate",
     REPO_ROOT / "src" / "repro" / "engine",
+    REPO_ROOT / "src" / "repro" / "serve",
     REPO_ROOT / "src" / "repro" / "verify",
     REPO_ROOT / "src" / "repro" / "tune",
 )

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Load-test the compile service and record ``serve|`` trajectory cells.
+
+Prebuilds the AOT kernel set into ``--cache-dir`` (unless ``--no-prebuild``
+— e.g. when pointing at an image built by ``tools/aot.py``), then drives
+a :class:`repro.serve.Server` with mixed traffic: warm requests for the
+prebuilt kernels (compile must be all cache hits; their *run* latency is
+the steady-state serving cost) and cold requests whose keys cannot exist
+yet (the full JIT tax).  p50/p99 of both families are appended to
+``BENCH_trajectory.json`` as ``serve|<quantile>|<family>`` cells —
+informational in ``tools/bench_compare.py`` unless ``--gate-serve``.
+
+The run itself enforces the structural serving invariants regardless of
+gating: warm traffic performed zero builds, and AOT-warm p99 run latency
+is below cold-JIT p99.  Violations exit non-zero.
+
+Exit codes: 0 healthy run, 1 invariant violations, 2 usage errors.
+
+Usage:  python tools/loadtest.py [--cache-dir DIR] [--warm 32] [--cold 4]
+                                 [--workers 4] [--deadline-s 30]
+                                 [--backend python] [--no-prebuild]
+                                 [--no-trajectory] [--json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+
+def main() -> int:
+    """Prebuild, hammer the server, check invariants, record cells."""
+    from repro.bench.regress import (
+        DEFAULT_TRAJECTORY,
+        SAMPLE_SCHEMA,
+        append_sample,
+        git_sha,
+    )
+    from repro.observe.metrics import registry as metrics_registry
+    from repro.serve.aot import prebuild
+    from repro.serve.loadtest import run_loadtest
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="artifact store to serve from (default: a fresh tempdir)",
+    )
+    parser.add_argument(
+        "--warm", type=int, default=32,
+        help="warm (AOT-prebuilt) requests (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--cold", type=int, default=4,
+        help="cold (unique-key JIT) requests (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="server worker threads (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-queue", type=int, default=256,
+        help="admission queue bound (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--deadline-s", type=float, default=None,
+        help="per-request deadline in seconds (default: none)",
+    )
+    parser.add_argument(
+        "--backend", default="python", choices=("python", "c"),
+        help="execution backend (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="seed of the measured input image (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-prebuild",
+        action="store_true",
+        help="assume --cache-dir is already AOT-warm (tools/aot.py ran)",
+    )
+    parser.add_argument(
+        "--trajectory",
+        default=DEFAULT_TRAJECTORY,
+        help="trajectory ledger to append to (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-trajectory",
+        action="store_true",
+        help="measure and check, but do not append trajectory cells",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the full summary as JSON"
+    )
+    args = parser.parse_args()
+    if args.warm < 1 or args.workers < 1 or args.cold < 0:
+        print(
+            "loadtest: --warm/--workers must be >= 1 and --cold >= 0",
+            file=sys.stderr,
+        )
+        return 2
+    if args.no_prebuild and args.cache_dir is None:
+        print("loadtest: --no-prebuild needs --cache-dir", file=sys.stderr)
+        return 2
+
+    tmp = None
+    if args.cache_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro_loadtest_")
+        cache_dir = Path(tmp.name) / "store"
+    else:
+        cache_dir = Path(args.cache_dir)
+    try:
+        if not args.no_prebuild:
+            prebuild(cache_dir, backends=(args.backend,))
+        result = run_loadtest(
+            cache_dir,
+            warm=args.warm,
+            cold=args.cold,
+            workers=args.workers,
+            max_queue=args.max_queue,
+            deadline_s=args.deadline_s,
+            backend=args.backend,
+            seed=args.seed,
+        )
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+    problems = result.check()
+    summary = result.to_dict()
+    summary["problems"] = problems
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        for cell, value in sorted(summary["cells"].items()):
+            print(f"  {cell:<32} {value:10.3f} ms")
+        print(
+            f"loadtest: {summary['samples']['warm_compile']} warm / "
+            f"{summary['samples']['cold_jit']} cold served, "
+            f"{result.rejected} rejected, "
+            f"{result.deadline_exceeded} deadline-exceeded"
+        )
+        for problem in problems:
+            print(f"loadtest: INVARIANT VIOLATED: {problem}", file=sys.stderr)
+
+    if not args.no_trajectory:
+        sample = {
+            "schema": SAMPLE_SCHEMA,
+            "timestamp": round(time.time(), 3),
+            "git_sha": git_sha(),
+            "k": 1,
+            "environment": {
+                "tool": "loadtest",
+                "warm": args.warm,
+                "cold": args.cold,
+                "workers": args.workers,
+                "backend": args.backend,
+            },
+            "cells": result.cells(),
+            "metrics": metrics_registry().snapshot(),
+            "serve": {
+                "problems": problems,
+                "warm_cache_statuses": dict(result.warm_cache_statuses),
+                "server": result.server,
+            },
+        }
+        append_sample(args.trajectory, sample)
+        print(f"appended {len(sample['cells'])} serve| cells to {args.trajectory}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
