@@ -41,6 +41,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.codegen.ir import ImpProgram
+from repro.observe.context import ensure_request
 from repro.observe.core import Span, active, count, span
 from repro.observe.metrics import inc, observe_value, set_gauge
 
@@ -145,7 +146,8 @@ class BatchRunner:
         if workers == 1 or len(items) <= 1:
             mode = "sequential"
         start = time.perf_counter()
-        with span(
+        request = getattr(self.pipeline, "request", None)
+        with ensure_request(getattr(request, "request_id", None)), span(
             "engine.batch", program=self.pipeline.program.name, mode=mode, workers=workers
         ):
             outputs, item_ms, mode, workers = self._execute(items, sizes, mode, workers)

@@ -57,6 +57,7 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
 
 from repro.codegen.ir import ImpProgram
 from repro.observe.core import count, span
+from repro.observe.events import emit
 from repro.observe.metrics import inc, set_gauge
 
 __all__ = [
@@ -328,6 +329,7 @@ class ArtifactStore:
         shutil.rmtree(doomed, ignore_errors=True)
         count("engine.cache.evictions")
         inc("engine.cache.evictions", tier="disk")
+        emit("engine.cache.evict", key=key, tier="disk")
         return True
 
     def enforce_limits(self, keep: str | None = None) -> int:
@@ -478,6 +480,7 @@ class EngineCache:
                 library.close()
             count("engine.cache.evictions")
             inc("engine.cache.evictions", tier="memory")
+            emit("engine.cache.evict", key=evicted_key, tier="memory")
         set_gauge("engine.cache.memory_entries", len(self._memory))
 
     def __len__(self) -> int:

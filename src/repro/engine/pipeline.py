@@ -49,7 +49,9 @@ from repro.engine.hashing import (
     type_env_signature,
 )
 from repro.engine.request import CompileRequest
-from repro.observe.core import count, span
+from repro.observe.context import ensure_request
+from repro.observe.core import count, current_span, span
+from repro.observe.events import emit
 from repro.observe.metrics import inc, observe_value, set_gauge
 from repro.rise.expr import Expr
 
@@ -79,15 +81,30 @@ def register_builder(name: str, module: str, attribute: str) -> None:
 
 
 class _Flight:
-    """One in-flight build that follower threads can wait on."""
+    """One in-flight build that follower threads can wait on.
 
-    __slots__ = ("done", "entry", "status", "error")
+    ``leader_request_id``/``leader_span_id`` publish the leader's open
+    ``engine.compile`` span identity so coalesced followers can link
+    their own spans to the build that actually ran (set before the
+    ``done`` event, read only after it).
+    """
+
+    __slots__ = (
+        "done",
+        "entry",
+        "status",
+        "error",
+        "leader_request_id",
+        "leader_span_id",
+    )
 
     def __init__(self):
         self.done = threading.Event()
         self.entry: CacheEntry | None = None
         self.status: str | None = None
         self.error: BaseException | None = None
+        self.leader_request_id: str = ""
+        self.leader_span_id: str = ""
 
 
 class CompiledPipeline:
@@ -209,7 +226,7 @@ class CompiledPipeline:
         bound = self.resolve_run_sizes(sizes)
         nthreads = effective_threads(threads if threads is not None else self.threads)
         start = time.perf_counter()
-        with span(
+        with ensure_request(self.request.request_id), span(
             "engine.run",
             program=self.program.name,
             backend=self.backend,
@@ -352,7 +369,19 @@ class Engine:
         return self.compile_request(request)
 
     def compile_request(self, request: CompileRequest) -> CompiledPipeline:
-        """Serve one :class:`CompileRequest` (see :meth:`compile`)."""
+        """Serve one :class:`CompileRequest` (see :meth:`compile`).
+
+        Runs inside a request scope keyed by ``request.request_id``
+        (opened here for direct callers, inherited untouched when the
+        serve layer already activated one), so every span and event the
+        compile emits — across singleflight, pool workers and backends —
+        carries the same correlation identity.
+        """
+        with ensure_request(request.request_id):
+            return self._compile_in_scope(request)
+
+    def _compile_in_scope(self, request: CompileRequest) -> CompiledPipeline:
+        """The body of :meth:`compile_request`, under an active request scope."""
         if request.backend == "c":
             from repro.exec.cbridge import effective_cflags
 
@@ -367,16 +396,41 @@ class Engine:
             request.threads,
         )
         start = time.perf_counter()
-        with span("engine.compile", backend=request.backend) as compile_span:
-            entry, tier = self.cache.get(key)
-            if entry is not None:
-                status = f"hit-{tier}"
-            else:
-                entry, status = self._build_coalesced(key, request)
+        with span(
+            "engine.compile",
+            backend=request.backend,
+            strategy=strategy_identity(request.strategy),
+            threads="auto" if request.threads is None else request.threads,
+            cflags=" ".join(request.cflags) if request.backend == "c" else "",
+        ) as compile_span:
+            try:
+                entry, tier = self.cache.get(key)
+                if entry is not None:
+                    status = f"hit-{tier}"
+                else:
+                    entry, status = self._build_coalesced(key, request)
+            except BaseException as exc:
+                compile_span.meta["cache"] = "error"
+                emit(
+                    "engine.compile.error",
+                    key=key,
+                    outcome="error",
+                    backend=request.backend,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                raise
             compile_span.meta["cache"] = status
             compile_span.meta["key"] = key
         elapsed_ms = (time.perf_counter() - start) * 1e3
         observe_value("engine.compile.latency_ms", elapsed_ms, cache=status)
+        emit(
+            "engine.compile.done",
+            key=key,
+            outcome="ok",
+            cache=status,
+            backend=request.backend,
+            compile_ms=round(elapsed_ms, 3),
+        )
         return CompiledPipeline(self, entry, request, status, elapsed_ms)
 
     # -- internals -------------------------------------------------------
@@ -399,10 +453,24 @@ class Engine:
             leader = flight is None
             if leader:
                 flight = self._inflight[key] = _Flight()
+                lead_span = current_span()
+                if lead_span is not None:
+                    flight.leader_span_id = lead_span.span_id
+                    flight.leader_request_id = lead_span.request_id
         if not leader:
             flight.done.wait()
             count("engine.compile.coalesced")
             inc("engine.compile.coalesced")
+            follower_span = current_span()
+            if follower_span is not None and flight.leader_span_id:
+                follower_span.meta["leader_span_id"] = flight.leader_span_id
+                follower_span.meta["leader_request_id"] = flight.leader_request_id
+            emit(
+                "engine.coalesced",
+                key=key,
+                leader_request_id=flight.leader_request_id or None,
+                leader_span_id=flight.leader_span_id or None,
+            )
             if flight.error is not None:
                 raise flight.error
             return flight.entry, "coalesced"
@@ -415,13 +483,9 @@ class Engine:
                 if entry is not None:
                     flight.entry, flight.status = entry, f"hit-{tier}"
                     return entry, f"hit-{tier}"
-                prog = self._build_program(
-                    request.source,
-                    request.strategy,
-                    request.type_env,
-                    request.name,
-                    request.options,
-                )
+                emit("engine.build.start", key=key, backend=request.backend)
+                build_t0 = time.perf_counter()
+                prog = self._build_program(request)
                 entry = CacheEntry(
                     key=key,
                     program=prog,
@@ -431,6 +495,13 @@ class Engine:
                 if request.backend == "c":
                     self._attach_library(entry, request.cflags)
                 self.cache.put(entry)
+                emit(
+                    "engine.build.done",
+                    key=key,
+                    outcome="ok",
+                    backend=request.backend,
+                    build_ms=round((time.perf_counter() - build_t0) * 1e3, 3),
+                )
             count("engine.compiles")
             inc("engine.compiles", backend=request.backend)
             flight.entry, flight.status = entry, "miss"
@@ -471,7 +542,14 @@ class Engine:
             "an ImpProgram, or a registered builder name"
         )
 
-    def _build_program(self, source, strategy, type_env, name, options) -> ImpProgram:
+    def _build_program(self, request: CompileRequest) -> ImpProgram:
+        """Lower one request's source into an :class:`ImpProgram`.
+
+        The rewrite and lowering phases open their own spans
+        (``engine.rewrite``, ``backend.lower``) so a cold compile's span
+        tree shows where the time went per backend phase.
+        """
+        source, strategy = request.source, request.strategy
         if isinstance(source, ImpProgram):
             return source
         if isinstance(source, str):
@@ -482,14 +560,16 @@ class Engine:
                 raise KeyError(f"no builder {source!r} (known: {known})") from None
             builder = getattr(importlib.import_module(module_name), attribute)
             with span("engine.build", builder=source):
-                return builder(**dict(options or {}))
+                return builder(**dict(request.options or {}))
         program = source
         if strategy is not None:
             with span("engine.rewrite", strategy=strategy_identity(strategy)):
                 program = strategy.apply(program)
         from repro.codegen.lower import compile_program
 
-        return compile_program(program, dict(type_env or {}), name or "pipeline")
+        name = request.name or "pipeline"
+        with span("backend.lower", backend=request.backend, program=name):
+            return compile_program(program, dict(request.type_env or {}), name)
 
     def _attach_library(self, entry: CacheEntry, cflags: tuple[str, ...]) -> None:
         from repro.codegen.cprint import program_to_c
@@ -497,10 +577,11 @@ class Engine:
 
         if not have_c_compiler():
             raise RuntimeError("backend='c' requires a host C compiler (gcc/cc)")
-        entry.c_source = program_to_c(entry.program)
-        entry.library = compile_c_library(
-            entry.program, extra_flags=tuple(cflags), source=entry.c_source
-        )
+        with span("backend.cbuild", backend="c", cflags=" ".join(cflags)):
+            entry.c_source = program_to_c(entry.program)
+            entry.library = compile_c_library(
+                entry.program, extra_flags=tuple(cflags), source=entry.c_source
+            )
 
     def library_for(self, entry: CacheEntry):
         """The live C library for ``entry``, loading or building on demand.

@@ -25,6 +25,7 @@ from types import MappingProxyType
 from typing import Any, Mapping
 
 from repro.codegen.ir import ImpProgram
+from repro.observe.context import new_request_id
 from repro.rise.expr import Expr
 
 __all__ = ["CompileRequest", "BACKENDS", "DEFAULT_CFLAGS"]
@@ -62,7 +63,11 @@ class CompileRequest:
     * ``name`` — program name for generated code;
     * ``options`` — builder keyword arguments (builder sources only);
     * ``cflags`` — C compiler flags (C backend only);
-    * ``threads`` — default thread count for ``PARALLEL`` loops.
+    * ``threads`` — default thread count for ``PARALLEL`` loops;
+    * ``request_id`` — correlation identity for observability
+      (auto-generated when omitted; stable across :meth:`replace`, so the
+      engine's internal cflag normalization never changes a request's
+      identity in spans, events, or the serve accounting).
 
     Instances are frozen; the mapping fields are snapshotted into
     read-only views at construction, so a request can be shared across
@@ -78,6 +83,7 @@ class CompileRequest:
     options: Mapping[str, Any] | None = None
     cflags: tuple[str, ...] = DEFAULT_CFLAGS
     threads: int | None = None
+    request_id: str | None = None
 
     def __post_init__(self):
         """Validate field shapes eagerly; raises ``TypeError``/``ValueError``."""
@@ -125,6 +131,12 @@ class CompileRequest:
                 )
             if self.threads < 1:
                 raise ValueError(f"threads must be >= 1, got {self.threads}")
+        if self.request_id is None:
+            object.__setattr__(self, "request_id", new_request_id())
+        elif not isinstance(self.request_id, str) or not self.request_id:
+            raise TypeError(
+                f"request_id must be a non-empty string, got {self.request_id!r}"
+            )
 
     # -- derived views ----------------------------------------------------
 
@@ -185,4 +197,5 @@ class CompileRequest:
             "options": dict(self.options or {}),
             "cflags": list(self.cflags),
             "threads": self.threads,
+            "request_id": self.request_id,
         }

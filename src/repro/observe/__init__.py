@@ -18,10 +18,53 @@ execution when disabled):
   registry (counters, gauges, quantile histograms) with JSON and
   Prometheus exporters (:func:`metrics_registry`, :func:`inc`, ...);
 * :mod:`repro.observe.traceevent` — Chrome trace-event export of any
-  observer's span tree (:func:`save_trace`), loadable in Perfetto.
+  observer's span tree (:func:`save_trace`), loadable in Perfetto;
+* :mod:`repro.observe.context` — per-request correlation
+  (``request_id``/``trace_id`` context variables stamped onto every span
+  and event recorded while serving one request);
+* :mod:`repro.observe.events` — the structured JSONL event log
+  (``repro.observe.events/v1``): a ring-buffered flight recorder plus an
+  optional rotating file sink for serve/engine decision events;
+* :mod:`repro.observe.slo` — service-level objectives over the serve
+  metrics: availability/latency targets, error-budget burn rates, and
+  the ``--gate-slo`` CI gate.
 """
 
-from repro.observe.core import Observer, Span, active, count, observing, span
+from repro.observe.context import (
+    RequestContext,
+    current_request,
+    ensure_request,
+    new_request_id,
+    new_span_id,
+    new_trace_id,
+    request_scope,
+)
+from repro.observe.core import (
+    Observer,
+    Span,
+    active,
+    count,
+    current_span,
+    observing,
+    span,
+)
+from repro.observe.events import (
+    EVENTS_SCHEMA,
+    EventLog,
+    emit,
+    event_log,
+    read_events,
+    request_timeline,
+    reset_event_log,
+)
+from repro.observe.slo import (
+    DEFAULT_OBJECTIVES,
+    Objective,
+    SLO_SCHEMA,
+    evaluate_slo,
+    gate_slo,
+    record_slo_gauges,
+)
 from repro.observe.metrics import (
     Counter,
     Gauge,
@@ -33,7 +76,12 @@ from repro.observe.metrics import (
     reset_registry,
     set_gauge,
 )
-from repro.observe.traceevent import save_trace, to_chrome_trace, trace_events
+from repro.observe.traceevent import (
+    save_trace,
+    to_chrome_trace,
+    trace_events,
+    validate_chrome_trace,
+)
 from repro.observe.derivation import derivation_stats, format_derivation
 from repro.observe.profile import (
     CompileProfile,
@@ -81,4 +129,26 @@ __all__ = [
     "save_trace",
     "to_chrome_trace",
     "trace_events",
+    "validate_chrome_trace",
+    "RequestContext",
+    "current_request",
+    "current_span",
+    "ensure_request",
+    "new_request_id",
+    "new_span_id",
+    "new_trace_id",
+    "request_scope",
+    "EVENTS_SCHEMA",
+    "EventLog",
+    "emit",
+    "event_log",
+    "read_events",
+    "request_timeline",
+    "reset_event_log",
+    "SLO_SCHEMA",
+    "Objective",
+    "DEFAULT_OBJECTIVES",
+    "evaluate_slo",
+    "gate_slo",
+    "record_slo_gauges",
 ]

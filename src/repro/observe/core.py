@@ -34,7 +34,17 @@ from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
-__all__ = ["Span", "Observer", "observing", "active", "span", "count"]
+from repro.observe.context import current_request, new_span_id
+
+__all__ = [
+    "Span",
+    "Observer",
+    "observing",
+    "active",
+    "span",
+    "count",
+    "current_span",
+]
 
 _OBSERVER: ContextVar[Optional["Observer"]] = ContextVar("repro_observer", default=None)
 
@@ -57,6 +67,12 @@ class Span:
     recording thread's identifier — both feed the Chrome trace exporter
     and neither appears in :meth:`to_dict`, keeping the report schema
     unchanged.
+
+    ``span_id``/``parent_id``/``request_id`` are the correlation fields
+    of :mod:`repro.observe.context`: assigned at recording time when a
+    request scope is active, empty otherwise.  They *do* appear in
+    :meth:`to_dict` (when set) — that is their point: a span in a run
+    report or event log names the exact request it belongs to.
     """
 
     name: str
@@ -65,10 +81,19 @@ class Span:
     children: list["Span"] = field(default_factory=list)
     t0: float = 0.0
     tid: int = 0
+    span_id: str = ""
+    parent_id: str = ""
+    request_id: str = ""
 
     def to_dict(self) -> dict:
         """JSON-ready representation (durations rounded to microseconds)."""
         out: dict = {"name": self.name, "duration_ms": round(self.duration_ms, 3)}
+        if self.span_id:
+            out["span_id"] = self.span_id
+        if self.parent_id:
+            out["parent_id"] = self.parent_id
+        if self.request_id:
+            out["request_id"] = self.request_id
         if self.meta:
             out["meta"] = dict(self.meta)
         if self.children:
@@ -103,7 +128,9 @@ class Observer:
 
         The parent is the innermost span open *in this context* — worker
         threads entered via ``copy_context`` therefore nest under the
-        span that was open when their work item was submitted.
+        span that was open when their work item was submitted.  The span
+        is stamped with a fresh ``span_id``, its parent's id, and the
+        active request context's ``request_id`` (if any).
         """
         entry = Span(name, meta=dict(meta), tid=threading.get_ident())
         self.attach(entry)
@@ -120,10 +147,22 @@ class Observer:
 
         Used for spans whose timing happened elsewhere (process-pool
         workers report wall times back to the parent, which attaches one
-        pre-timed span per item).
+        pre-timed span per item).  The attaching context stamps the
+        correlation fields: the parent's ``span_id`` and the active
+        request's ``request_id`` — which is how synthetic pool-worker
+        spans stay attributable to their request even though the worker
+        process never saw the context variable.
         """
         current = _CURRENT_SPAN.get()
         parent = current[1] if current is not None and current[0] is self else None
+        if not entry.span_id:
+            entry.span_id = new_span_id()
+        if parent is not None and not entry.parent_id:
+            entry.parent_id = parent.span_id
+        if not entry.request_id:
+            ctx = current_request()
+            if ctx is not None:
+                entry.request_id = ctx.request_id
         with self._lock:
             (parent.children if parent is not None else self.spans).append(entry)
 
@@ -186,6 +225,20 @@ def observing(observer: Observer | None = None) -> Iterator[Observer]:
 def active() -> Observer | None:
     """The currently active observer, or ``None`` when observation is off."""
     return _OBSERVER.get()
+
+
+def current_span() -> Span | None:
+    """The innermost open span of the *active* observer, or ``None``.
+
+    Used by the engine's singleflight layer: the coalescing leader
+    publishes its open ``engine.compile`` span's identity on the flight
+    so follower spans can link to it.
+    """
+    obs = _OBSERVER.get()
+    current = _CURRENT_SPAN.get()
+    if obs is None or current is None or current[0] is not obs:
+        return None
+    return current[1]
 
 
 class _NullSpan:

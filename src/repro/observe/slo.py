@@ -1,0 +1,273 @@
+"""Service-level objectives over the serve metrics: burn rates and gates.
+
+An :class:`Objective` states what "good" means for the serving path —
+either **availability** (the fraction of admitted-or-rejected requests
+that complete without a rejection, deadline, or error) or **latency**
+(the fraction of compiles finishing under a threshold).  This module
+evaluates those objectives against a
+:meth:`~repro.observe.metrics.MetricsRegistry.snapshot` document and
+reports the classic SRE *error-budget burn rate*::
+
+    burn = error_rate / (1 - target)
+
+Burn 0 means no budget spent, burn 1 means errors are arriving exactly
+at the budgeted rate, burn > 1 means the budget is being exhausted —
+that is the gate condition ``tools/bench_compare.py --gate-slo`` applies
+to the serve metrics embedded in ``BENCH_trajectory.json`` samples.
+
+Latency objectives only have quantile summaries to work with (the
+registry keeps p50/p90/p99 + min/max, not full histograms), so the
+fraction of requests over the threshold is *estimated* by linear
+interpolation through the known quantile points — exact at the recorded
+quantiles, conservative-ish in between, and entirely sufficient for a
+CI gate whose thresholds sit far from the interesting percentiles.
+
+Evaluations are JSON documents (:data:`SLO_SCHEMA`) and can be mirrored
+into the live registry as ``slo.*`` gauges (:func:`record_slo_gauges`)
+so the Prometheus exposition and metrics snapshots carry the budget
+state alongside the raw series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.observe.metrics import set_gauge
+
+__all__ = [
+    "SLO_SCHEMA",
+    "Objective",
+    "DEFAULT_OBJECTIVES",
+    "parse_metric_key",
+    "counter_total",
+    "histograms_matching",
+    "fraction_over_threshold",
+    "evaluate_slo",
+    "record_slo_gauges",
+    "gate_slo",
+]
+
+#: Schema identifier of one SLO evaluation document.
+SLO_SCHEMA = "repro.observe.slo/v1"
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One service-level objective over the serve metrics.
+
+    ``kind`` selects the evaluator: ``"availability"`` counts request
+    outcomes (rejected / deadline-exceeded / failed are bad), and
+    ``"latency"`` estimates the fraction of ``serve.compile_ms``
+    observations above ``threshold_ms``.  ``target`` is the good
+    fraction promised (0.99 = "99% of requests are good"); the error
+    budget is ``1 - target``.
+    """
+
+    name: str
+    kind: str
+    target: float
+    threshold_ms: float | None = None
+    description: str = ""
+
+    def __post_init__(self):
+        """Validate the objective shape eagerly."""
+        if self.kind not in ("availability", "latency"):
+            raise ValueError(f"unknown objective kind {self.kind!r}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+        if self.kind == "latency" and self.threshold_ms is None:
+            raise ValueError("latency objectives need threshold_ms")
+
+
+#: The serving path's default objectives.  The latency threshold sits
+#: above a cold C-backend JIT (p99 ≈ 33s on CI hardware) on purpose:
+#: cold compiles are expected, *slow* cold compiles are the regression.
+DEFAULT_OBJECTIVES: tuple[Objective, ...] = (
+    Objective(
+        name="serve-availability",
+        kind="availability",
+        target=0.99,
+        description="99% of submissions complete without rejection, "
+        "deadline expiry, or error",
+    ),
+    Objective(
+        name="serve-latency",
+        kind="latency",
+        target=0.95,
+        threshold_ms=60_000.0,
+        description="95% of compiles (cold JIT included) finish within 60s",
+    ),
+)
+
+
+def parse_metric_key(key: str) -> tuple[str, dict[str, str]]:
+    """Split a snapshot key ``name{k=v,...}`` into ``(name, labels)``."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels: dict[str, str] = {}
+    for part in rest.rstrip("}").split(","):
+        if not part:
+            continue
+        k, _, v = part.partition("=")
+        labels[k] = v
+    return name, labels
+
+
+def counter_total(
+    snapshot: Mapping, name: str, **label_filter: str
+) -> float:
+    """Sum all counter series named ``name`` whose labels match the filter."""
+    total = 0.0
+    for key, value in (snapshot.get("counters") or {}).items():
+        base, labels = parse_metric_key(key)
+        if base != name:
+            continue
+        if all(labels.get(k) == str(v) for k, v in label_filter.items()):
+            total += float(value)
+    return total
+
+
+def histograms_matching(
+    snapshot: Mapping, name: str, **label_filter: str
+) -> list[dict]:
+    """All histogram summaries named ``name`` whose labels match the filter."""
+    out: list[dict] = []
+    for key, hist in (snapshot.get("histograms") or {}).items():
+        base, labels = parse_metric_key(key)
+        if base != name:
+            continue
+        if all(labels.get(k) == str(v) for k, v in label_filter.items()):
+            out.append(dict(hist))
+    return out
+
+
+def fraction_over_threshold(hist: Mapping, threshold_ms: float) -> float:
+    """Estimated fraction of a histogram's observations above the threshold.
+
+    The snapshot only keeps quantile points, so the CDF is linearly
+    interpolated through ``(min, 0) (p50, .5) (p90, .9) (p99, .99)
+    (max, 1)``; values outside ``[min, max]`` clamp to 0/1.  Empty
+    histograms contribute nothing (fraction 0).
+    """
+    count = int(hist.get("count", 0))
+    if count == 0:
+        return 0.0
+    points: list[tuple[float, float]] = []
+    for key, cdf in (("min", 0.0), ("p50", 0.5), ("p90", 0.9), ("p99", 0.99), ("max", 1.0)):
+        value = hist.get(key)
+        if value is not None:
+            points.append((float(value), cdf))
+    if not points:
+        return 0.0
+    # the points are CDF samples; make x monotonically non-decreasing
+    points.sort(key=lambda p: (p[0], p[1]))
+    if threshold_ms < points[0][0]:
+        return 1.0
+    if threshold_ms >= points[-1][0]:
+        return 0.0
+    for (x0, c0), (x1, c1) in zip(points, points[1:]):
+        if x0 <= threshold_ms < x1:
+            frac = 0.0 if x1 == x0 else (threshold_ms - x0) / (x1 - x0)
+            cdf = c0 + frac * (c1 - c0)
+            return max(0.0, min(1.0, 1.0 - cdf))
+    return 0.0
+
+
+def _evaluate_one(objective: Objective, snapshot: Mapping) -> dict:
+    """Evaluate one objective against a metrics snapshot."""
+    if objective.kind == "availability":
+        admitted = counter_total(snapshot, "serve.requests")
+        rejected = counter_total(snapshot, "serve.rejected")
+        total = admitted + rejected
+        bad = (
+            rejected
+            + counter_total(snapshot, "serve.deadline_exceeded")
+            + counter_total(snapshot, "serve.failed")
+        )
+    else:
+        total = 0.0
+        bad = 0.0
+        for hist in histograms_matching(snapshot, "serve.compile_ms"):
+            count = float(hist.get("count", 0))
+            total += count
+            bad += count * fraction_over_threshold(hist, objective.threshold_ms)
+    error_rate = (bad / total) if total > 0 else 0.0
+    budget = 1.0 - objective.target
+    burn = (error_rate / budget) if budget > 0 else 0.0
+    return {
+        "name": objective.name,
+        "kind": objective.kind,
+        "target": objective.target,
+        "threshold_ms": objective.threshold_ms,
+        "total": round(total, 6),
+        "bad": round(bad, 6),
+        "error_rate": round(error_rate, 6),
+        "burn_rate": round(burn, 6),
+        "budget_remaining": round(1.0 - burn, 6),
+        "description": objective.description,
+    }
+
+
+def evaluate_slo(
+    snapshot: Mapping, objectives: Sequence[Objective] = DEFAULT_OBJECTIVES
+) -> dict:
+    """Evaluate every objective against one metrics snapshot.
+
+    Returns a schema-versioned document — ``objectives`` is a list of
+    per-objective results (counts, error rate, burn rate, remaining
+    budget fraction).  A snapshot with no serve traffic at all evaluates
+    to burn 0 everywhere: no traffic spends no budget.
+    """
+    return {
+        "schema": SLO_SCHEMA,
+        "objectives": [_evaluate_one(o, snapshot) for o in objectives],
+    }
+
+
+def record_slo_gauges(evaluation: Mapping) -> None:
+    """Mirror an SLO evaluation into the live registry as ``slo.*`` gauges.
+
+    After this, :meth:`~repro.observe.metrics.MetricsRegistry.snapshot`
+    and the Prometheus exposition carry ``slo.burn_rate`` /
+    ``slo.error_rate`` / ``slo.budget_remaining`` per objective.
+    """
+    for obj in evaluation.get("objectives", []):
+        name = obj["name"]
+        set_gauge("slo.burn_rate", obj["burn_rate"], objective=name)
+        set_gauge("slo.error_rate", obj["error_rate"], objective=name)
+        set_gauge("slo.budget_remaining", obj["budget_remaining"], objective=name)
+
+
+def gate_slo(
+    trajectory: Mapping,
+    objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+    max_burn: float = 1.0,
+) -> tuple[list[dict], dict]:
+    """The CI gate: burn rates of the newest serve-bearing sample.
+
+    Scans ``trajectory["samples"]`` newest-first for the first sample
+    whose embedded ``metrics`` snapshot contains serve counters,
+    evaluates the objectives against it, and returns ``(violations,
+    info)`` where violations are the objective results with
+    ``burn_rate > max_burn``.  A trajectory with no serve traffic gates
+    clean (nothing to judge is not a failure).
+    """
+    samples = list(trajectory.get("samples", []))
+    for sample in reversed(samples):
+        snapshot = sample.get("metrics") or {}
+        if counter_total(snapshot, "serve.requests") or counter_total(
+            snapshot, "serve.rejected"
+        ):
+            evaluation = evaluate_slo(snapshot, objectives)
+            violations = [
+                o for o in evaluation["objectives"] if o["burn_rate"] > max_burn
+            ]
+            info = {
+                "sample_sha": sample.get("git_sha", "unknown"),
+                "max_burn": max_burn,
+                "objectives": evaluation["objectives"],
+            }
+            return violations, info
+    return [], {"sample_sha": None, "max_burn": max_burn, "objectives": []}

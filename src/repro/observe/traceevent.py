@@ -28,7 +28,7 @@ from pathlib import Path
 
 from repro.observe.core import Observer, Span
 
-__all__ = ["trace_events", "to_chrome_trace", "save_trace"]
+__all__ = ["trace_events", "to_chrome_trace", "save_trace", "validate_chrome_trace"]
 
 #: Synthetic tid base for spans recorded without a thread id (pre-timed
 #: spans re-materialized from process-pool workers).
@@ -74,8 +74,17 @@ def trace_events(observer: Observer, pid: int | None = None) -> list[dict]:
             "pid": pid,
             "tid": tid,
         }
-        if s.meta:
-            event["args"] = {k: _jsonable(v) for k, v in s.meta.items()}
+        args = {k: _jsonable(v) for k, v in s.meta.items()}
+        # correlation identity (repro.observe.context) rides along so a
+        # track selected in Perfetto names the exact request it served
+        if s.request_id:
+            args["request_id"] = s.request_id
+        if s.span_id:
+            args["span_id"] = s.span_id
+        if s.parent_id:
+            args["parent_span_id"] = s.parent_id
+        if args:
+            event["args"] = args
         events.append(event)
         for child in s.children:
             emit(child, s)
@@ -159,6 +168,62 @@ def save_trace(observer: Observer, path, pid: int | None = None) -> Path:
     path = Path(path)
     path.write_text(json.dumps(to_chrome_trace(observer, pid=pid), indent=2))
     return path
+
+
+#: Event phases the validator accepts (the subset this exporter emits).
+_VALID_PHASES = {"X", "M", "I", "B", "E", "C"}
+
+
+def validate_chrome_trace(doc) -> list[str]:
+    """Structural problems of a Chrome-trace document (empty = valid).
+
+    Checks the invariants Perfetto's JSON importer relies on: the
+    ``{"traceEvents": [...]}`` object form, every event a dict with a
+    string ``name`` and a known ``ph``, integer ``pid``/``tid`` on every
+    event, non-negative numeric ``ts`` everywhere and ``dur`` on
+    complete (``"X"``) events, and JSON-serializable ``args``.  Used by
+    the tests to round-trip ``--trace-out`` files and by consumers that
+    want to fail loudly instead of uploading a trace Perfetto will
+    reject.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"trace document must be a dict, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["trace document has no 'traceEvents' list"]
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where}: missing/empty 'name'")
+        ph = event.get("ph")
+        if ph not in _VALID_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                problems.append(f"{where}: '{field}' must be an int")
+        if ph != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: 'ts' must be a non-negative number")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: 'X' event needs non-negative 'dur'")
+        args = event.get("args")
+        if args is not None:
+            if not isinstance(args, dict):
+                problems.append(f"{where}: 'args' must be an object")
+            else:
+                try:
+                    json.dumps(args)
+                except (TypeError, ValueError):
+                    problems.append(f"{where}: 'args' not JSON-serializable")
+    return problems
 
 
 def _jsonable(value):

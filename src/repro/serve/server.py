@@ -23,20 +23,35 @@ Admission model — the load-shedding discipline of a serving system:
   duplicates, so a thundering herd on one key occupies one worker.
 
 Everything is measured: ``serve.requests`` / ``serve.rejected`` /
-``serve.deadline_exceeded`` / ``serve.completed`` / ``serve.failed``
-counters, a ``serve.queue_depth`` gauge and ``serve.wait_ms`` /
-``serve.compile_ms`` histograms in :mod:`repro.observe.metrics`.
+``serve.deadline_exceeded`` / ``serve.deadline.salvaged`` /
+``serve.completed`` / ``serve.failed`` counters, a ``serve.queue_depth``
+gauge and ``serve.wait_ms`` / ``serve.compile_ms`` histograms in
+:mod:`repro.observe.metrics` — plus, per request, a ``serve.request``
+span tree and a structured event trail (admission, queueing, deadline,
+completion) in :mod:`repro.observe.events`, both keyed by the request's
+``request_id``.
+
+Observability propagation: :meth:`Server.submit` captures
+``contextvars.copy_context()`` at admission and the worker runs the
+compile *inside* that captured context, so an :class:`~repro.observe.
+core.Observer` active in the submitting coroutine sees the engine's
+spans from the worker thread (``loop.run_in_executor`` alone does not
+propagate context variables — that was a silent attribution hole).
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.engine.pipeline import CompiledPipeline, Engine, default_engine
 from repro.engine.request import CompileRequest
+from repro.observe.context import request_scope
+from repro.observe.core import span
+from repro.observe.events import emit
 from repro.observe.metrics import inc, observe_value, set_gauge
 
 __all__ = ["Server", "ServerError", "ServerBusy", "DeadlineExceeded"]
@@ -62,12 +77,21 @@ class DeadlineExceeded(ServerError):
 
 @dataclass
 class _Ticket:
-    """One admitted request waiting for a worker."""
+    """One admitted request waiting for a worker.
+
+    ``ctx`` is the submitter's context snapshot (observer + request
+    scope), taken at admission; the worker runs the compile inside it.
+    ``abandoned`` flips when the submitter's deadline fires while the
+    build is still running — a later completion is then *salvage*
+    (warm-hit-after-504), not a normal completion.
+    """
 
     request: CompileRequest
     future: asyncio.Future
     enqueued_at: float
     deadline_at: float | None
+    ctx: contextvars.Context = field(default_factory=contextvars.copy_context)
+    abandoned: bool = False
 
 
 @dataclass
@@ -77,6 +101,7 @@ class ServerStats:
     submitted: int = 0
     rejected: int = 0
     deadline_exceeded: int = 0
+    salvaged: int = 0
     completed: int = 0
     failed: int = 0
     queue_high_water: int = 0
@@ -87,6 +112,7 @@ class ServerStats:
             "submitted": self.submitted,
             "rejected": self.rejected,
             "deadline_exceeded": self.deadline_exceeded,
+            "salvaged": self.salvaged,
             "completed": self.completed,
             "failed": self.failed,
             "queue_high_water": self.queue_high_water,
@@ -199,6 +225,12 @@ class Server:
         except asyncio.QueueFull:
             self.stats.rejected += 1
             inc("serve.rejected")
+            emit(
+                "serve.reject",
+                request_id=request.request_id,
+                outcome="rejected",
+                queue_depth=self.max_queue,
+            )
             raise ServerBusy(
                 f"queue full ({self.max_queue} waiting); retry with backoff"
             ) from None
@@ -207,6 +239,12 @@ class Server:
         self.stats.queue_high_water = max(self.stats.queue_high_water, depth)
         inc("serve.requests")
         set_gauge("serve.queue_depth", depth)
+        emit(
+            "serve.admit",
+            request_id=request.request_id,
+            queue_depth=depth,
+            deadline_s=deadline_s,
+        )
         try:
             if deadline_s is None:
                 return await ticket.future
@@ -216,13 +254,37 @@ class Server:
                 asyncio.shield(ticket.future), timeout=deadline_s
             )
         except asyncio.TimeoutError:
+            ticket.abandoned = True
             self.stats.deadline_exceeded += 1
             inc("serve.deadline_exceeded")
+            emit(
+                "serve.deadline",
+                request_id=request.request_id,
+                outcome="deadline",
+                deadline_s=deadline_s,
+            )
             raise DeadlineExceeded(
                 f"deadline of {deadline_s:.3f}s exceeded for {request.describe()}"
             ) from None
 
     # -- workers ----------------------------------------------------------
+
+    def _compile_ticket(self, ticket: _Ticket) -> CompiledPipeline:
+        """Run one admitted compile on a worker thread.
+
+        Executed *inside* the ticket's captured context (``ticket.ctx``),
+        so the submitter's observer and any outer request scope are
+        visible here.  Opens the request scope + the root
+        ``serve.request`` span; the engine's ``engine.compile`` span and
+        everything below it nest underneath.
+        """
+        with request_scope(request_id=ticket.request.request_id):
+            with span(
+                "serve.request",
+                request=ticket.request.describe(),
+                backend=ticket.request.backend,
+            ):
+                return self.engine.compile_request(ticket.request)
 
     async def _worker(self) -> None:
         queue = self._queue
@@ -234,12 +296,23 @@ class Server:
             wait_ms = (time.perf_counter() - ticket.enqueued_at) * 1e3
             observe_value("serve.wait_ms", wait_ms)
             set_gauge("serve.queue_depth", queue.qsize())
+            emit(
+                "serve.dequeue",
+                request_id=ticket.request.request_id,
+                wait_ms=round(wait_ms, 3),
+            )
             if (
                 ticket.deadline_at is not None
                 and time.perf_counter() >= ticket.deadline_at
             ):
                 # expired while queued: don't waste a worker on it (the
                 # submitter's wait_for has already fired or is about to).
+                emit(
+                    "serve.expired_queued",
+                    request_id=ticket.request.request_id,
+                    outcome="deadline",
+                    wait_ms=round(wait_ms, 3),
+                )
                 if not ticket.future.done():
                     ticket.future.set_exception(
                         DeadlineExceeded(
@@ -249,12 +322,21 @@ class Server:
                 continue
             start = time.perf_counter()
             try:
+                # ctx.run: propagate the submitter's context variables
+                # (observer, request scope) into the executor thread —
+                # run_in_executor alone does not.
                 pipeline = await loop.run_in_executor(
-                    self._executor, self.engine.compile_request, ticket.request
+                    self._executor, ticket.ctx.run, self._compile_ticket, ticket
                 )
             except Exception as exc:
                 self.stats.failed += 1
                 inc("serve.failed")
+                emit(
+                    "serve.error",
+                    request_id=ticket.request.request_id,
+                    outcome="error",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
                 if not ticket.future.done():
                     ticket.future.set_exception(exc)
                 continue
@@ -264,6 +346,26 @@ class Server:
             observe_value(
                 "serve.compile_ms", compile_ms, cache=pipeline.cache_status
             )
+            if ticket.abandoned:
+                # the submitter already got its 504; the finished build
+                # warmed the cache for the retry — record the salvage.
+                self.stats.salvaged += 1
+                inc("serve.deadline.salvaged")
+                emit(
+                    "serve.deadline.salvaged",
+                    request_id=ticket.request.request_id,
+                    outcome="salvaged",
+                    cache=pipeline.cache_status,
+                    compile_ms=round(compile_ms, 3),
+                )
+            else:
+                emit(
+                    "serve.complete",
+                    request_id=ticket.request.request_id,
+                    outcome="ok",
+                    cache=pipeline.cache_status,
+                    compile_ms=round(compile_ms, 3),
+                )
             if not ticket.future.done():
                 ticket.future.set_result(pipeline)
 

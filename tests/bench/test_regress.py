@@ -161,3 +161,107 @@ class TestCompareTool:
         doc = json.loads(proc.stdout)
         assert len(doc["regressions"]) == 2
         assert doc["regressions"][0]["ratio"] == pytest.approx(1.5)
+
+
+class TestSloGate:
+    """``--gate-slo``: the burn-rate gate over embedded serve metrics."""
+
+    def _write(self, path, samples):
+        doc = new_trajectory()
+        doc["samples"] = samples
+        path.write_text(json.dumps(doc))
+
+    def _run(self, *argv):
+        return subprocess.run(
+            [sys.executable, str(TOOL), *argv], capture_output=True, text=True
+        )
+
+    def _serve_sample(self, counters, sha="serve01"):
+        sample = _sample(CELLS, sha=sha)
+        sample["metrics"] = {"counters": counters, "gauges": {}, "histograms": {}}
+        return sample
+
+    def test_healthy_serve_sample_gates_clean(self, tmp_path):
+        path = tmp_path / "traj.json"
+        self._write(
+            path,
+            [_sample(CELLS), self._serve_sample({"serve.requests": 100})],
+        )
+        proc = self._run("--trajectory", str(path), "--gate-slo")
+        assert proc.returncode == 0, proc.stderr
+        assert "all burn rates" in proc.stdout
+        assert "serve01" in proc.stdout
+
+    def test_injected_burn_regression_fails_the_gate(self, tmp_path):
+        # 10% of submissions rejected against a 1% availability budget
+        path = tmp_path / "traj.json"
+        self._write(
+            path,
+            [
+                _sample(CELLS),
+                self._serve_sample(
+                    {"serve.requests": 90, "serve.rejected": 10}, sha="burn01"
+                ),
+            ],
+        )
+        proc = self._run("--trajectory", str(path), "--gate-slo")
+        assert proc.returncode == 1
+        assert "BURN VIOLATION serve-availability" in proc.stderr
+
+    def test_without_the_flag_burn_does_not_gate(self, tmp_path):
+        path = tmp_path / "traj.json"
+        self._write(
+            path,
+            [
+                _sample(CELLS),
+                self._serve_sample({"serve.requests": 90, "serve.rejected": 10}),
+            ],
+        )
+        proc = self._run("--trajectory", str(path))
+        assert proc.returncode == 0, proc.stderr
+
+    def test_no_serve_metrics_is_skipped_not_failed(self, tmp_path):
+        path = tmp_path / "traj.json"
+        self._write(path, [_sample(CELLS), _sample(CELLS)])
+        proc = self._run("--trajectory", str(path), "--gate-slo")
+        assert proc.returncode == 0, proc.stderr
+        assert "skipped" in proc.stdout
+
+    def test_slo_max_burn_loosens_the_gate(self, tmp_path):
+        path = tmp_path / "traj.json"
+        self._write(
+            path,
+            [
+                _sample(CELLS),
+                self._serve_sample({"serve.requests": 98, "serve.rejected": 2}),
+            ],
+        )
+        # burn 2.0: default max 1.0 fails, explicit 3.0 passes
+        assert self._run("--trajectory", str(path), "--gate-slo").returncode == 1
+        proc = self._run(
+            "--trajectory", str(path), "--gate-slo", "--slo-max-burn", "3.0"
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_json_output_carries_the_slo_section(self, tmp_path):
+        path = tmp_path / "traj.json"
+        self._write(
+            path,
+            [
+                _sample(CELLS),
+                self._serve_sample({"serve.requests": 90, "serve.rejected": 10}),
+            ],
+        )
+        proc = self._run("--trajectory", str(path), "--gate-slo", "--json")
+        assert proc.returncode == 1
+        doc = json.loads(proc.stdout)
+        assert doc["slo"]["violations"]
+        assert doc["slo"]["violations"][0]["name"] == "serve-availability"
+
+    def test_real_trajectory_gates_clean(self):
+        # the acceptance criterion: the repo's own ledger must pass
+        trajectory = TOOL.parent.parent / "BENCH_trajectory.json"
+        if not trajectory.is_file():
+            pytest.skip("no BENCH_trajectory.json in this checkout")
+        proc = self._run("--trajectory", str(trajectory), "--gate-slo")
+        assert proc.returncode == 0, proc.stdout + proc.stderr

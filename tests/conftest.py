@@ -49,6 +49,16 @@ def fresh_metrics_registry():
 
 
 @pytest.fixture
+def fresh_event_log():
+    """The process event log, emptied (and sink-detached) around the test."""
+    from repro.observe.events import event_log, reset_event_log
+
+    reset_event_log()
+    yield event_log()
+    reset_event_log()
+
+
+@pytest.fixture
 def fresh_engine():
     """A private in-memory compile engine (no shared on-disk cache)."""
     from repro.engine.pipeline import Engine

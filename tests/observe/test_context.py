@@ -1,0 +1,127 @@
+"""Request-context correlation: scopes, span stamping, thread propagation."""
+
+import contextvars
+import threading
+
+from repro.observe import observing, span
+from repro.observe.context import (
+    RequestContext,
+    current_request,
+    ensure_request,
+    new_request_id,
+    new_span_id,
+    new_trace_id,
+    request_scope,
+)
+
+
+class TestIdentifiers:
+    def test_request_ids_are_unique_and_prefixed(self):
+        ids = {new_request_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(i.startswith("req-") for i in ids)
+
+    def test_trace_and_span_id_shapes(self):
+        assert len(new_trace_id()) == 16
+        assert len(new_span_id()) == 8
+        int(new_trace_id(), 16)  # hex
+        int(new_span_id(), 16)
+
+
+class TestRequestScope:
+    def test_no_scope_means_no_context(self):
+        assert current_request() is None
+
+    def test_scope_activates_and_resets(self):
+        with request_scope(request_id="req-abc") as ctx:
+            assert isinstance(ctx, RequestContext)
+            assert ctx.request_id == "req-abc"
+            assert current_request() is ctx
+        assert current_request() is None
+
+    def test_missing_ids_are_generated(self):
+        with request_scope() as ctx:
+            assert ctx.request_id.startswith("req-")
+            assert len(ctx.trace_id) == 16
+
+    def test_nested_scope_shadows_then_restores(self):
+        with request_scope(request_id="outer") as outer:
+            with request_scope(request_id="inner"):
+                assert current_request().request_id == "inner"
+            assert current_request() is outer
+
+    def test_ensure_request_reuses_active_scope(self):
+        with request_scope(request_id="req-keep") as outer:
+            with ensure_request(request_id="req-ignored") as ctx:
+                assert ctx is outer
+
+    def test_ensure_request_opens_scope_when_none(self):
+        with ensure_request(request_id="req-new") as ctx:
+            assert ctx.request_id == "req-new"
+            assert current_request() is ctx
+        assert current_request() is None
+
+    def test_to_dict(self):
+        ctx = RequestContext(request_id="r", trace_id="t")
+        assert ctx.to_dict() == {"request_id": "r", "trace_id": "t"}
+
+
+class TestSpanStamping:
+    def test_spans_carry_request_id_inside_scope(self):
+        with observing() as obs:
+            with request_scope(request_id="req-s1"):
+                with span("outer"):
+                    with span("inner"):
+                        pass
+        outer, inner = obs.flat_spans()
+        assert outer.request_id == "req-s1"
+        assert inner.request_id == "req-s1"
+        assert outer.span_id and inner.span_id
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id == ""
+
+    def test_span_ids_survive_to_dict(self):
+        with observing() as obs:
+            with request_scope(request_id="req-d"):
+                with span("work"):
+                    pass
+        doc = obs.spans[0].to_dict()
+        assert doc["request_id"] == "req-d"
+        assert doc["span_id"]
+        assert "parent_id" not in doc  # roots have no parent
+
+    def test_spans_outside_scope_have_no_request_id(self):
+        with observing() as obs:
+            with span("bare"):
+                pass
+        assert obs.spans[0].request_id == ""
+        assert "request_id" not in obs.spans[0].to_dict()
+
+    def test_copy_context_carries_scope_into_threads(self):
+        # the propagation contract the serve layer and BatchRunner rely on
+        seen = {}
+
+        def worker():
+            ctx = current_request()
+            seen["request_id"] = ctx.request_id if ctx else None
+
+        with request_scope(request_id="req-thread"):
+            snapshot = contextvars.copy_context()
+        t = threading.Thread(target=snapshot.run, args=(worker,))
+        t.start()
+        t.join()
+        assert seen["request_id"] == "req-thread"
+
+    def test_attach_stamps_pretimed_spans(self):
+        # process-pool items: the parent attaches pre-timed spans — they
+        # still get the parent's request context
+        from repro.observe.core import Span
+
+        with observing() as obs:
+            with request_scope(request_id="req-pool"):
+                with span("engine.batch"):
+                    obs.attach(Span("engine.batch.item", duration_ms=1.0))
+        batch = obs.spans[0]
+        item = batch.children[0]
+        assert item.request_id == "req-pool"
+        assert item.parent_id == batch.span_id

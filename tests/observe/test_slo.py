@@ -1,0 +1,195 @@
+"""SLO evaluation: burn-rate math, snapshot parsing, the CI gate."""
+
+import pytest
+
+from repro.observe.metrics import registry as metrics_registry
+from repro.observe.slo import (
+    DEFAULT_OBJECTIVES,
+    SLO_SCHEMA,
+    Objective,
+    counter_total,
+    evaluate_slo,
+    fraction_over_threshold,
+    gate_slo,
+    parse_metric_key,
+    record_slo_gauges,
+)
+
+
+def snapshot_with(counters=None, histograms=None):
+    """A minimal metrics-snapshot document."""
+    return {
+        "counters": counters or {},
+        "gauges": {},
+        "histograms": histograms or {},
+    }
+
+
+class TestParsing:
+    def test_parse_metric_key_plain(self):
+        assert parse_metric_key("serve.requests") == ("serve.requests", {})
+
+    def test_parse_metric_key_labels(self):
+        name, labels = parse_metric_key("engine.cache.hits{tier=memory,x=1}")
+        assert name == "engine.cache.hits"
+        assert labels == {"tier": "memory", "x": "1"}
+
+    def test_counter_total_sums_matching_series(self):
+        snap = snapshot_with(counters={
+            "serve.requests{family=warm}": 30,
+            "serve.requests{family=cold}": 4,
+            "serve.rejected": 2,
+        })
+        assert counter_total(snap, "serve.requests") == 34
+        assert counter_total(snap, "serve.requests", family="cold") == 4
+        assert counter_total(snap, "serve.nothing") == 0
+
+
+class TestObjective:
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError, match="unknown objective kind"):
+            Objective(name="x", kind="throughput", target=0.9)
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError, match="target"):
+            Objective(name="x", kind="availability", target=1.0)
+
+    def test_latency_needs_threshold(self):
+        with pytest.raises(ValueError, match="threshold_ms"):
+            Objective(name="x", kind="latency", target=0.9)
+
+
+class TestFractionOverThreshold:
+    HIST = {"count": 100, "min": 10.0, "p50": 50.0, "p90": 90.0, "p99": 99.0, "max": 100.0}
+
+    def test_empty_histogram_is_zero(self):
+        assert fraction_over_threshold({"count": 0}, 10.0) == 0.0
+
+    def test_below_min_is_all_over(self):
+        assert fraction_over_threshold(self.HIST, 5.0) == 1.0
+
+    def test_above_max_is_none_over(self):
+        assert fraction_over_threshold(self.HIST, 200.0) == 0.0
+
+    def test_exact_quantile_points(self):
+        # at p50 the CDF is 0.5, so half the mass is above
+        assert fraction_over_threshold(self.HIST, 50.0) == pytest.approx(0.5)
+        assert fraction_over_threshold(self.HIST, 90.0) == pytest.approx(0.1)
+
+    def test_interpolates_between_points(self):
+        # halfway between p50 (0.5) and p90 (0.9) -> CDF 0.7 -> 0.3 over
+        assert fraction_over_threshold(self.HIST, 70.0) == pytest.approx(0.3)
+
+
+class TestEvaluate:
+    def test_no_traffic_burns_nothing(self):
+        doc = evaluate_slo(snapshot_with())
+        assert doc["schema"] == SLO_SCHEMA
+        assert all(o["burn_rate"] == 0.0 for o in doc["objectives"])
+        assert all(o["budget_remaining"] == 1.0 for o in doc["objectives"])
+
+    def test_availability_burn_math(self):
+        # 100 submissions, 2 bad, target 0.99 -> error rate 0.02,
+        # budget 0.01, burn 2.0
+        snap = snapshot_with(counters={
+            "serve.requests": 98,
+            "serve.rejected": 2,
+        })
+        obj = Objective(name="avail", kind="availability", target=0.99)
+        doc = evaluate_slo(snap, [obj])
+        result = doc["objectives"][0]
+        assert result["total"] == 100
+        assert result["bad"] == 2
+        assert result["error_rate"] == pytest.approx(0.02)
+        assert result["burn_rate"] == pytest.approx(2.0)
+        assert result["budget_remaining"] == pytest.approx(-1.0)
+
+    def test_availability_counts_deadlines_and_failures(self):
+        snap = snapshot_with(counters={
+            "serve.requests": 100,
+            "serve.deadline_exceeded": 3,
+            "serve.failed": 1,
+        })
+        obj = Objective(name="avail", kind="availability", target=0.9)
+        result = evaluate_slo(snap, [obj])["objectives"][0]
+        assert result["bad"] == 4
+        assert result["burn_rate"] == pytest.approx(0.04 / 0.1)
+
+    def test_latency_burn_from_histograms(self):
+        hist = {"count": 100, "min": 10.0, "p50": 50.0, "p90": 90.0,
+                "p99": 99.0, "max": 100.0}
+        snap = snapshot_with(histograms={"serve.compile_ms{family=warm}": hist})
+        obj = Objective(name="lat", kind="latency", target=0.95, threshold_ms=90.0)
+        result = evaluate_slo(snap, [obj])["objectives"][0]
+        # 10% of mass over p90 -> error rate 0.1 against a 0.05 budget
+        assert result["error_rate"] == pytest.approx(0.1)
+        assert result["burn_rate"] == pytest.approx(2.0)
+
+    def test_default_objectives_cover_both_kinds(self):
+        kinds = {o.kind for o in DEFAULT_OBJECTIVES}
+        assert kinds == {"availability", "latency"}
+
+
+class TestGauges:
+    def test_record_slo_gauges(self, fresh_metrics_registry):
+        snap = snapshot_with(counters={"serve.requests": 10})
+        record_slo_gauges(evaluate_slo(snap))
+        gauges = metrics_registry().snapshot()["gauges"]
+        for objective in DEFAULT_OBJECTIVES:
+            assert gauges[f"slo.burn_rate{{objective={objective.name}}}"] == 0.0
+            assert gauges[f"slo.budget_remaining{{objective={objective.name}}}"] == 1.0
+
+
+class TestGate:
+    def make_trajectory(self, *sample_metrics):
+        samples = [
+            {"git_sha": f"sha{i}", "cells": {}, "metrics": m}
+            for i, m in enumerate(sample_metrics)
+        ]
+        return {"samples": samples}
+
+    def test_empty_trajectory_gates_clean(self):
+        violations, info = gate_slo({"samples": []})
+        assert violations == []
+        assert info["sample_sha"] is None
+
+    def test_samples_without_serve_traffic_are_skipped(self):
+        trajectory = self.make_trajectory(snapshot_with())
+        violations, info = gate_slo(trajectory)
+        assert violations == []
+        assert info["sample_sha"] is None
+
+    def test_healthy_sample_passes(self):
+        trajectory = self.make_trajectory(
+            snapshot_with(counters={"serve.requests": 100})
+        )
+        violations, info = gate_slo(trajectory)
+        assert violations == []
+        assert info["sample_sha"] == "sha0"
+        assert info["objectives"]  # evaluation is reported even when clean
+
+    def test_burning_sample_fails(self):
+        trajectory = self.make_trajectory(
+            snapshot_with(counters={"serve.requests": 90, "serve.rejected": 10})
+        )
+        violations, _ = gate_slo(trajectory)
+        assert [v["name"] for v in violations] == ["serve-availability"]
+        assert violations[0]["burn_rate"] > 1.0
+
+    def test_newest_serve_sample_wins(self):
+        # older sample is burning, newest is healthy -> gate passes
+        trajectory = self.make_trajectory(
+            snapshot_with(counters={"serve.requests": 0, "serve.rejected": 50}),
+            snapshot_with(counters={"serve.requests": 100}),
+        )
+        violations, info = gate_slo(trajectory)
+        assert violations == []
+        assert info["sample_sha"] == "sha1"
+
+    def test_max_burn_is_respected(self):
+        trajectory = self.make_trajectory(
+            snapshot_with(counters={"serve.requests": 98, "serve.rejected": 2})
+        )
+        # burn is 2.0: fails at max 1.0, passes at max 3.0
+        assert gate_slo(trajectory, max_burn=1.0)[0]
+        assert not gate_slo(trajectory, max_burn=3.0)[0]

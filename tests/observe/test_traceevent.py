@@ -4,13 +4,17 @@ import json
 import threading
 import time
 
+import pytest
+
 from repro.observe import Observer, observing, span, count
+from repro.observe.context import request_scope
 from repro.observe.core import Span
 from repro.observe.traceevent import (
     SYNTHETIC_TID_BASE,
     save_trace,
     to_chrome_trace,
     trace_events,
+    validate_chrome_trace,
 )
 
 
@@ -37,7 +41,8 @@ class TestTraceEvents:
         assert outer["ts"] == 0.0
         assert inner["ts"] >= outer["ts"]
         assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1.0
-        assert outer["args"] == {"program": "p"}
+        assert outer["args"]["program"] == "p"
+        assert outer["args"]["span_id"]  # correlation id always present
 
     def test_counters_become_instant_event(self):
         with observing() as obs:
@@ -117,3 +122,108 @@ class TestTraceFile:
                 pass
         doc = to_chrome_trace(obs, pid=1)
         assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+
+
+class TestRequestCorrelation:
+    def test_span_args_carry_request_and_span_ids(self):
+        with observing() as obs:
+            with request_scope(request_id="req-trace"):
+                with span("outer"):
+                    with span("inner"):
+                        pass
+        events = _complete(trace_events(obs))
+        outer = next(e for e in events if e["name"] == "outer")
+        inner = next(e for e in events if e["name"] == "inner")
+        assert outer["args"]["request_id"] == "req-trace"
+        assert inner["args"]["request_id"] == "req-trace"
+        assert inner["args"]["parent_span_id"] == outer["args"]["span_id"]
+        assert "parent_span_id" not in outer["args"]
+
+    def test_synthetic_pool_tracks_carry_request_ids(self):
+        # pre-timed process-pool item spans: the attaching parent stamps
+        # the request context, and the exporter must surface it per track
+        obs = Observer()
+        with observing(obs):
+            with request_scope(request_id="req-pool"):
+                with span("engine.batch"):
+                    for i in range(3):
+                        obs.attach(
+                            Span("engine.batch.item", duration_ms=5.0,
+                                 meta={"index": i, "mode": "process"})
+                        )
+        events = _complete(trace_events(obs))
+        items = [e for e in events if e["name"] == "engine.batch.item"]
+        batch = next(e for e in events if e["name"] == "engine.batch")
+        assert {e["tid"] for e in items} == {
+            SYNTHETIC_TID_BASE, SYNTHETIC_TID_BASE + 1, SYNTHETIC_TID_BASE + 2
+        }
+        for e in items:
+            assert e["args"]["request_id"] == "req-pool"
+            assert e["args"]["parent_span_id"] == batch["args"]["span_id"]
+            assert e["args"]["span_id"]
+
+
+class TestValidator:
+    def _doc(self):
+        with observing() as obs:
+            with request_scope(request_id="req-v"):
+                with span("work", program="p"):
+                    count("n")
+        return to_chrome_trace(obs)
+
+    def test_real_export_validates_clean(self):
+        assert validate_chrome_trace(self._doc()) == []
+
+    def test_non_dict_document(self):
+        assert validate_chrome_trace([1, 2, 3])
+        assert validate_chrome_trace({"nope": True})
+
+    def test_bad_phase_is_flagged(self):
+        doc = self._doc()
+        doc["traceEvents"][0]["ph"] = "Z"
+        assert any("ph" in p for p in validate_chrome_trace(doc))
+
+    def test_missing_dur_on_complete_event(self):
+        doc = self._doc()
+        for e in doc["traceEvents"]:
+            if e["ph"] == "X":
+                del e["dur"]
+        assert any("dur" in p for p in validate_chrome_trace(doc))
+
+    def test_negative_ts_is_flagged(self):
+        doc = self._doc()
+        for e in doc["traceEvents"]:
+            if e["ph"] == "X":
+                e["ts"] = -5.0
+        assert any("ts" in p for p in validate_chrome_trace(doc))
+
+    def test_non_integer_tid_is_flagged(self):
+        doc = self._doc()
+        doc["traceEvents"][0]["tid"] = "main"
+        assert any("tid" in p for p in validate_chrome_trace(doc))
+
+    def test_unserializable_args_are_flagged(self):
+        doc = self._doc()
+        for e in doc["traceEvents"]:
+            if e["ph"] == "X":
+                e["args"] = {"bad": object()}
+        assert any("args" in p for p in validate_chrome_trace(doc))
+
+    def test_nameless_event_is_flagged(self):
+        doc = self._doc()
+        doc["traceEvents"][0]["name"] = ""
+        assert any("name" in p for p in validate_chrome_trace(doc))
+
+
+class TestRunReportRoundTrip:
+    def test_trace_out_validates_as_chrome_trace(self, tmp_path):
+        # the harness's --trace-out export must round-trip through the
+        # validator: process-pool tracks, metadata and args included
+        from repro.bench.harness import run_report
+
+        trace_path = tmp_path / "trace.json"
+        run_report(batch_items=3, batch_workers=2, trace_out=trace_path)
+        doc = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(doc) == []
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "engine.batch" in names

@@ -13,11 +13,18 @@ baseline is the *minimum over history*, so a single slow machine or run
 can neither fabricate a regression in the baseline nor hide one in the
 candidate.
 
+``--gate-slo`` additionally evaluates the serving SLOs (see
+:mod:`repro.observe.slo`) against the newest trajectory sample that
+embeds serve metrics and fails when any objective's error-budget burn
+rate exceeds ``--slo-max-burn`` (default 1.0 = budget exhausted).
+
 Exit codes: 0 no regressions (or not enough history to compare),
-1 regressions found, 2 usage / malformed-input errors.
+1 regressions or SLO burn violations found, 2 usage / malformed-input
+errors.
 
 Usage:  python tools/bench_compare.py [--trajectory BENCH_trajectory.json]
                                       [--threshold 0.10] [--candidate sample.json]
+                                      [--gate-slo] [--slo-max-burn 1.0]
                                       [--json]
 """
 
@@ -78,6 +85,19 @@ def main() -> int:
         "default: loadtest percentiles are measured wall clocks)",
     )
     parser.add_argument(
+        "--gate-slo",
+        action="store_true",
+        help="also gate serving SLO burn rates computed from the newest "
+        "sample's embedded serve metrics (see repro.observe.slo)",
+    )
+    parser.add_argument(
+        "--slo-max-burn",
+        type=float,
+        default=1.0,
+        help="highest acceptable error-budget burn rate with --gate-slo "
+        "(default: %(default)s = budget spent exactly at the objective rate)",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON output"
     )
     args = parser.parse_args()
@@ -105,16 +125,35 @@ def main() -> int:
         gate_tuned=args.gate_tuned,
         gate_serve=args.gate_serve,
     )
+    slo_violations: list[dict] = []
+    slo_info: dict = {}
+    if args.gate_slo:
+        from repro.observe.slo import gate_slo
+
+        slo_violations, slo_info = gate_slo(trajectory, max_burn=args.slo_max_burn)
     if args.json:
-        print(
-            json.dumps(
-                {"info": info, "regressions": [r.to_dict() for r in regressions]},
-                indent=2,
-            )
-        )
+        doc = {"info": info, "regressions": [r.to_dict() for r in regressions]}
+        if args.gate_slo:
+            doc["slo"] = {"info": slo_info, "violations": slo_violations}
+        print(json.dumps(doc, indent=2))
     else:
         print(format_regressions(regressions, info))
-    return 1 if regressions else 0
+        if args.gate_slo:
+            if slo_info.get("sample_sha") is None:
+                print("slo gate: no serve metrics in the trajectory (skipped)")
+            elif not slo_violations:
+                print(
+                    f"slo gate: all burn rates <= {args.slo_max_burn} "
+                    f"(sample {slo_info['sample_sha']})"
+                )
+            for v in slo_violations:
+                print(
+                    f"slo gate: BURN VIOLATION {v['name']}: burn "
+                    f"{v['burn_rate']:.3f} > {args.slo_max_burn} "
+                    f"(error rate {v['error_rate']:.4f}, target {v['target']})",
+                    file=sys.stderr,
+                )
+    return 1 if (regressions or slo_violations) else 0
 
 
 if __name__ == "__main__":

@@ -17,7 +17,8 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: Packages whose public API must be fully documented.
+#: Packages (directories, walked recursively) and single tool files whose
+#: public API must be fully documented.
 CHECKED_PACKAGES = (
     REPO_ROOT / "src" / "repro" / "observe",
     REPO_ROOT / "src" / "repro" / "elevate",
@@ -25,6 +26,10 @@ CHECKED_PACKAGES = (
     REPO_ROOT / "src" / "repro" / "serve",
     REPO_ROOT / "src" / "repro" / "verify",
     REPO_ROOT / "src" / "repro" / "tune",
+    REPO_ROOT / "tools" / "dashboard.py",
+    REPO_ROOT / "tools" / "events.py",
+    REPO_ROOT / "tools" / "bench_compare.py",
+    REPO_ROOT / "tools" / "loadtest.py",
 )
 
 
@@ -67,7 +72,8 @@ def main(argv: list[str]) -> int:
     offenders: list[str] = []
     files = 0
     for root in roots:
-        for path in sorted(root.rglob("*.py")):
+        paths = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        for path in paths:
             files += 1
             offenders.extend(missing_docstrings(path))
     if offenders:

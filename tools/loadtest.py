@@ -16,10 +16,17 @@ is below cold-JIT p99.  Violations exit non-zero.
 
 Exit codes: 0 healthy run, 1 invariant violations, 2 usage errors.
 
+``--metrics-out`` writes the final metrics registry (SLO burn gauges
+included) in Prometheus text exposition format, and ``--events-out``
+dumps the structured event log (``repro.observe.events/v1`` JSONL) —
+both are uploaded as CI artifacts by the serve-smoke job.
+
 Usage:  python tools/loadtest.py [--cache-dir DIR] [--warm 32] [--cold 4]
                                  [--workers 4] [--deadline-s 30]
                                  [--backend python] [--no-prebuild]
                                  [--no-trajectory] [--json]
+                                 [--metrics-out metrics.prom]
+                                 [--events-out events.jsonl]
 """
 
 from __future__ import annotations
@@ -98,6 +105,17 @@ def main() -> int:
     parser.add_argument(
         "--json", action="store_true", help="emit the full summary as JSON"
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the final metrics snapshot here in Prometheus text "
+        "exposition format (CI artifact)",
+    )
+    parser.add_argument(
+        "--events-out",
+        default=None,
+        help="dump the structured event log here as JSONL (CI artifact)",
+    )
     args = parser.parse_args()
     if args.warm < 1 or args.workers < 1 or args.cold < 0:
         print(
@@ -131,6 +149,21 @@ def main() -> int:
     finally:
         if tmp is not None:
             tmp.cleanup()
+
+    from repro.observe.events import event_log
+    from repro.observe.slo import evaluate_slo, record_slo_gauges
+
+    # fold the SLO burn rates into the registry before any export, so the
+    # Prometheus dump and the trajectory sample both carry slo.* gauges
+    record_slo_gauges(evaluate_slo(metrics_registry().snapshot()))
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(
+            metrics_registry().render_prometheus(), encoding="utf-8"
+        )
+        print(f"wrote metrics snapshot to {args.metrics_out}")
+    if args.events_out:
+        event_log().dump_jsonl(args.events_out)
+        print(f"wrote event log to {args.events_out}")
 
     problems = result.check()
     summary = result.to_dict()
