@@ -10,3 +10,4 @@ from repro.bench.regress import (
 )
 from repro.bench.validation import ValidationRow, validate_outputs
 from repro.bench.ablation import AblationRow, ablation_variants, run_ablation
+from repro.bench.zoo import SmokeRow, ZooCell, zoo_cells, zoo_grid, zoo_smoke

@@ -494,6 +494,12 @@ def _main() -> None:
         "into the trajectory sample as wall| cells",
     )
     parser.add_argument(
+        "--no-zoo",
+        action="store_true",
+        help="do not merge the pipeline-zoo cost cells (zoo|...) into "
+        "the trajectory sample",
+    )
+    parser.add_argument(
         "--threads",
         type=int,
         nargs="+",
@@ -531,21 +537,27 @@ def _main() -> None:
     if args.trace_out:
         print(f"wrote {args.trace_out}")
     if not args.no_trajectory:
-        wall_cells = None
+        merged_cells: dict[str, float] = {}
         if args.wall_smoke:
-            wall_cells = {
-                c.key: c.wall_ms
-                for c in wallclock_grid(
-                    thread_counts=(1, 4), k=1, height=36, width=36, chunk=4
-                )
-            }
+            merged_cells.update(
+                {
+                    c.key: c.wall_ms
+                    for c in wallclock_grid(
+                        thread_counts=(1, 4), k=1, height=36, width=36, chunk=4
+                    )
+                }
+            )
+        if not args.no_zoo:
+            from repro.bench.zoo import zoo_cells
+
+            merged_cells.update(zoo_cells())
         sample = collect_sample(
             chunk=args.chunk,
             vec=args.vec,
             k=args.k,
             metrics=report.metrics.get("registry", {}),
             extra={"batch": report.engine.get("batch", {})},
-            wall=wall_cells,
+            wall=merged_cells or None,
         )
         doc = append_sample(args.trajectory, sample)
         print(

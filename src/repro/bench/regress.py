@@ -35,6 +35,7 @@ __all__ = [
     "WALL_CELL_PREFIX",
     "TUNED_CELL_PREFIX",
     "SERVE_CELL_PREFIX",
+    "ZOO_CELL_PREFIX",
     "Regression",
     "git_sha",
     "collect_sample",
@@ -85,11 +86,13 @@ def collect_sample(
     metrics-registry snapshot and ``extra`` free-form run context (batch
     throughput, report paths, ...).
 
-    ``wall`` merges measured wall-clock cells (``"wall|<schedule>@<t>t|
-    <image>" -> min-of-k ms``, see :func:`repro.bench.harness.
-    wallclock_grid`) into the same cell map; the ``wall|`` prefix keeps
-    them distinguishable so the comparison gate can treat measured cells
-    as informational while still gating the deterministic modeled ones.
+    ``wall`` merges extra prefixed cells into the same cell map: measured
+    wall-clock cells (``"wall|<schedule>@<t>t|<image>" -> min-of-k ms``,
+    see :func:`repro.bench.harness.wallclock_grid`) and pipeline-zoo
+    cost cells (``"zoo|..."``, see :func:`repro.bench.zoo.zoo_cells`).
+    The prefixes keep them distinguishable so the comparison gate can
+    treat measured cells as informational while still gating the
+    deterministic modeled ones (fig. 8 and ``zoo|`` alike).
     """
     from repro.bench.harness import DEFAULT_CHUNK, DEFAULT_VEC, fig8_grid
 
@@ -212,6 +215,13 @@ TUNED_CELL_PREFIX = "tuned|"
 #: on whatever machine ran the loadtest, so by default they inform the
 #: trajectory without gating it.
 SERVE_CELL_PREFIX = "serve|"
+
+#: Prefix of pipeline-zoo cells: ``zoo|<pipeline>|<schedule>|<machine>``
+#: from :func:`repro.bench.zoo.zoo_cells`.  These are deterministic
+#: cost-model outputs like the fig. 8 cells, so — unlike the measured
+#: prefixes above — they are *gated by default*; no opt-in flag exists
+#: or is needed.
+ZOO_CELL_PREFIX = "zoo|"
 
 
 def compare_trajectory(

@@ -72,6 +72,9 @@ BUILDER_REGISTRY: dict[str, tuple[str, str]] = {
     "harris-halide": ("repro.halide.harris", "build_harris_halide_program"),
     "harris-opencv": ("repro.opencv.pipeline", "build_harris_opencv_program"),
     "harris-lift": ("repro.lift.compile", "build_harris_lift_program"),
+    # Any registered zoo pipeline under any named schedule, addressed by
+    # options: {"pipeline": <registry name>, "schedule": <family name>}.
+    "zoo": ("repro.pipelines.registry", "build_zoo_program"),
 }
 
 

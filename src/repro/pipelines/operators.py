@@ -41,9 +41,11 @@ __all__ = [
     "coarsity",
     "slide2d",
     "stencil2d",
+    "convolve",
     "conv3x3",
     "sobel_x",
     "sobel_y",
+    "sum_stencil",
     "sum3x3",
     "SOBEL_X_WEIGHTS",
     "SOBEL_Y_WEIGHTS",
@@ -108,11 +110,17 @@ def stencil2d(size: int, f: Lambda, image: Expr) -> Expr:
     return map2d(f, slide2d(size, 1, image))
 
 
+def convolve(size: int, weights: Expr, image: Expr) -> Expr:
+    """``size`` x ``size`` convolution: dot of flattened weights and
+    neighborhood (listing 2, window size as a macro parameter)."""
+    f = fun(lambda w: dot(join(weights))(join(w)))
+    return stencil2d(size, f, image)
+
+
 def conv3x3(weights: Expr, image: Expr) -> Expr:
     """3x3 convolution: dot of flattened weights and neighborhood
                                                        (listing 2)"""
-    f = fun(lambda w: dot(join(weights))(join(w)))
-    return stencil2d(3, f, image)
+    return convolve(3, weights, image)
 
 
 def sobel_x(image: Expr) -> Expr:
@@ -123,7 +131,12 @@ def sobel_y(image: Expr) -> Expr:
     return conv3x3(SOBEL_Y_WEIGHTS, image)
 
 
+def sum_stencil(size: int, image: Expr) -> Expr:
+    """+NxN = stencil2d(N, fun w. reduce(+, 0, join(w)))  (listing 2)"""
+    f = fun(lambda w: reduce_(fun(lambda a, b: a + b), lit(0.0), join(w)))
+    return stencil2d(size, f, image)
+
+
 def sum3x3(image: Expr) -> Expr:
     """+3x3 = stencil2d(3, fun w. reduce(+, 0, join(w)))  (listing 2)"""
-    f = fun(lambda w: reduce_(fun(lambda a, b: a + b), lit(0.0), join(w)))
-    return stencil2d(3, f, image)
+    return sum_stencil(3, image)

@@ -146,10 +146,12 @@ def _is_mul_pair_fun(e: Expr) -> bool:
     return is_proj(args[0], Fst) and is_proj(args[1], Snd)
 
 
-def _match_conv_over_param(node: Expr, param: str) -> Optional[np.ndarray]:
+def _match_conv_over_param(
+    node: Expr, param: str, size: int
+) -> Optional[np.ndarray]:
     """Match ``reduce(+, 0, map(mulp, zip(join(W), join(param))))`` (a 2-d
-    dot product over the joined window) or ``reduce(+, 0, join(param))``
-    (a 2-d sum); return the kernel matrix."""
+    dot product over the joined ``size`` x ``size`` window) or
+    ``reduce(+, 0, join(param))`` (a 2-d sum); return the kernel matrix."""
     head, args = app_spine(node)
     if not isinstance(head, Reduce) or len(args) != 3:
         return None
@@ -158,11 +160,12 @@ def _match_conv_over_param(node: Expr, param: str) -> Optional[np.ndarray]:
         return None
     if not (isinstance(init, Literal) and init.value == 0.0):
         return None
-    # Case 1: plain sum of the joined window (sum3x3): kernel of ones.
+    # Case 1: plain sum of the joined window (sumNxN): kernel of ones,
+    # sized by the slide the site's window came from.
     joined = match_prim_app(source, Join, 1)
     if joined is not None and isinstance(joined[1][0], Identifier):
         if joined[1][0].name == param:
-            return np.ones((3, 3), dtype=np.float32)
+            return np.ones((size, size), dtype=np.float32)
         return None
     # Case 2: weighted dot: map(mulp, zip(join(W), join(param)))
     mapped = match_prim_app(source, Map, 2)
@@ -180,7 +183,7 @@ def _match_conv_over_param(node: Expr, param: str) -> Optional[np.ndarray]:
     if wj is None or xj is None:
         return None
     weights = _literal_matrix(wj[1][0])
-    if weights is None:
+    if weights is None or weights.shape != (size, size):
         return None
     if not (isinstance(xj[1][0], Identifier) and xj[1][0].name == param):
         return None
@@ -196,16 +199,18 @@ def separate_conv_line(expr: Expr) -> Optional[Expr]:
     """The paper's separateConvolutions applied at a fused line-stencil site:
 
         map(fun w. C[conv_1(w), ..., conv_k(w)],
-            transpose(map(slide(3,1), rows)))
+            transpose(map(slide(s,1), rows)))
       -->
         map(fun q. C[dot(wH_1, map(proj_1, q)), ...],
-            slide(3,1,
+            slide(s,1,
                   map(fun col. (dot(wV_1, col), ..., dot(wV_k, col)),
                       transpose(rows))))
 
-    Every 3x3 convolution in the body must have a separable kernel; the
-    vertical reductions of all convolutions at the site are fused into one
-    shared pass over the columns.
+    The window size ``s`` is any constant (3x3 for the paper's kernels,
+    but a 5x5 site separates the same way).  Every ``s x s`` convolution
+    in the body must have a separable kernel; the vertical reductions of
+    all convolutions at the site are fused into one shared pass over the
+    columns.
     """
     outer = match_prim_app(expr, Map, 2)
     if outer is None:
@@ -224,17 +229,18 @@ def separate_conv_line(expr: Expr) -> Optional[Expr]:
     slide_head, slide_args = app_spine(slide_fn)
     if not (
         isinstance(slide_head, Slide)
-        and slide_head.size == nat(3)
+        and slide_head.size.is_constant()
         and slide_head.step == nat(1)
         and not slide_args
     ):
         return None
+    size = int(slide_head.size.constant_value())
 
     param = f.param.name
     sites: list[_ConvSite] = []
     seen_keys: list[Expr] = []
     for node in subterms(f.body):
-        weights = _match_conv_over_param(node, param)
+        weights = _match_conv_over_param(node, param, size)
         if weights is None:
             continue
         separated = separate_kernel(weights)
@@ -279,7 +285,7 @@ def separate_conv_line(expr: Expr) -> Optional[Expr]:
         return e
 
     new_source = slide_(
-        3,
+        size,
         1,
         map_(fun(lambda col: vertical_tuple(col)), transpose_(rows)),
     )
@@ -367,7 +373,7 @@ def _path_of_window(node: Expr, param: str) -> Optional[tuple[int, ...]]:
     return None
 
 
-def _match_conv_over_path(node: Expr, param: str):
+def _match_conv_over_path(node: Expr, param: str, size: int):
     """Like _match_conv_over_param but the window is a projection of the
     parameter: reduce(+, 0, [map(mulp, zip(join(W),] join(PATH(param)) [))]).
     Returns (kernel, path) or None."""
@@ -383,7 +389,7 @@ def _match_conv_over_path(node: Expr, param: str):
     if joined is not None:
         path = _path_of_window(joined[1][0], param)
         if path is not None:
-            return np.ones((3, 3), dtype=np.float32), path
+            return np.ones((size, size), dtype=np.float32), path
         return None
     mapped = match_prim_app(source, Map, 2)
     if mapped is None:
@@ -400,7 +406,7 @@ def _match_conv_over_path(node: Expr, param: str):
     if wj is None or xj is None:
         return None
     weights = _literal_matrix(wj[1][0])
-    if weights is None:
+    if weights is None or weights.shape != (size, size):
         return None
     path = _path_of_window(xj[1][0], param)
     if path is None:
@@ -456,6 +462,7 @@ def separate_conv_line_zip(expr: Expr) -> Optional[Expr]:
 
     leaf_proj: dict[tuple[int, ...], tuple[int, ...]] = {}
     rows_exprs: list[Expr] = []
+    size: Optional[int] = None
     for pos, leaf in leaves:
         tm = match_prim_app(leaf, Transpose, 1)
         if tm is None:
@@ -467,7 +474,12 @@ def separate_conv_line_zip(expr: Expr) -> Optional[Expr]:
         if not isinstance(g, Lambda):
             return None
         sm = match_prim_app(g.body, Slide, 1)
-        if sm is None or sm[0].step != nat(1) or sm[0].size != nat(3):
+        if sm is None or sm[0].step != nat(1) or not sm[0].size.is_constant():
+            return None
+        leaf_size = int(sm[0].size.constant_value())
+        if size is None:
+            size = leaf_size
+        elif size != leaf_size:
             return None
         im = match_prim_app(sm[1][0], Map, 2, exact=False)
         if im is None:
@@ -495,7 +507,7 @@ def separate_conv_line_zip(expr: Expr) -> Optional[Expr]:
     param = f.param.name
     sites: list[tuple[Expr, np.ndarray, tuple[int, ...]]] = []
     for node in subterms(f.body):
-        matched = _match_conv_over_path(node, param)
+        matched = _match_conv_over_path(node, param, size)
         if matched is None:
             continue
         weights, path = matched
@@ -545,7 +557,7 @@ def separate_conv_line_zip(expr: Expr) -> Optional[Expr]:
             e = fst(e)
         return e
 
-    new_source = slide_(3, 1, map_(fun(vertical_tuple), transpose_(rows)))
+    new_source = slide_(size, 1, map_(fun(vertical_tuple), transpose_(rows)))
     new_param = Identifier(f.param.name + "_sep")
 
     from repro.rise.traverse import children, rebuild, free_identifiers

@@ -32,7 +32,10 @@ CLIs: ``tools/aot.py`` (prebuild at install time) and
 ``tools/loadtest.py`` (hammer a server; optionally gate on the ledger).
 """
 
-from repro.serve.aot import AOT_MANIFEST, harris_kernel_requests, load_manifest, prebuild
+from repro.serve.aot import (
+    AOT_MANIFEST, harris_kernel_requests, load_manifest, prebuild,
+    zoo_kernel_requests,
+)
 from repro.serve.loadtest import LoadtestResult, run_loadtest
 from repro.serve.server import DeadlineExceeded, Server, ServerBusy, ServerError
 
@@ -44,6 +47,7 @@ __all__ = [
     "prebuild",
     "load_manifest",
     "harris_kernel_requests",
+    "zoo_kernel_requests",
     "AOT_MANIFEST",
     "run_loadtest",
     "LoadtestResult",

@@ -33,6 +33,7 @@ __all__ = [
     "AOT_MANIFEST",
     "MANIFEST_SCHEMA",
     "harris_kernel_requests",
+    "zoo_kernel_requests",
     "prebuild",
     "load_manifest",
 ]
@@ -101,6 +102,68 @@ def harris_kernel_requests(
                     ),
                 )
             )
+    return requests
+
+
+def zoo_kernel_requests(
+    backends: Sequence[str] = ("python",),
+    chunk: int | None = None,
+    vec: int | None = None,
+    strip: int | None = None,
+    pipelines: Sequence[str] | None = None,
+    schedules: Sequence[str] | None = None,
+    sizes: dict | None = None,
+    applicable_only: bool = True,
+) -> list[tuple[str, CompileRequest]]:
+    """The registry-wide kernel set: every zoo pipeline x its schedules.
+
+    Enumerates the :mod:`pipeline registry <repro.pipelines.registry>`
+    and emits one ``(kernel_name, request)`` pair per (pipeline,
+    schedule, backend), addressed through the engine's registered
+    ``"zoo"`` builder so the requests are plain JSON options — exactly
+    what a serving process reconstructs.  With ``applicable_only`` (the
+    default) only schedules that structurally apply to each pipeline are
+    prebuilt; prebuilding a no-op schedule would publish a kernel
+    identical to naive under an optimized name.
+    """
+    from repro.pipelines import registry
+    from repro.strategies.schedules import DEFAULT_STRIP, DEFAULT_VEC
+
+    chunk = chunk if chunk is not None else DEFAULT_AOT_CHUNK
+    vec = vec if vec is not None else DEFAULT_VEC
+    strip = strip if strip is not None else DEFAULT_STRIP
+    names = tuple(pipelines) if pipelines is not None else registry.names()
+    requests: list[tuple[str, CompileRequest]] = []
+    for pipeline in names:
+        spec = registry.get(pipeline)
+        if schedules is not None:
+            wanted = tuple(schedules)
+        elif applicable_only:
+            reports = registry.applicable_schedules(
+                spec, chunk=chunk, vec=vec, strip=strip
+            )
+            wanted = tuple(s for s in registry.SCHEDULE_NAMES if reports[s].applies)
+        else:
+            wanted = registry.SCHEDULE_NAMES
+        for backend in backends:
+            for schedule in wanted:
+                requests.append(
+                    (
+                        f"zoo-{pipeline}-{schedule}@{backend}",
+                        CompileRequest(
+                            source="zoo",
+                            options={
+                                "pipeline": pipeline,
+                                "schedule": schedule,
+                                "chunk": chunk,
+                                "vec": vec,
+                                "strip": strip,
+                            },
+                            backend=backend,
+                            sizes=sizes,
+                        ),
+                    )
+                )
     return requests
 
 

@@ -4,7 +4,7 @@ from repro.strategies.discovered import (
     TUNED_SCHEDULES, register_tuned_schedule, tuned_schedule,
 )
 from repro.strategies.harris import (
-    circular_buffer_stages, fuse_operators, harris_ix_with_iy, lower_dot,
+    circular_buffer_stages, fuse_operators, harris_ix_with_iy, lower_dot, share_stages,
     parallel, sequential, simplify, split_pipeline, strip_parallel,
     unroll_reductions, use_private_memory, vectorize_reductions,
 )

@@ -72,6 +72,7 @@ __all__ = [
     "strip_parallel",
     "sequential",
     "harris_ix_with_iy",
+    "share_stages",
     "circular_buffer_stages",
     "vectorize_reductions",
     "unroll_reductions",
@@ -151,6 +152,14 @@ harris_ix_with_iy = (
     >> normalize(cse_in_lambda(min_nodes=10))
 )
 harris_ix_with_iy.name = "harrisIxWithIy"
+
+#: Pipeline-agnostic alias for the sharing pass.  The name above is the
+#: paper's (it demonstrates the pass on Harris's sobel stage); nothing
+#: in the composition mentions Harris — it is generic CSE plus
+#: pair-producer narrowing — and the zoo registry and the autotuner
+#: apply it to every registered pipeline.  Same object, so search logs
+#: and schedule step names keep the paper's ``harrisIxWithIy`` label.
+share_stages = harris_ix_with_iy
 
 
 def split_pipeline(chunk_lines) -> Strategy:

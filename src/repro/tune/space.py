@@ -35,9 +35,9 @@ from repro.rules.lowering import slide_to_circular_buffer
 from repro.strategies.harris import (
     circular_buffer_stages,
     fuse_operators,
-    harris_ix_with_iy,
     parallel,
     sequential,
+    share_stages,
     simplify,
     split_pipeline,
     strip_parallel,
@@ -119,8 +119,13 @@ def default_action_pool(
     """The paper-vocabulary action pool for a program typed by ``type_env``.
 
     Each action bundles one optimization decision with its natural
-    cleanup (the sharing pass ``harrisIxWithIy`` after moves that
-    duplicate producers), mirroring how listings 5 and 9 compose:
+    cleanup (the generic sharing pass — the paper's ``harrisIxWithIy`` —
+    after moves that duplicate producers), mirroring how listings 5 and
+    9 compose.  Nothing in the pool is specific to Harris: split, strip
+    and vector factors are grid parameters, the separation rules match
+    any constant-size stencil, and the registry's
+    :func:`~repro.pipelines.registry.strategy_coverage` reports which
+    moves fire on which registered pipeline.  The vocabulary:
 
     * ``fuse`` — inline and fuse the dataflow graph into a line pipeline;
     * ``split(c)+parallel`` — chunk the output into ``c``-line chunks and
@@ -139,13 +144,13 @@ def default_action_pool(
     the hand schedules hard-code.
     """
     pool: list[Action] = [
-        Action("fuse", seq(fuse_operators, harris_ix_with_iy)),
+        Action("fuse", seq(fuse_operators, share_stages)),
     ]
     for c in chunks:
         pool.append(
             Action(
                 f"split({c})+parallel",
-                seq(seq(split_pipeline(c), parallel), seq(simplify, harris_ix_with_iy)),
+                seq(seq(split_pipeline(c), parallel), seq(simplify, share_stages)),
                 n_multiple=int(c),
             )
         )
@@ -161,7 +166,7 @@ def default_action_pool(
         pool.append(
             Action(
                 f"vectorize({w})",
-                seq(vectorize_reductions(w, type_env), harris_ix_with_iy),
+                seq(vectorize_reductions(w, type_env), share_stages),
                 m_multiple=int(w),
             )
         )

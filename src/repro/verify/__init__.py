@@ -22,7 +22,9 @@ Every failure the fuzzer ever finds becomes a deterministic JSON case in
 
 from repro.verify.diff import DiffFailure, differential_check
 from repro.verify.fuzz import FuzzConfig, FuzzReport, run_fuzz
-from repro.verify.gen import GenConfig, GeneratedProgram, generate_program
+from repro.verify.gen import (
+    GenConfig, GeneratedProgram, generate_program, zoo_seed_program,
+)
 from repro.verify.oracle import (
     RULE_POOL,
     apply_rule_sequence,
@@ -51,6 +53,7 @@ __all__ = [
     "GenConfig",
     "GeneratedProgram",
     "generate_program",
+    "zoo_seed_program",
     "RULE_POOL",
     "apply_rule_sequence",
     "equivalence_report",

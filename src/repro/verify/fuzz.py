@@ -25,7 +25,12 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.verify.gen import GenConfig, GeneratedProgram, generate_program
+from repro.verify.gen import (
+    GenConfig,
+    GeneratedProgram,
+    generate_program,
+    zoo_seed_program,
+)
 from repro.verify.oracle import metamorphic_check, sample_rule_names
 from repro.verify.serialize import save_case
 
@@ -57,6 +62,12 @@ class FuzzConfig:
     use_c: bool | None = None
     #: Maximum shrink-candidate evaluations per failure.
     max_shrink_steps: int = 200
+    #: Every ``zoo_every``-th case seeds the oracles with a *registry
+    #: pipeline* (:func:`repro.verify.gen.zoo_seed_program`) instead of a
+    #: generated program; 0 disables zoo sampling.
+    zoo_every: int = 0
+    #: Restrict zoo sampling to these registered pipelines (None = all).
+    zoo_pipelines: tuple[str, ...] | None = None
     gen: GenConfig = field(default_factory=GenConfig)
 
 
@@ -66,6 +77,8 @@ class FuzzReport:
 
     seed: int
     cases: int = 0
+    #: Cases seeded from the pipeline registry rather than the generator.
+    zoo_cases: int = 0
     failures: list[dict] = field(default_factory=list)
     skipped_compiles: int = 0
     discards: int = 0
@@ -92,6 +105,7 @@ class FuzzReport:
         return {
             "seed": self.seed,
             "cases": self.cases,
+            "zoo_cases": self.zoo_cases,
             "failures": self.failures,
             "failure_count": len(self.failures),
             "skipped_compiles": self.skipped_compiles,
@@ -163,7 +177,12 @@ def run_fuzz(cfg: FuzzConfig) -> FuzzReport:
         ):
             break
         seed = case_seed(cfg.seed, index)
-        gp = generate_program(seed, cfg.gen)
+        if cfg.zoo_every and index % cfg.zoo_every == cfg.zoo_every - 1:
+            gp = zoo_seed_program(seed, cfg.zoo_pipelines)
+            report.zoo_cases += 1
+            _metrics_inc("verify.zoo_cases")
+        else:
+            gp = generate_program(seed, cfg.gen)
         report.discards += gp.discards
         report.candidates += gp.candidates
         inputs = gp.make_inputs()

@@ -81,6 +81,7 @@ __all__ = [
     "IllTypedMutant",
     "GenError",
     "generate_program",
+    "zoo_seed_program",
     "gen_scalar_fun",
     "mutate_ill_typed",
 ]
@@ -455,6 +456,51 @@ def generate_program(seed: int, config: GenConfig | None = None) -> GeneratedPro
         out_type=root,
         discards=discards,
         candidates=candidates,
+    )
+
+
+def zoo_seed_program(
+    seed: int, pipelines: tuple[str, ...] | None = None
+) -> GeneratedProgram:
+    """One registry pipeline as a fuzz seed program.
+
+    Where :func:`generate_program` builds a random stage pipeline, this
+    samples a *real* one from :mod:`repro.pipelines.registry` — the
+    pipeline choice and input contents are derived deterministically
+    from ``seed``.  The resulting program goes through exactly the same
+    oracles as a generated one: the differential check catches
+    interpreter/backend disagreement on production pipelines, and the
+    metamorphic check exercises random rewrite sequences against program
+    shapes the generator's stage menu never composes (let-bound
+    dataflow, stencil towers, strided slides).  Output-vs-NumPy-gold
+    validation is the zoo smoke's job, not this one.
+
+    ``stages`` is empty — the pipeline is the base expression — so a
+    shrunk failure keeps the whole pipeline and shrinks only the rule
+    sequence.
+    """
+    from repro.pipelines import registry
+
+    rng = random.Random(seed)
+    names = tuple(pipelines) if pipelines else registry.names()
+    spec = registry.get(rng.choice(list(names)))
+    expr = spec.expr()
+    type_env = spec.type_env()
+    sizes = spec.concrete_sizes()
+    shape = spec.input_shape(sizes)
+    input_specs = {
+        spec.input_name: {"shape": tuple(shape), "seed": rng.randrange(2**31)}
+    }
+    out_type = infer_types(expr, type_env, strict=True).root_type
+    return GeneratedProgram(
+        seed=seed,
+        base=expr,
+        stages=(),
+        expr=expr,
+        type_env=type_env,
+        sizes=sizes,
+        input_specs=input_specs,
+        out_type=out_type,
     )
 
 

@@ -77,17 +77,18 @@ class TestSeparateKernel:
             assert np.allclose(np.outer(c, r), w, rtol=1e-5, atol=1e-6)
 
 
-def _conv_line_site(weights):
-    """map(fun w. dot(join W, join w), transpose(map(slide(3,1), rows))),
+def _conv_line_site(weights, size=3):
+    """map(fun w. dot(join W, join w), transpose(map(slide(s,1), rows))),
     beta-normalized as fuseOperators leaves it (the rule matches the
-    reduced form, not the dot redex)."""
+    reduced form, not the dot redex).  ``size`` is the window extent —
+    the rule reads it off the slide, nothing pins it to 3."""
     from repro.elevate import normalize
     from repro.rules.algorithmic import beta_reduction
 
     rows = Identifier("rows")
     w2d = arr([[float(x) for x in r] for r in weights])
     f = fun(lambda w: dot(join(w2d))(join(w)))
-    prog = map_(f, transpose(map_(slide(3, 1), rows)))
+    prog = map_(f, transpose(map_(slide(size, 1), rows)))
     return normalize(beta_reduction).apply(prog), rows
 
 
@@ -119,6 +120,58 @@ class TestSeparateConvLine:
         # the separated form contains two 1-d dots instead of one 2-d dot
         text = repr(rewritten)
         assert "slide(3,1)" in text
+
+
+#: 5x5 binomial Gaussian: the separable kernel the zoo's chained 3x3
+#: stages compose into (outer square of [1,4,6,4,1]/16).
+BINOMIAL_5X5 = np.outer(
+    [1.0, 4.0, 6.0, 4.0, 1.0], [1.0, 4.0, 6.0, 4.0, 1.0]
+).astype(np.float32) / 256.0
+
+
+class TestWindowSizeGenerality:
+    """Regression tests for the window-size generalization: separation
+    must read the extent off the slide, never assume the paper's 3x3."""
+
+    def test_separate_kernel_5x5(self):
+        col, row = separate_kernel(BINOMIAL_5X5)
+        assert np.allclose(np.outer(col, row), BINOMIAL_5X5, rtol=1e-5)
+
+    def test_separate_kernel_refuses_non_separable_5x5(self):
+        w = np.eye(5, dtype=np.float32)
+        assert separate_kernel(w) is None
+
+    @pytest.mark.parametrize("size", [3, 5])
+    def test_fires_on_separable_any_size(self, size):
+        ones = np.ones((size, size), dtype=np.float32)
+        prog, _ = _conv_line_site(ones, size=size)
+        assert isinstance(separate_conv_line(prog), Success)
+
+    def test_refuses_non_separable_5x5_site(self):
+        prog, _ = _conv_line_site(np.eye(5, dtype=np.float32), size=5)
+        assert isinstance(separate_conv_line(prog), Failure)
+
+    def test_refuses_kernel_window_size_mismatch(self):
+        """A 3x3 kernel over a 5-wide window is not a convolution the
+        rule understands; it must refuse rather than mis-factor."""
+        prog, _ = _conv_line_site(SOBEL_X, size=5)
+        assert isinstance(separate_conv_line(prog), Failure)
+
+    def test_semantics_5x5(self):
+        prog, _ = _conv_line_site(BINOMIAL_5X5, size=5)
+        rewritten = apply_ok(separate_conv_line, prog)
+        data = np.arange(35.0, dtype=np.float32).reshape(5, 7) * 0.125 - 1.0
+        from repro.rise.interpreter import evaluate, from_numpy
+
+        env = {"rows": from_numpy(data)}
+        before = [float(v) for v in evaluate(prog, env)]
+        after = [float(v) for v in evaluate(rewritten, env)]
+        np.testing.assert_allclose(before, after, rtol=1e-5)
+
+    def test_separated_5x5_keeps_window_size(self):
+        prog, _ = _conv_line_site(BINOMIAL_5X5, size=5)
+        rewritten = apply_ok(separate_conv_line, prog)
+        assert "slide(5,1)" in repr(rewritten)
 
 
 class TestRotateValuesConsume:

@@ -1,0 +1,78 @@
+"""Registry-seeded fuzzing: zoo pipelines as differential-oracle seeds.
+
+``zoo_seed_program`` turns a registered pipeline into the same
+``GeneratedProgram`` shape the random generator produces, so the
+fuzzer's differential and metamorphic oracles — and the shrinker and
+corpus serializer behind them — run unchanged on real pipelines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.hashing import structural_hash
+from repro.pipelines import registry
+from repro.verify import zoo_seed_program
+from repro.verify.fuzz import FuzzConfig, run_fuzz
+
+
+class TestZooSeedProgram:
+    def test_deterministic_per_seed(self):
+        a = zoo_seed_program(41)
+        b = zoo_seed_program(41)
+        assert structural_hash(a.expr) == structural_hash(b.expr)
+        assert a.sizes == b.sizes
+        assert a.input_specs == b.input_specs
+
+    def test_seed_varies_the_pick(self):
+        """Across many seeds the sampler must reach several pipelines."""
+        picked = {
+            structural_hash(zoo_seed_program(s).expr) for s in range(12)
+        }
+        assert len(picked) >= 3
+
+    def test_restricting_pipelines(self):
+        gp = zoo_seed_program(7, ("box-blur",))
+        spec = registry.get("box-blur")
+        assert gp.sizes == spec.concrete_sizes()
+        assert set(gp.input_specs) == {spec.input_name}
+
+    def test_inputs_match_the_registry_shape(self):
+        gp = zoo_seed_program(3, ("gaussian-blur",))
+        spec = registry.get("gaussian-blur")
+        inputs = gp.make_inputs()
+        arr = inputs[spec.input_name]
+        assert arr.shape == spec.input_shape(gp.sizes)
+        assert arr.dtype == np.float32
+
+    def test_program_typechecks_strict(self):
+        gp = zoo_seed_program(5, ("sobel-magnitude",))
+        assert gp.out_type is not None
+        assert gp.stages == ()
+
+
+class TestZooFuzzCampaign:
+    def test_interleaved_campaign_is_clean(self):
+        """Every other case seeds from the registry; all oracles pass."""
+        report = run_fuzz(
+            FuzzConfig(
+                seed=9,
+                iterations=4,
+                zoo_every=2,
+                zoo_pipelines=("box-blur", "gaussian-blur"),
+            )
+        )
+        assert report.cases == 4
+        assert report.zoo_cases == 2
+        assert report.failures == []
+
+    def test_zoo_every_zero_disables_sampling(self):
+        report = run_fuzz(FuzzConfig(seed=9, iterations=2, zoo_every=0))
+        assert report.zoo_cases == 0
+
+    def test_zoo_cases_survive_serialization(self):
+        report = run_fuzz(
+            FuzzConfig(seed=1, iterations=2, zoo_every=1, zoo_pipelines=("box-blur",))
+        )
+        doc = report.to_dict()
+        assert doc["zoo_cases"] == 2
+        assert doc["failure_count"] == 0

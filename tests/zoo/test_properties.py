@@ -1,0 +1,163 @@
+"""Metamorphic and PSNR properties of the pipeline zoo.
+
+These tests check *mathematical identities* of the compiled pipelines —
+properties an implementation cannot satisfy by accident — rather than
+comparing against the same NumPy code that defined them:
+
+* the chained 3x3 Gaussian stages equal one direct 5x5 convolution,
+* Sobel magnitude of a constant image is exactly zero,
+* unsharp masking with ``amount=0`` is the identity on the valid region,
+* normalized kernels preserve constant (DC) images, and
+* the pyramid's level geometry follows the ``4n+3 -> 2n+1 -> n`` chain.
+
+All checks run the real compiled pipelines (python backend, naive
+schedule) and gate on PSNR where float accumulation order may differ.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.image import psnr
+from repro.image.reference import conv2d_valid, grayscale
+from repro.pipelines import registry
+from repro.pipelines.zoo import GAUSSIAN_KERNEL_2D
+
+#: Matches the zoo bench harness' validation floor.
+PSNR_FLOOR_DB = 80.0
+
+
+def _run(pipeline: str, sizes, inputs, **params):
+    spec = registry.get(pipeline)
+    out = repro.compile(
+        "zoo",
+        options={"pipeline": pipeline, "schedule": "naive", **params},
+        sizes=sizes,
+    ).run(**inputs)
+    return np.asarray(out).reshape(sizes["n"], sizes["m"]), spec
+
+
+def _effective_5x5() -> np.ndarray:
+    """Full 2-d convolution of the 3x3 binomial kernel with itself."""
+    k = GAUSSIAN_KERNEL_2D
+    out = np.zeros((5, 5), dtype=np.float64)
+    for i in range(3):
+        for j in range(3):
+            out[i : i + 3, j : j + 3] += k[i, j] * k
+    return out.astype(np.float32)
+
+
+class TestGaussianSeparability:
+    def test_two_stages_equal_direct_5x5(self):
+        """The let-staged double 3x3 blur is one 5x5 Gaussian."""
+        sizes = {"n": 16, "m": 16}
+        spec = registry.get("gaussian-blur")
+        inputs = spec.make_inputs(sizes, seed=7)
+        out, _ = _run("gaussian-blur", sizes, inputs)
+        direct = conv2d_valid(inputs[spec.input_name], _effective_5x5())
+        assert psnr(direct, out) > PSNR_FLOOR_DB
+
+    def test_effective_kernel_is_binomial(self):
+        """Sanity on the identity itself: the composed kernel is the
+        outer square of the binomial row [1,4,6,4,1]/16."""
+        row = np.array([1.0, 4.0, 6.0, 4.0, 1.0]) / 16.0
+        np.testing.assert_allclose(_effective_5x5(), np.outer(row, row), atol=1e-7)
+
+    def test_dc_preservation(self):
+        """The kernel is normalized: a constant image maps to itself."""
+        sizes = {"n": 8, "m": 8}
+        spec = registry.get("gaussian-blur")
+        flat = np.full(spec.input_shape(sizes), 0.625, dtype=np.float32)
+        out, _ = _run("gaussian-blur", sizes, {spec.input_name: flat})
+        np.testing.assert_allclose(out, 0.625, rtol=1e-5, atol=1e-6)
+
+
+class TestSobelProperties:
+    def test_constant_image_has_zero_gradient(self):
+        sizes = {"n": 8, "m": 8}
+        spec = registry.get("sobel-magnitude")
+        flat = np.full(spec.input_shape(sizes), 0.25, dtype=np.float32)
+        out, _ = _run("sobel-magnitude", sizes, {spec.input_name: flat})
+        np.testing.assert_allclose(out, 0.0, atol=1e-6)
+
+    def test_magnitude_is_nonnegative(self):
+        """ix^2 + iy^2 can never dip below zero, whatever the input."""
+        sizes = {"n": 8, "m": 8}
+        spec = registry.get("sobel-magnitude")
+        inputs = spec.make_inputs(sizes, seed=13)
+        out, _ = _run("sobel-magnitude", sizes, inputs)
+        assert float(out.min()) >= 0.0
+
+
+class TestUnsharpProperties:
+    def test_amount_zero_is_grayscale_identity(self):
+        """With amount=0 the sharpened image is the grayscale center."""
+        sizes = {"n": 8, "m": 8}
+        spec = registry.get("unsharp-mask")
+        inputs = spec.make_inputs(sizes, seed=21)
+        out, _ = _run("unsharp-mask", sizes, inputs, amount=0.0)
+        gray_center = grayscale(inputs[spec.input_name])[1:-1, 1:-1]
+        assert psnr(gray_center, out) > PSNR_FLOOR_DB
+
+    def test_amount_scales_the_highpass_linearly(self):
+        """sharp(a) - gray = a * (gray - blur): doubling the amount
+        doubles the correction term."""
+        sizes = {"n": 8, "m": 8}
+        spec = registry.get("unsharp-mask")
+        inputs = spec.make_inputs(sizes, seed=22)
+        base, _ = _run("unsharp-mask", sizes, inputs, amount=0.0)
+        one, _ = _run("unsharp-mask", sizes, inputs, amount=0.5)
+        two, _ = _run("unsharp-mask", sizes, inputs, amount=1.0)
+        np.testing.assert_allclose(two - base, 2.0 * (one - base), rtol=1e-4, atol=1e-5)
+
+
+class TestBoxBlurProperties:
+    def test_dc_preservation(self):
+        sizes = {"n": 8, "m": 8}
+        spec = registry.get("box-blur")
+        flat = np.full(spec.input_shape(sizes), 1.5, dtype=np.float32)
+        out, _ = _run("box-blur", sizes, {spec.input_name: flat})
+        np.testing.assert_allclose(out, 1.5, rtol=1e-5, atol=1e-6)
+
+    def test_mean_bounds(self):
+        """A neighborhood mean stays inside the input's value range."""
+        sizes = {"n": 8, "m": 8}
+        spec = registry.get("box-blur")
+        inputs = spec.make_inputs(sizes, seed=3)
+        out, _ = _run("box-blur", sizes, inputs)
+        arr = inputs[spec.input_name]
+        assert float(out.min()) >= float(arr.min()) - 1e-5
+        assert float(out.max()) <= float(arr.max()) + 1e-5
+
+
+class TestPyramidProperties:
+    def test_level_geometry(self):
+        """(4n+3, 4m+3) input collapses through (2n+1, 2m+1) to (n, m)."""
+        sizes = {"n": 8, "m": 8}
+        spec = registry.get("pyramid")
+        assert tuple(spec.input_shape(sizes)) == (35, 35)
+        inputs = spec.make_inputs(sizes, seed=1)
+        out, _ = _run("pyramid", sizes, inputs)
+        assert out.shape == (8, 8)
+        level1 = conv2d_valid(inputs[spec.input_name], GAUSSIAN_KERNEL_2D)[::2, ::2]
+        assert level1.shape == (17, 17)
+
+    def test_dc_preservation_through_both_levels(self):
+        """The normalized Gaussian preserves constants through both
+        decimating levels."""
+        sizes = {"n": 8, "m": 8}
+        spec = registry.get("pyramid")
+        flat = np.full(spec.input_shape(sizes), 0.375, dtype=np.float32)
+        out, _ = _run("pyramid", sizes, {spec.input_name: flat})
+        np.testing.assert_allclose(out, 0.375, rtol=1e-5, atol=1e-6)
+
+    def test_downsample_commutes_with_reference_decimation(self):
+        """The fused strided stencil equals blur-then-decimate."""
+        sizes = {"n": 8, "m": 8}
+        spec = registry.get("pyramid")
+        inputs = spec.make_inputs(sizes, seed=17)
+        out, _ = _run("pyramid", sizes, inputs)
+        img = inputs[spec.input_name]
+        lvl1 = conv2d_valid(img, GAUSSIAN_KERNEL_2D)[::2, ::2]
+        lvl2 = conv2d_valid(lvl1, GAUSSIAN_KERNEL_2D)[::2, ::2]
+        assert psnr(lvl2, out) > PSNR_FLOOR_DB

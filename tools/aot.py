@@ -4,7 +4,9 @@
 Compiles the named Harris schedule ladder (naive, cbuf, cbuf+rot and the
 strip-parallel forms — the paper's evaluation grid) for each requested
 backend into a shared artifact store, then writes ``aot_manifest.json``
-at the store root.  Any serving process pointing at the same store
+at the store root.  ``--zoo`` additionally prebuilds every pipeline in
+the registry under every schedule that structurally applies to it (the
+``zoo-<pipeline>-<schedule>`` kernel set).  Any serving process pointing at the same store
 (``repro.serve.Server`` workers, ``$REPRO_CACHE_DIR`` users) warm-starts
 those kernels from disk without running a single compiler phase.
 
@@ -18,7 +20,7 @@ Exit codes: 0 success, 1 --verify-warm found cold kernels,
 
 Usage:  python tools/aot.py --cache-dir /var/cache/repro
                             [--backends python,c] [--chunk 4] [--vec 4]
-                            [--verify-warm] [--json]
+                            [--zoo] [--verify-warm] [--json]
 """
 
 from __future__ import annotations
@@ -33,7 +35,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 def main() -> int:
     """Prebuild the kernel set and write the manifest."""
-    from repro.serve.aot import harris_kernel_requests, prebuild
+    from repro.serve.aot import harris_kernel_requests, prebuild, zoo_kernel_requests
 
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -60,6 +62,12 @@ def main() -> int:
         help="vector width of the schedule grid (default: the bench default)",
     )
     parser.add_argument(
+        "--zoo",
+        action="store_true",
+        help="also prebuild the pipeline-zoo kernel set (every registered "
+        "pipeline under its applicable schedules)",
+    )
+    parser.add_argument(
         "--verify-warm",
         action="store_true",
         help="fail (exit 1) if any kernel was actually built — asserts the "
@@ -84,6 +92,10 @@ def main() -> int:
     requests = harris_kernel_requests(
         backends=backends, chunk=args.chunk, vec=args.vec
     )
+    if args.zoo:
+        requests += zoo_kernel_requests(
+            backends=backends, chunk=args.chunk, vec=args.vec
+        )
     manifest = prebuild(args.cache_dir, requests=requests)
     built = [k for k in manifest["kernels"] if k["cache"] == "miss"]
     warm = len(manifest["kernels"]) - len(built)

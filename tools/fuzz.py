@@ -61,6 +61,19 @@ def _parse_args(argv=None) -> argparse.Namespace:
         help="rewrite rules sampled per metamorphic trial",
     )
     parser.add_argument(
+        "--zoo-every",
+        type=int,
+        default=0,
+        help="seed every Nth case from the pipeline registry instead of "
+        "the random generator (0 = off)",
+    )
+    parser.add_argument(
+        "--zoo-pipelines",
+        nargs="*",
+        default=None,
+        help="restrict registry-seeded cases to these pipelines",
+    )
+    parser.add_argument(
         "--no-c",
         action="store_true",
         help="skip the C backend even when a compiler is available",
@@ -119,6 +132,8 @@ def main(argv=None) -> int:
         rtol=args.rtol,
         rules_per_case=args.rules_per_case,
         use_c=False if args.no_c else None,
+        zoo_every=args.zoo_every,
+        zoo_pipelines=tuple(args.zoo_pipelines) if args.zoo_pipelines else None,
     )
     report = run_fuzz(cfg)
     if args.trajectory:
@@ -129,6 +144,7 @@ def main(argv=None) -> int:
     else:
         print(
             f"fuzz: seed={doc['seed']} cases={doc['cases']} "
+            f"zoo={doc['zoo_cases']} "
             f"failures={doc['failure_count']} "
             f"discard_rate={doc['discard_rate']:.4f} "
             f"throughput={doc['cases_per_sec']:.1f} cases/s"

@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""Automated schedule discovery for the Harris pipeline.
+"""Automated schedule discovery for any registered pipeline.
 
 Runs the cost-guided beam search of ``repro.tune`` over the paper's
-optimization vocabulary, verifies the cheapest survivors against the
+optimization vocabulary on one pipeline from the registry
+(``--pipeline``, default the Harris case study), verifies the cheapest survivors against the
 differential oracle (naive schedule as reference), compares the winner
 with the hand-written listing 5/9 schedules under the same objective,
 and records the discovery as ``tuned|*`` cells in the benchmark
@@ -17,6 +18,7 @@ Exit codes: 0 a schedule was discovered and oracle-verified,
 1 no candidate survived verification, 2 usage errors.
 
 Usage:  python tools/tune.py --seed 0 --beam 4 --steps 6
+        python tools/tune.py --pipeline gaussian-blur --beam 2 --steps 2
         python tools/tune.py --beam 2 --steps 2 --no-trajectory   # smoke
         python tools/tune.py --resume --log TUNE_log.json
 """
@@ -37,6 +39,12 @@ def build_parser() -> argparse.ArgumentParser:
     """The tuner's command-line interface."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seed", type=int, default=0, help="verification-input seed (default: %(default)s)")
+    parser.add_argument(
+        "--pipeline",
+        default="harris",
+        help="registered pipeline to tune (default: %(default)s; see "
+        "repro.pipelines.registry.names())",
+    )
     parser.add_argument("--beam", type=int, default=4, help="beam width (default: %(default)s)")
     parser.add_argument("--steps", type=int, default=6, help="search depth in actions (default: %(default)s)")
     parser.add_argument(
@@ -91,8 +99,7 @@ def main() -> int:
     from repro.bench.regress import SAMPLE_SCHEMA, append_sample, git_sha
     from repro.observe.metrics import registry as metrics_registry
     from repro.perf.objective import CostObjective, objective_for
-    from repro.pipelines.harris import harris, harris_input_type
-    from repro.rise.expr import Identifier
+    from repro.pipelines import registry
     from repro.tune import (
         TuneConfig,
         beam_search,
@@ -113,12 +120,17 @@ def main() -> int:
         print(f"tune: {exc}", file=sys.stderr)
         return 2
 
-    seed_expr = harris(Identifier("rgb"))
-    type_env = {"rgb": harris_input_type()}
+    try:
+        spec = registry.get(args.pipeline)
+    except KeyError as exc:
+        print(f"tune: {exc.args[0]}", file=sys.stderr)
+        return 2
+    seed_expr = spec.expr()
+    type_env = spec.type_env()
     config = TuneConfig(beam=args.beam, steps=args.steps, seed=args.seed)
 
     print(
-        f"searching: beam={config.beam} steps={config.steps} "
+        f"searching {spec.name}: beam={config.beam} steps={config.steps} "
         f"objective=[{objective.identity}]"
     )
     t0 = time.perf_counter()
@@ -193,7 +205,8 @@ def main() -> int:
             print(f"  {name:<24} {ms:10.3f}")
 
     if not args.no_trajectory:
-        cells = tuned_cells(winner.actions, seed_expr, type_env)
+        label = sched.name if spec.name == "harris" else f"{spec.name}:{sched.name}"
+        cells = tuned_cells(winner.actions, seed_expr, type_env, label=label)
         sample = {
             "schema": SAMPLE_SCHEMA,
             "timestamp": round(time.time(), 3),
@@ -201,6 +214,7 @@ def main() -> int:
             "k": 1,
             "environment": {
                 "tool": "tune",
+                "pipeline": spec.name,
                 "seed": args.seed,
                 "beam": args.beam,
                 "steps": args.steps,
